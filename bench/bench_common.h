@@ -1,0 +1,145 @@
+// Shared scaffolding for the figure/table benches: every bench prints the
+// rows the corresponding paper figure plots (same axes, same series), on the
+// calibrated reduced-scale scenarios described in EXPERIMENTS.md.
+//
+// Common flags (all benches):
+//   --days=N / --runs=N   trace days or synthetic seeds per point
+//   --quick               trims sweeps for smoke runs
+//   --csv=PATH            mirror the table as CSV
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace rapid::bench {
+
+struct FigureSpec {
+  std::string id;          // e.g. "Fig 4"
+  std::string title;       // paper caption summary
+  std::string x_label;
+  std::string y_label;
+};
+
+inline void print_banner(const FigureSpec& spec) {
+  std::cout << "=== " << spec.id << ": " << spec.title << " ===\n"
+            << "x: " << spec.x_label << " | y: " << spec.y_label << "\n";
+}
+
+// Runs a load sweep for each protocol and prints one row per x value with a
+// column per protocol (mean over runs, 95% CI half-width in parentheses).
+inline void run_protocol_sweep(const FigureSpec& spec, const Scenario& scenario,
+                               const std::vector<double>& xs,
+                               const std::vector<std::pair<ProtocolKind, RoutingMetric>>& protos,
+                               MetricExtractor extract, double scale, const Options& options) {
+  print_banner(spec);
+  std::vector<std::string> columns = {spec.x_label};
+  for (const auto& [kind, metric] : protos) columns.push_back(to_string(kind));
+  Table table(columns);
+
+  std::vector<Series> series;
+  series.reserve(protos.size());
+  for (const auto& [kind, metric] : protos) {
+    RunSpec run_spec;
+    run_spec.protocol = kind;
+    run_spec.metric = metric;
+    series.push_back(sweep_load(scenario, xs, run_spec));
+  }
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::vector<std::string> row;
+    row.push_back(format_double(xs[i], 0));
+    for (const Series& s : series) {
+      const Summary summary = summarize_cell(s.cells[i], extract);
+      row.push_back(format_double(summary.mean * scale, 2) + " (±" +
+                    format_double(summary.ci_half_width * scale, 2) + ")");
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  const std::string csv = options.get_string("csv", "");
+  if (!csv.empty()) table.write_csv_file(csv);
+  std::cout << std::endl;
+}
+
+// Same, sweeping buffer capacity at a fixed load (Figs 19-21).
+inline void run_buffer_sweep(const FigureSpec& spec, const Scenario& scenario, double load,
+                             const std::vector<Bytes>& buffers,
+                             const std::vector<std::pair<ProtocolKind, RoutingMetric>>& protos,
+                             MetricExtractor extract, double scale, const Options& options) {
+  print_banner(spec);
+  std::vector<std::string> columns = {spec.x_label};
+  for (const auto& [kind, metric] : protos) columns.push_back(to_string(kind));
+  Table table(columns);
+
+  std::vector<Series> series;
+  for (const auto& [kind, metric] : protos) {
+    RunSpec run_spec;
+    run_spec.protocol = kind;
+    run_spec.metric = metric;
+    series.push_back(sweep_buffer(scenario, load, buffers, run_spec));
+  }
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    std::vector<std::string> row;
+    row.push_back(format_double(static_cast<double>(buffers[i]) / 1024.0, 0));
+    for (const Series& s : series) {
+      const Summary summary = summarize_cell(s.cells[i], extract);
+      row.push_back(format_double(summary.mean * scale, 2) + " (±" +
+                    format_double(summary.ci_half_width * scale, 2) + ")");
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  const std::string csv = options.get_string("csv", "");
+  if (!csv.empty()) table.write_csv_file(csv);
+  std::cout << std::endl;
+}
+
+// Standard series: the four protocols the trace figures compare.
+inline std::vector<std::pair<ProtocolKind, RoutingMetric>> paper_protocols(
+    RoutingMetric metric) {
+  return {{ProtocolKind::kRapid, metric},
+          {ProtocolKind::kMaxProp, metric},
+          {ProtocolKind::kSprayWait, metric},
+          {ProtocolKind::kRandom, metric}};
+}
+
+inline ScenarioConfig trace_config(const Options& options) {
+  ScenarioConfig config = make_trace_scenario();
+  config.days = static_cast<int>(options.get_int("days", options.get_bool("quick", false) ? 2 : 4));
+  return config;
+}
+
+inline ScenarioConfig powerlaw_config(const Options& options) {
+  ScenarioConfig config = make_powerlaw_scenario();
+  config.synthetic_runs =
+      static_cast<int>(options.get_int("runs", options.get_bool("quick", false) ? 1 : 2));
+  return config;
+}
+
+inline ScenarioConfig exponential_config(const Options& options) {
+  ScenarioConfig config = make_exponential_scenario();
+  config.synthetic_runs =
+      static_cast<int>(options.get_int("runs", options.get_bool("quick", false) ? 1 : 2));
+  return config;
+}
+
+inline std::vector<double> trace_loads(const Options& options) {
+  if (options.get_bool("quick", false)) return {4, 16, 40};
+  return {2, 6, 12, 20, 30, 40};
+}
+
+inline std::vector<double> synthetic_loads(const Options& options) {
+  if (options.get_bool("quick", false)) return {10, 40, 80};
+  return {10, 30, 50, 80};
+}
+
+inline std::vector<Bytes> synthetic_buffers(const Options& options) {
+  if (options.get_bool("quick", false)) return {10_KB, 100_KB, 280_KB};
+  return {10_KB, 40_KB, 100_KB, 160_KB, 220_KB, 280_KB};
+}
+
+}  // namespace rapid::bench

@@ -1,0 +1,15 @@
+// Fig 5 (Trace): delivery rate vs load, under the avg-delay routing metric.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace rapid;
+  using namespace rapid::bench;
+  Options options(argc, argv);
+  const Scenario scenario(trace_config(options));
+  run_protocol_sweep({"Fig 5", "(Trace) Fraction of packets delivered",
+                      "packets/hour/destination", "% delivered"},
+                     scenario, trace_loads(options),
+                     paper_protocols(RoutingMetric::kAvgDelay), extract_delivery_rate, 1.0,
+                     options);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Fig 6 (Trace): max delay vs load; RAPID's metric = minimize max delay (Eq. 3).
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace rapid;
+  using namespace rapid::bench;
+  Options options(argc, argv);
+  const Scenario scenario(trace_config(options));
+  run_protocol_sweep({"Fig 6", "(Trace) Maximum delay of delivered packets",
+                      "packets/hour/destination", "max delay (min)"},
+                     scenario, trace_loads(options),
+                     paper_protocols(RoutingMetric::kMaxDelay), extract_max_delay,
+                     1.0 / kSecondsPerMinute, options);
+  return 0;
+}

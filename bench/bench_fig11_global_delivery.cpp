@@ -1,0 +1,16 @@
+// Fig 11: in-band vs instant global control channel — delivery rate.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace rapid;
+  using namespace rapid::bench;
+  Options options(argc, argv);
+  const Scenario scenario(trace_config(options));
+  run_protocol_sweep({"Fig 11", "(Trace) Delivery rate: in-band vs instant global channel",
+                      "packets/hour/destination", "% delivered"},
+                     scenario, trace_loads(options),
+                     {{ProtocolKind::kRapid, RoutingMetric::kAvgDelay},
+                      {ProtocolKind::kRapidGlobal, RoutingMetric::kAvgDelay}},
+                     extract_delivery_rate, 1.0, options);
+  return 0;
+}

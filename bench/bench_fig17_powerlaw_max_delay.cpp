@@ -1,0 +1,15 @@
+// Fig 17 (Powerlaw): maximum delay vs load.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace rapid;
+  using namespace rapid::bench;
+  Options options(argc, argv);
+  const Scenario scenario(powerlaw_config(options));
+  run_protocol_sweep({"Fig 17", "(Powerlaw) Max delay", "packets/50s/destination",
+                      "max delay (s)"},
+                     scenario, synthetic_loads(options),
+                     paper_protocols(RoutingMetric::kMaxDelay), extract_max_delay, 1.0,
+                     options);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Fig 20 (Powerlaw): max delay vs available storage, load fixed at 20.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace rapid;
+  using namespace rapid::bench;
+  Options options(argc, argv);
+  const Scenario scenario(powerlaw_config(options));
+  run_buffer_sweep({"Fig 20", "(Powerlaw) Max delay with constrained buffer",
+                    "storage (KB)", "max delay (s)"},
+                   scenario, options.get_double("load", 20.0), synthetic_buffers(options),
+                   paper_protocols(RoutingMetric::kMaxDelay), extract_max_delay, 1.0,
+                   options);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Fig 24 (Exponential): fraction delivered within the 20 s deadline vs load.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace rapid;
+  using namespace rapid::bench;
+  Options options(argc, argv);
+  const Scenario scenario(exponential_config(options));
+  run_protocol_sweep({"Fig 24", "(Exponential) Delivery within deadline",
+                      "packets/50s/destination", "% within 20 s deadline"},
+                     scenario, synthetic_loads(options),
+                     paper_protocols(RoutingMetric::kMissedDeadlines), extract_deadline_rate,
+                     1.0, options);
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the library:
+// Estimate Delay arithmetic, meeting-matrix recomputation, the metadata
+// store, DAG_DELAY distribution algebra, the LP solver, and a full small
+// simulation. Also covers the meetings_needed literal-vs-corrected ablation
+// called out in DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include "core/dag_delay.h"
+#include "core/delay_estimator.h"
+#include "core/meeting_matrix.h"
+#include "core/metadata.h"
+#include "dtn/workload.h"
+#include "mobility/exponential_model.h"
+#include "opt/simplex.h"
+#include "sim/engine.h"
+#include "sim/protocols.h"
+#include "util/rng.h"
+
+namespace rapid {
+namespace {
+
+void BM_MeetingsNeeded(benchmark::State& state) {
+  Bytes ahead = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(meetings_needed(ahead, 1_KB, 100_KB));
+    ahead = (ahead + 1_KB) % 1_MB;
+  }
+}
+BENCHMARK(BM_MeetingsNeeded);
+
+void BM_MeetingsNeededLiteral(benchmark::State& state) {
+  Bytes ahead = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(meetings_needed_literal(ahead, 100_KB));
+    ahead = (ahead + 1_KB) % 1_MB;
+  }
+}
+BENCHMARK(BM_MeetingsNeededLiteral);
+
+void BM_CombinedRate(benchmark::State& state) {
+  std::vector<double> delays;
+  for (int i = 1; i <= state.range(0); ++i) delays.push_back(100.0 * i);
+  for (auto _ : state) benchmark::DoNotOptimize(combined_rate(delays));
+}
+BENCHMARK(BM_CombinedRate)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_EstimateDelaySnapshot(benchmark::State& state) {
+  QueueSnapshot snapshot;
+  const int nodes = static_cast<int>(state.range(0));
+  Rng rng(1);
+  snapshot.queues.resize(static_cast<std::size_t>(nodes));
+  snapshot.meeting_rate.assign(static_cast<std::size_t>(nodes), 0.05);
+  PacketId id = 0;
+  for (auto& q : snapshot.queues)
+    for (int i = 0; i < 50; ++i) q.push_back(id++ % 200);
+  for (auto _ : state) benchmark::DoNotOptimize(estimate_delay_snapshot(snapshot));
+}
+BENCHMARK(BM_EstimateDelaySnapshot)->Arg(4)->Arg(16)->Arg(40);
+
+void BM_MeetingMatrixRecompute(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  MeetingMatrix matrix(0, n);
+  Rng rng(2);
+  for (NodeId u = 1; u < n; ++u) {
+    std::vector<Time> row(static_cast<std::size_t>(n), kTimeInfinity);
+    for (NodeId v = 0; v < n; ++v)
+      if (v != u && rng.bernoulli(0.3)) row[static_cast<std::size_t>(v)] = rng.uniform(60, 7200);
+    matrix.merge_row(u, row, static_cast<Time>(u));
+  }
+  int flip = 0;
+  for (auto _ : state) {
+    matrix.observe_meeting(1 + (flip++ % (n - 1)), 10.0 * flip);  // dirties the cache
+    benchmark::DoNotOptimize(matrix.expected_meeting_time(0, n - 1));
+  }
+}
+BENCHMARK(BM_MeetingMatrixRecompute)->Arg(20)->Arg(40);
+
+void BM_MetadataStoreUpdate(benchmark::State& state) {
+  MetadataStore store;
+  Rng rng(3);
+  Time stamp = 0;
+  for (auto _ : state) {
+    const PacketId id = static_cast<PacketId>(rng.uniform_int(0, 5000));
+    const NodeId holder = static_cast<NodeId>(rng.uniform_int(0, 39));
+    store.update_replica(id, ReplicaEstimate{holder, rng.uniform(10, 10000), stamp});
+    stamp += 1.0;
+  }
+}
+BENCHMARK(BM_MetadataStoreUpdate);
+
+void BM_DagDelay(benchmark::State& state) {
+  QueueSnapshot snapshot;
+  snapshot.queues = {{1, 2, 3}, {1, 4}, {2, 5, 6}};
+  snapshot.meeting_rate = {0.05, 0.08, 0.02};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dag_delay(snapshot, 400.0, static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_DagDelay)->Arg(200)->Arg(1000);
+
+void BM_SimplexSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  LinearProgram lp;
+  for (int i = 0; i < n; ++i) lp.add_variable(rng.uniform(0.5, 2.0));
+  for (int c = 0; c < n; ++c) {
+    std::vector<std::pair<int, double>> terms;
+    for (int i = 0; i < n; ++i)
+      if (rng.bernoulli(0.3)) terms.emplace_back(i, rng.uniform(0.1, 1.0));
+    if (terms.empty()) terms.emplace_back(c, 1.0);
+    lp.add_constraint(terms, Relation::kLe, rng.uniform(2.0, 8.0));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(solve_lp(lp));
+}
+BENCHMARK(BM_SimplexSolve)->Arg(20)->Arg(60);
+
+void BM_FullSimulationRapid(benchmark::State& state) {
+  ExponentialMobilityConfig mobility;
+  mobility.num_nodes = 12;
+  mobility.duration = 300;
+  mobility.pair_mean_intermeeting = 40;
+  mobility.mean_opportunity = 32_KB;
+  Rng rng(5);
+  const MeetingSchedule schedule = generate_exponential_schedule(mobility, rng);
+  WorkloadConfig wl;
+  wl.packets_per_period_per_pair = 1.0;
+  wl.load_period = 50;
+  wl.duration = 300;
+  Rng wrng = rng.split("wl");
+  const PacketPool workload = generate_workload(wl, mobility.num_nodes, wrng);
+  ProtocolParams params;
+  params.rapid_prior_meeting_time = 300;
+  params.rapid_prior_opportunity = 32_KB;
+  for (auto _ : state) {
+    const SimResult r = run_simulation(
+        schedule, workload, make_protocol_factory(ProtocolKind::kRapid, params, -1),
+        SimConfig{});
+    benchmark::DoNotOptimize(r.delivered);
+  }
+  state.counters["packets"] = static_cast<double>(workload.size());
+  state.counters["meetings"] = static_cast<double>(schedule.size());
+}
+BENCHMARK(BM_FullSimulationRapid)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rapid
+
+BENCHMARK_MAIN();

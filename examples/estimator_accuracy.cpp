@@ -1,0 +1,112 @@
+// Appendix C in practice: how accurate are the two delay estimators?
+//
+// Builds a snapshot of packet replicas queued at several nodes, then
+// compares three estimates of each packet's delivery delay:
+//   1. Estimate Delay (the distributed heuristic RAPID ships) — ignores
+//      non-vertical dependencies;
+//   2. DAG_DELAY (the idealized dependency-graph algorithm) — keeps them;
+//   3. Monte-Carlo ground truth of the queue dynamics (unit-sized
+//      opportunities, head-of-queue delivery per meeting).
+//
+//   ./estimator_accuracy [--trials=20000]
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "core/dag_delay.h"
+#include "core/delay_estimator.h"
+#include "stats/moments.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace rapid;
+
+// Simulates the exact queue process: each node meets the destination as a
+// Poisson process; each meeting delivers its queue head; a packet is
+// delivered when any of its replicas reaches the front and its node meets
+// the destination. Returns mean delay per packet.
+std::vector<double> monte_carlo(const QueueSnapshot& snapshot, int trials, Rng& rng) {
+  PacketId max_id = 0;
+  for (const auto& q : snapshot.queues)
+    for (PacketId id : q) max_id = std::max(max_id, id);
+  std::vector<RunningMoments> stats(static_cast<std::size_t>(max_id) + 1);
+
+  for (int t = 0; t < trials; ++t) {
+    auto queues = snapshot.queues;
+    std::vector<double> next_meeting(queues.size());
+    for (std::size_t n = 0; n < queues.size(); ++n) {
+      next_meeting[n] = snapshot.meeting_rate[n] > 0
+                            ? rng.exponential_mean(1.0 / snapshot.meeting_rate[n])
+                            : kTimeInfinity;
+    }
+    std::vector<double> delivered_at(stats.size(), kTimeInfinity);
+    while (true) {
+      std::size_t node = 0;
+      double when = kTimeInfinity;
+      for (std::size_t n = 0; n < queues.size(); ++n) {
+        if (!queues[n].empty() && next_meeting[n] < when) {
+          when = next_meeting[n];
+          node = n;
+        }
+      }
+      if (when == kTimeInfinity) break;
+      // Deliver the head if still undelivered; drop it from the queue.
+      while (!queues[node].empty()) {
+        const PacketId head = queues[node].front();
+        queues[node].erase(queues[node].begin());
+        if (delivered_at[static_cast<std::size_t>(head)] == kTimeInfinity) {
+          delivered_at[static_cast<std::size_t>(head)] = when;
+          break;  // one packet per (unit-sized) meeting
+        }
+        // Head already delivered via another replica: purge and keep going.
+      }
+      next_meeting[node] = when + rng.exponential_mean(1.0 / snapshot.meeting_rate[node]);
+    }
+    for (std::size_t id = 0; id < stats.size(); ++id) {
+      if (delivered_at[id] != kTimeInfinity) stats[id].add(delivered_at[id]);
+    }
+  }
+  std::vector<double> means(stats.size(), kTimeInfinity);
+  for (std::size_t id = 0; id < stats.size(); ++id)
+    if (!stats[id].empty()) means[id] = stats[id].mean();
+  return means;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rapid;
+  Options options(argc, argv);
+  const int trials = static_cast<int>(options.get_int("trials", 20000));
+
+  // The Appendix C layout: replicas shared across queues (the dependency
+  // structure Estimate Delay ignores).
+  QueueSnapshot snapshot;
+  snapshot.queues = {{2, 4}, {1, 2}, {1, 3, 4}};
+  snapshot.meeting_rate = {0.10, 0.08, 0.05};
+
+  const auto independent = estimate_delay_snapshot(snapshot);
+  const auto dag = dag_delay(snapshot, 400.0, 4000);
+  Rng rng(2007);
+  const auto truth = monte_carlo(snapshot, trials, rng);
+
+  Table table({"packet", "Estimate Delay (s)", "DAG_DELAY (s)", "Monte-Carlo (s)",
+               "EstDelay err", "DAG err"});
+  for (PacketId id = 1; id <= 4; ++id) {
+    const double mc = truth[static_cast<std::size_t>(id)];
+    const double est = independent.at(id);
+    const double dd = dag.expected_delay.at(id);
+    table.add_row({format_double(id, 0), format_double(est, 2), format_double(dd, 2),
+                   format_double(mc, 2),
+                   format_double(100.0 * (est - mc) / mc, 1) + "%",
+                   format_double(100.0 * (dd - mc) / mc, 1) + "%"});
+  }
+  std::cout << "Delay-estimator accuracy (" << trials << " Monte-Carlo trials)\n\n";
+  table.print(std::cout);
+  std::cout << "\nDAG_DELAY should track the ground truth more closely; Estimate Delay\n"
+               "trades accuracy for a simple, distributed computation (Appendix C).\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Hybrid DTN (§6.2.3): what a long-range, low-bandwidth control radio buys.
+//
+// Runs the same trace days twice — once with RAPID's delayed in-band control
+// channel, once with the instant global channel that models control traffic
+// over an XTEND-style long-range radio — and reports the delta, i.e. the
+// value of accurate, timely control information.
+//
+//   ./hybrid_gateway [--days=3] [--load=8]
+#include <iostream>
+
+#include "sim/experiment.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace rapid;
+  Options options(argc, argv);
+
+  ScenarioConfig config = make_trace_scenario();
+  config.days = static_cast<int>(options.get_int("days", 3));
+  const Scenario scenario(config);
+  const double load = options.get_double("load", 8.0);
+
+  Table table({"control channel", "% delivered", "avg delay (min)",
+               "% within deadline", "in-band metadata bytes"});
+  for (auto [name, kind] :
+       {std::pair{"in-band (delayed)", ProtocolKind::kRapid},
+        std::pair{"global (instant)", ProtocolKind::kRapidGlobal}}) {
+    RunningMoments rate, delay, deadline, meta;
+    for (int day = 0; day < scenario.runs(); ++day) {
+      const Instance inst = scenario.instance(day, load);
+      RunSpec spec;
+      spec.protocol = kind;
+      spec.metric = RoutingMetric::kAvgDelay;
+      const SimResult r = run_instance(scenario, inst, spec);
+      rate.add(100.0 * r.delivery_rate);
+      delay.add(r.avg_delay / kSecondsPerMinute);
+      deadline.add(100.0 * r.deadline_rate);
+      meta.add(static_cast<double>(r.metadata_bytes));
+    }
+    table.add_row({name, format_double(rate.mean(), 1), format_double(delay.mean(), 1),
+                   format_double(deadline.mean(), 1), format_double(meta.mean(), 0)});
+  }
+  std::cout << "Hybrid DTN: the instant global channel is the upper bound a\n"
+               "long-range control radio could approach (paper: up to 20 min lower\n"
+               "delay, up to 12% more deliveries).\n\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// The paper's motivating application (§1): "a simple news and information
+// application is better served by maximizing the number of news stories
+// delivered before they are outdated, rather than maximizing the number of
+// stories eventually delivered."
+//
+// This example runs the same news workload (stories expire) under RAPID
+// configured for each of the three routing metrics, plus Random as a
+// baseline, and shows how the administrator's metric choice changes what the
+// network optimizes — the "intentional routing" pitch in one table.
+//
+//   ./news_deadline_service [--runs=3] [--story-lifetime-s=25]
+#include <iostream>
+
+#include "dtn/workload.h"
+#include "mobility/powerlaw_model.h"
+#include "sim/engine.h"
+#include "sim/protocols.h"
+#include "stats/moments.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace rapid;
+  Options options(argc, argv);
+  const int runs = static_cast<int>(options.get_int("runs", 3));
+  const double lifetime = options.get_double("story-lifetime-s", 25.0);
+
+  PowerlawMobilityConfig mobility;  // readers' phones: skewed popularity
+  mobility.num_nodes = 16;
+  mobility.duration = 450.0;
+  mobility.mean_opportunity = 24_KB;
+
+  struct Row {
+    std::string name;
+    ProtocolKind kind;
+    RoutingMetric metric;
+  };
+  const std::vector<Row> configs = {
+      {"RAPID (deadline metric)", ProtocolKind::kRapid, RoutingMetric::kMissedDeadlines},
+      {"RAPID (avg-delay metric)", ProtocolKind::kRapid, RoutingMetric::kAvgDelay},
+      {"RAPID (max-delay metric)", ProtocolKind::kRapid, RoutingMetric::kMaxDelay},
+      {"Random", ProtocolKind::kRandom, RoutingMetric::kAvgDelay},
+  };
+
+  Table table({"routing configuration", "fresh stories (%)", "delivered (%)",
+               "avg delay (s)", "max delay (s)"});
+  for (const Row& row : configs) {
+    RunningMoments fresh, delivered, avg_delay, max_delay;
+    for (int run = 0; run < runs; ++run) {
+      Rng rng(1000 + static_cast<std::uint64_t>(run));
+      const PowerlawSchedule ps = generate_powerlaw_schedule(mobility, rng);
+
+      WorkloadConfig wl;  // every node publishes stories to every reader
+      wl.packets_per_period_per_pair = 2.5;
+      wl.load_period = 50.0;
+      wl.duration = mobility.duration;
+      wl.deadline = lifetime;  // stories are stale after this
+      Rng wrng = rng.split("stories");
+      const PacketPool stories = generate_workload(wl, mobility.num_nodes, wrng);
+
+      ProtocolParams params;
+      params.metric = row.metric;
+      params.rapid_prior_meeting_time = mobility.duration;
+      params.rapid_prior_opportunity = mobility.mean_opportunity;
+      params.prophet_aging_unit = 10;
+      const SimResult r =
+          run_simulation(ps.schedule, stories,
+                         make_protocol_factory(row.kind, params, 100_KB), SimConfig{});
+      fresh.add(100.0 * r.deadline_rate);
+      delivered.add(100.0 * r.delivery_rate);
+      avg_delay.add(r.avg_delay);
+      max_delay.add(r.max_delay);
+    }
+    table.add_row({row.name, format_double(fresh.mean(), 1),
+                   format_double(delivered.mean(), 1), format_double(avg_delay.mean(), 1),
+                   format_double(max_delay.mean(), 1)});
+  }
+
+  std::cout << "News service: stories expire after " << lifetime << " s\n\n";
+  table.print(std::cout);
+  std::cout << "\nThe deadline-metric run should maximize fresh stories; the max-delay\n"
+               "run should show the smallest worst case; avg-delay the lowest mean —\n"
+               "each intentional, not incidental.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// A DieselNet-style field test end to end: generate a multi-day bus trace,
+// archive it to disk in the text trace format (the role the published UMass
+// traces play), replay it day by day with RAPID, and print the Table-3-style
+// daily report the deployment section of the paper tabulates.
+//
+//   ./vehicular_fieldtest [--days=3] [--trace=./fieldtest_trace.txt] [--load=4]
+#include <iostream>
+
+#include "dtn/workload.h"
+#include "mobility/trace_io.h"
+#include "sim/engine.h"
+#include "sim/protocols.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace rapid;
+  Options options(argc, argv);
+  const int days = static_cast<int>(options.get_int("days", 3));
+  const std::string trace_path = options.get_string("trace", "fieldtest_trace.txt");
+  const double load = options.get_double("load", 4.0);  // §5.1 default
+
+  // Generate and archive the trace (skip generation if one already exists).
+  DieselNetTrace trace;
+  try {
+    trace = read_trace_file(trace_path);
+    std::cout << "Loaded existing trace from " << trace_path << " ("
+              << trace.days.size() << " days)\n";
+  } catch (const std::exception&) {
+    DieselNetConfig config;  // full scale: 40 buses, 19 h days
+    Rng rng(20070623);
+    trace = generate_dieselnet_trace(config, days, rng);
+    if (!write_trace_file(trace_path, trace)) {
+      std::cerr << "cannot write " << trace_path << "\n";
+      return 1;
+    }
+    std::cout << "Generated " << days << "-day trace -> " << trace_path << "\n";
+  }
+
+  Table table({"day", "buses", "meetings", "packets", "% delivered", "avg delay (min)",
+               "meta/data"});
+  for (std::size_t day = 0; day < trace.days.size(); ++day) {
+    const DayTrace& dt = trace.days[day];
+
+    WorkloadConfig wl;  // §5.1: packets for every other bus on the road
+    wl.packets_per_period_per_pair = load;
+    wl.load_period = kSecondsPerHour;
+    wl.duration = dt.schedule.duration;
+    Rng wrng = Rng(555).split("day", day);
+    const PacketPool workload = generate_workload(wl, dt.active_buses, wrng);
+
+    ProtocolParams params;
+    params.metric = RoutingMetric::kAvgDelay;
+    params.rapid_prior_meeting_time = dt.schedule.duration;
+    params.rapid_prior_opportunity = 1840_KB;
+    const SimResult r =
+        run_simulation(dt.schedule, workload,
+                       make_protocol_factory(ProtocolKind::kRapid, params, 40_GB),
+                       SimConfig{});
+
+    table.add_row({format_double(static_cast<double>(day), 0),
+                   format_double(static_cast<double>(dt.active_buses.size()), 0),
+                   format_double(static_cast<double>(r.meetings), 0),
+                   format_double(static_cast<double>(r.total_packets), 0),
+                   format_double(100.0 * r.delivery_rate, 1),
+                   format_double(r.avg_delay / kSecondsPerMinute, 1),
+                   format_double(r.metadata_over_data, 4)});
+  }
+  std::cout << "\nRAPID on the archived trace (avg-delay metric):\n";
+  table.print(std::cout);
+  std::cout << "\nCompare with Table 3 of the paper (19 buses, 147.5 meetings, 88%\n"
+               "delivered, 91.7 min average delay, metadata/data 0.017).\n";
+  return 0;
+}

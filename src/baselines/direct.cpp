@@ -1,0 +1,49 @@
+#include "baselines/direct.h"
+
+#include <algorithm>
+
+namespace rapid {
+
+DirectRouter::DirectRouter(NodeId self, Bytes buffer_capacity, const SimContext* ctx)
+    : Router(self, buffer_capacity, ctx) {}
+
+std::optional<PacketId> DirectRouter::next_transfer(const ContactContext& contact,
+                                                    Router& peer) {
+  if (!plan_built_) {
+    plan_built_ = true;
+    order_.clear();
+    cursor_ = 0;
+    buffer().for_each([&](PacketId id, Bytes /*size*/) {
+      if (ctx().packet(id).dst == peer.self()) order_.push_back(id);
+    });
+    std::sort(order_.begin(), order_.end(), [&](PacketId a, PacketId b) {
+      return ctx().packet(a).created < ctx().packet(b).created;
+    });
+  }
+  while (cursor_ < order_.size()) {
+    const PacketId id = order_[cursor_];
+    ++cursor_;
+    if (!buffer().contains(id) || peer.has_received(id) || contact_skipped(id)) continue;
+    if (ctx().packet(id).size > contact.remaining) continue;
+    return id;
+  }
+  return std::nullopt;
+}
+
+void DirectRouter::contact_end(Router& peer, Time now) {
+  Router::contact_end(peer, now);
+  plan_built_ = false;
+}
+
+PacketId DirectRouter::choose_drop_victim(const Packet& /*incoming*/, Time /*now*/) {
+  // The buffer only ever holds this node's own packets; refuse to drop them.
+  return kNoPacket;
+}
+
+RouterFactory make_direct_factory(Bytes buffer_capacity) {
+  return [buffer_capacity](NodeId node, const SimContext& ctx) {
+    return std::make_unique<DirectRouter>(node, buffer_capacity, &ctx);
+  };
+}
+
+}  // namespace rapid

@@ -1,0 +1,28 @@
+// Direct delivery: a packet is held by its source until the source meets the
+// destination. The forwarding-free extreme; useful as a floor in tests and
+// ablations.
+#pragma once
+
+#include <optional>
+
+#include "dtn/router.h"
+
+namespace rapid {
+
+class DirectRouter : public Router {
+ public:
+  DirectRouter(NodeId self, Bytes buffer_capacity, const SimContext* ctx);
+
+  std::optional<PacketId> next_transfer(const ContactContext& contact, Router& peer) override;
+  void contact_end(Router& peer, Time now) override;
+  PacketId choose_drop_victim(const Packet& incoming, Time now) override;
+
+ private:
+  bool plan_built_ = false;
+  std::vector<PacketId> order_;
+  std::size_t cursor_ = 0;
+};
+
+RouterFactory make_direct_factory(Bytes buffer_capacity);
+
+}  // namespace rapid

@@ -1,0 +1,100 @@
+#include "baselines/epidemic.h"
+
+#include <algorithm>
+
+namespace rapid {
+
+EpidemicRouter::EpidemicRouter(NodeId self, Bytes buffer_capacity, const SimContext* ctx,
+                               const EpidemicConfig& config)
+    : Router(self, buffer_capacity, ctx), config_(config) {}
+
+bool EpidemicRouter::on_generate(const Packet& p) {
+  if (!Router::on_generate(p)) return false;
+  arrival_[p.id] = arrival_seq_++;
+  return true;
+}
+
+void EpidemicRouter::on_stored(const Packet& p, NodeId /*from*/, std::int64_t /*aux*/,
+                               Time /*now*/) {
+  arrival_[p.id] = arrival_seq_++;
+}
+
+Bytes EpidemicRouter::contact_begin(Router& peer, Time now, Bytes meta_budget) {
+  Router::contact_begin(peer, now, meta_budget);
+  plan_built_ = false;
+  if (config_.flood_acks) return std::min(exchange_acks(peer, now), meta_budget);
+  return 0;
+}
+
+void EpidemicRouter::build_plan(Router& peer) {
+  plan_built_ = true;
+  order_.clear();
+  cursor_ = 0;
+  std::vector<PacketId> direct;
+  std::vector<PacketId> rest;
+  buffer().for_each([&](PacketId id, Bytes /*size*/) {
+    (ctx().packet(id).dst == peer.self() ? direct : rest).push_back(id);
+  });
+  auto oldest_first = [&](PacketId a, PacketId b) {
+    return ctx().packet(a).created < ctx().packet(b).created;
+  };
+  std::sort(direct.begin(), direct.end(), oldest_first);
+  std::sort(rest.begin(), rest.end(), oldest_first);
+  order_ = std::move(direct);
+  order_.insert(order_.end(), rest.begin(), rest.end());
+}
+
+std::optional<PacketId> EpidemicRouter::next_transfer(const ContactContext& contact,
+                                                      Router& peer) {
+  if (!plan_built_) build_plan(peer);
+  while (cursor_ < order_.size()) {
+    const PacketId id = order_[cursor_];
+    ++cursor_;
+    if (!buffer().contains(id)) continue;
+    const Packet& p = ctx().packet(id);
+    if (p.dst == peer.self()) {
+      if (peer.has_received(id) || contact_skipped(id)) continue;
+    } else if (!peer_wants(peer, p)) {
+      continue;
+    }
+    if (p.size > contact.remaining) continue;
+    return id;
+  }
+  return std::nullopt;
+}
+
+void EpidemicRouter::on_transfer_success(const Packet& p, Router& /*peer*/,
+                                         ReceiveOutcome outcome, Time now) {
+  if (config_.flood_acks && (outcome == ReceiveOutcome::kDelivered ||
+                             outcome == ReceiveOutcome::kDuplicateDelivery)) {
+    learn_ack(p.id, now);
+  }
+}
+
+void EpidemicRouter::contact_end(Router& peer, Time now) {
+  Router::contact_end(peer, now);
+  plan_built_ = false;
+}
+
+PacketId EpidemicRouter::choose_drop_victim(const Packet& /*incoming*/, Time /*now*/) {
+  // FIFO: drop the copy that has been on board the longest.
+  PacketId victim = kNoPacket;
+  std::uint64_t oldest = 0;
+  buffer().for_each([&](PacketId id, Bytes /*size*/) {
+    const auto it = arrival_.find(id);
+    const std::uint64_t seq = it == arrival_.end() ? 0 : it->second;
+    if (victim == kNoPacket || seq < oldest) {
+      victim = id;
+      oldest = seq;
+    }
+  });
+  return victim;
+}
+
+RouterFactory make_epidemic_factory(const EpidemicConfig& config, Bytes buffer_capacity) {
+  return [config, buffer_capacity](NodeId node, const SimContext& ctx) {
+    return std::make_unique<EpidemicRouter>(node, buffer_capacity, &ctx, config);
+  };
+}
+
+}  // namespace rapid

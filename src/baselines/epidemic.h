@@ -1,0 +1,48 @@
+// Epidemic routing [Vahdat & Becker 2000]: flood every packet at every
+// transfer opportunity, oldest first, with optional delivery-ack purging.
+// Included as the classical replication extreme (Table 1, problem P1).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dtn/router.h"
+
+namespace rapid {
+
+struct EpidemicConfig {
+  bool flood_acks = false;
+};
+
+class EpidemicRouter : public Router {
+ public:
+  EpidemicRouter(NodeId self, Bytes buffer_capacity, const SimContext* ctx,
+                 const EpidemicConfig& config);
+
+  bool on_generate(const Packet& p) override;
+  Bytes contact_begin(Router& peer, Time now, Bytes meta_budget) override;
+  std::optional<PacketId> next_transfer(const ContactContext& contact, Router& peer) override;
+  void on_transfer_success(const Packet& p, Router& peer, ReceiveOutcome outcome,
+                           Time now) override;
+  void contact_end(Router& peer, Time now) override;
+  PacketId choose_drop_victim(const Packet& incoming, Time now) override;
+
+ protected:
+  void on_stored(const Packet& p, NodeId from, std::int64_t aux, Time now) override;
+
+ private:
+  EpidemicConfig config_;
+  std::uint64_t arrival_seq_ = 0;
+  std::unordered_map<PacketId, std::uint64_t> arrival_;  // FIFO order for drops
+
+  bool plan_built_ = false;
+  std::vector<PacketId> order_;
+  std::size_t cursor_ = 0;
+
+  void build_plan(Router& peer);
+};
+
+RouterFactory make_epidemic_factory(const EpidemicConfig& config, Bytes buffer_capacity);
+
+}  // namespace rapid

@@ -1,0 +1,225 @@
+#include "baselines/maxprop.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "core/metadata.h"  // wire-size constants
+
+namespace rapid {
+
+MaxPropRouter::MaxPropRouter(NodeId self, Bytes buffer_capacity, const SimContext* ctx,
+                             const MaxPropConfig& config)
+    : Router(self, buffer_capacity, ctx), config_(config) {
+  const auto n = static_cast<std::size_t>(ctx->num_nodes);
+  const double uniform = n > 1 ? 1.0 / static_cast<double>(n - 1) : 0.0;
+  f_.assign(n, std::vector<double>(n, uniform));
+  for (std::size_t u = 0; u < n; ++u) f_[u][u] = 0.0;
+  f_stamp_.assign(n, -kTimeInfinity);
+}
+
+bool MaxPropRouter::on_generate(const Packet& p) {
+  if (!Router::on_generate(p)) return false;
+  hops_[p.id] = 0;
+  return true;
+}
+
+void MaxPropRouter::on_stored(const Packet& p, NodeId /*from*/, std::int64_t aux,
+                              Time /*now*/) {
+  hops_[p.id] = static_cast<int>(std::max<std::int64_t>(0, aux));
+}
+
+void MaxPropRouter::on_dropped(const Packet& p, Time /*now*/) { hops_.erase(p.id); }
+void MaxPropRouter::on_acked(const Packet& p, Time /*now*/) { hops_.erase(p.id); }
+
+int MaxPropRouter::hop_count(PacketId id) const {
+  auto it = hops_.find(id);
+  return it == hops_.end() ? 0 : it->second;
+}
+
+void MaxPropRouter::observe_opportunity(Bytes capacity, NodeId /*peer*/, Time /*now*/) {
+  ++transfers_seen_;
+  avg_transfer_bytes_ +=
+      (static_cast<double>(capacity) - avg_transfer_bytes_) / static_cast<double>(transfers_seen_);
+}
+
+void MaxPropRouter::normalize_own() {
+  auto& own = f_[static_cast<std::size_t>(self())];
+  double total = 0;
+  for (double v : own) total += v;
+  if (total <= 0) return;
+  for (double& v : own) v /= total;
+}
+
+double MaxPropRouter::meeting_likelihood(NodeId peer) const {
+  return f_[static_cast<std::size_t>(self())][static_cast<std::size_t>(peer)];
+}
+
+Bytes MaxPropRouter::contact_begin(Router& peer, Time now, Bytes meta_budget) {
+  Router::contact_begin(peer, now, meta_budget);
+  plan_built_ = false;
+
+  // Incremental averaging: bump the peer's likelihood, re-normalize.
+  f_[static_cast<std::size_t>(self())][static_cast<std::size_t>(peer.self())] += 1.0;
+  normalize_own();
+  f_stamp_[static_cast<std::size_t>(self())] = now;
+  costs_dirty_ = true;
+
+  Bytes used = 0;
+  auto* mp = dynamic_cast<MaxPropRouter*>(&peer);
+  if (mp != nullptr) {
+    // Ship every vector the peer has staler knowledge of (route messages).
+    for (std::size_t u = 0; u < f_.size(); ++u) {
+      if (f_stamp_[u] <= mp->f_stamp_[u]) continue;
+      const Bytes cost =
+          kMeetingRowHeaderBytes + kMeetingRowEntryBytes * static_cast<Bytes>(f_.size());
+      if (used + cost > meta_budget) break;
+      used += cost;
+      mp->f_[u] = f_[u];
+      mp->f_stamp_[u] = f_stamp_[u];
+      mp->costs_dirty_ = true;
+    }
+  }
+  // Flooded delivery acknowledgments.
+  used += exchange_acks(peer, now);
+  return std::min(used, meta_budget);
+}
+
+void MaxPropRouter::recompute_costs() const {
+  const auto n = f_.size();
+  cost_cache_.assign(n, std::numeric_limits<double>::infinity());
+  using Item = std::pair<double, std::size_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  const auto src = static_cast<std::size_t>(self());
+  cost_cache_[src] = 0;
+  heap.emplace(0.0, src);
+  while (!heap.empty()) {
+    const auto [dist, u] = heap.top();
+    heap.pop();
+    if (dist > cost_cache_[u]) continue;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v == u) continue;
+      const double w = 1.0 - std::min(1.0, std::max(0.0, f_[u][v]));
+      const double cand = dist + w;
+      if (cand < cost_cache_[v]) {
+        cost_cache_[v] = cand;
+        heap.emplace(cand, v);
+      }
+    }
+  }
+  costs_dirty_ = false;
+}
+
+double MaxPropRouter::path_cost(NodeId dst) const {
+  if (costs_dirty_) recompute_costs();
+  return cost_cache_[static_cast<std::size_t>(dst)];
+}
+
+Bytes MaxPropRouter::head_start_bytes() const {
+  const double avg = avg_transfer_bytes_;
+  if (buffer().capacity() < 0) return static_cast<Bytes>(avg);
+  return std::min(static_cast<Bytes>(avg),
+                  static_cast<Bytes>(config_.head_start_buffer_fraction *
+                                     static_cast<double>(buffer().capacity())));
+}
+
+std::vector<PacketId> MaxPropRouter::priority_order(bool /*for_transmission*/) const {
+  struct Entry {
+    PacketId id;
+    int hops;
+    double cost;
+    Bytes size;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(buffer().count());
+  buffer().for_each([&](PacketId id, Bytes size) {
+    const Packet& p = ctx().packet(id);
+    entries.push_back(Entry{id, hop_count(id), path_cost(p.dst), size});
+  });
+  // Hopcount section first (ascending), then everything by cost (ascending).
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.hops != b.hops) return a.hops < b.hops;
+    return a.cost < b.cost;
+  });
+  const Bytes head = head_start_bytes();
+  Bytes acc = 0;
+  std::size_t split = 0;
+  while (split < entries.size() && acc + entries[split].size <= head) {
+    acc += entries[split].size;
+    ++split;
+  }
+  std::sort(entries.begin() + static_cast<std::ptrdiff_t>(split), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.cost < b.cost; });
+  std::vector<PacketId> out;
+  out.reserve(entries.size());
+  for (const Entry& e : entries) out.push_back(e.id);
+  return out;
+}
+
+void MaxPropRouter::build_plan(Router& peer) {
+  plan_built_ = true;
+  direct_order_.clear();
+  direct_cursor_ = 0;
+  send_order_.clear();
+  send_cursor_ = 0;
+  for (PacketId id : priority_order(true)) {
+    (ctx().packet(id).dst == peer.self() ? direct_order_ : send_order_).push_back(id);
+  }
+  // Destined-to-peer packets go first regardless of section, oldest first.
+  std::sort(direct_order_.begin(), direct_order_.end(), [&](PacketId a, PacketId b) {
+    return ctx().packet(a).created < ctx().packet(b).created;
+  });
+}
+
+std::optional<PacketId> MaxPropRouter::next_transfer(const ContactContext& contact,
+                                                     Router& peer) {
+  if (!plan_built_) build_plan(peer);
+  while (direct_cursor_ < direct_order_.size()) {
+    const PacketId id = direct_order_[direct_cursor_];
+    ++direct_cursor_;
+    if (!buffer().contains(id) || peer.has_received(id) || contact_skipped(id)) continue;
+    if (ctx().packet(id).size > contact.remaining) continue;
+    return id;
+  }
+  while (send_cursor_ < send_order_.size()) {
+    const PacketId id = send_order_[send_cursor_];
+    ++send_cursor_;
+    if (!buffer().contains(id)) continue;
+    const Packet& p = ctx().packet(id);
+    if (!peer_wants(peer, p)) continue;
+    if (p.size > contact.remaining) continue;
+    return id;
+  }
+  return std::nullopt;
+}
+
+std::int64_t MaxPropRouter::transfer_aux(const Packet& p, Router& /*peer*/) {
+  return hop_count(p.id) + 1;
+}
+
+void MaxPropRouter::on_transfer_success(const Packet& p, Router& /*peer*/,
+                                        ReceiveOutcome outcome, Time now) {
+  if (outcome == ReceiveOutcome::kDelivered || outcome == ReceiveOutcome::kDuplicateDelivery)
+    learn_ack(p.id, now);
+}
+
+void MaxPropRouter::contact_end(Router& peer, Time now) {
+  Router::contact_end(peer, now);
+  plan_built_ = false;
+}
+
+PacketId MaxPropRouter::choose_drop_victim(const Packet& /*incoming*/, Time /*now*/) {
+  // Drop from the tail of the priority order: the highest-cost packet
+  // outside the head-start section goes first.
+  const std::vector<PacketId> order = priority_order(false);
+  if (order.empty()) return kNoPacket;
+  return order.back();
+}
+
+RouterFactory make_maxprop_factory(const MaxPropConfig& config, Bytes buffer_capacity) {
+  return [config, buffer_capacity](NodeId node, const SimContext& ctx) {
+    return std::make_unique<MaxPropRouter>(node, buffer_capacity, &ctx, config);
+  };
+}
+
+}  // namespace rapid

@@ -1,0 +1,84 @@
+// MaxProp [Burgess et al., Infocom 2006] — the paper's strongest baseline
+// (§6.1) and its predecessor on DieselNet.
+//
+//   * Each node i keeps meeting likelihoods f^i_j, initialized uniform; on
+//     meeting j, f^i_j is incremented and the vector re-normalized
+//     (incremental averaging).
+//   * Vectors are exchanged at every contact; the cost to a destination is
+//     the cheapest path under edge weights (1 - f), found with Dijkstra.
+//   * Transmission order: packets for the peer first; then packets with few
+//     hops (below an adaptive head-start threshold) lowest-hopcount-first;
+//     then the rest lowest-path-cost-first.
+//   * Delivery acknowledgments are flooded and purge delivered copies.
+//   * Storage pressure drops the highest-cost packet outside the head-start
+//     section first.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dtn/router.h"
+
+namespace rapid {
+
+struct MaxPropConfig {
+  // Fraction of the buffer reserved for low-hopcount head start when storage
+  // is finite; with unlimited buffers the average transfer size is used.
+  double head_start_buffer_fraction = 0.5;
+};
+
+class MaxPropRouter : public Router {
+ public:
+  MaxPropRouter(NodeId self, Bytes buffer_capacity, const SimContext* ctx,
+                const MaxPropConfig& config);
+
+  bool on_generate(const Packet& p) override;
+  void observe_opportunity(Bytes capacity, NodeId peer, Time now) override;
+  Bytes contact_begin(Router& peer, Time now, Bytes meta_budget) override;
+  std::optional<PacketId> next_transfer(const ContactContext& contact, Router& peer) override;
+  std::int64_t transfer_aux(const Packet& p, Router& peer) override;
+  void on_transfer_success(const Packet& p, Router& peer, ReceiveOutcome outcome,
+                           Time now) override;
+  void contact_end(Router& peer, Time now) override;
+  PacketId choose_drop_victim(const Packet& incoming, Time now) override;
+
+  // Cheapest (1 - f) path cost from this node to `dst` under current vectors.
+  double path_cost(NodeId dst) const;
+  double meeting_likelihood(NodeId peer) const;
+  int hop_count(PacketId id) const;
+
+ protected:
+  void on_stored(const Packet& p, NodeId from, std::int64_t aux, Time now) override;
+  void on_dropped(const Packet& p, Time now) override;
+  void on_acked(const Packet& p, Time now) override;
+
+ private:
+  MaxPropConfig config_;
+  // f_[u] = latest known likelihood vector of node u (f_[self] is ours).
+  std::vector<std::vector<double>> f_;
+  std::vector<Time> f_stamp_;
+  std::unordered_map<PacketId, int> hops_;
+  double avg_transfer_bytes_ = 0;
+  std::size_t transfers_seen_ = 0;
+
+  mutable bool costs_dirty_ = true;
+  mutable std::vector<double> cost_cache_;
+
+  bool plan_built_ = false;
+  std::vector<PacketId> direct_order_;
+  std::size_t direct_cursor_ = 0;
+  std::vector<PacketId> send_order_;
+  std::size_t send_cursor_ = 0;
+
+  void normalize_own();
+  void recompute_costs() const;
+  Bytes head_start_bytes() const;
+  void build_plan(Router& peer);
+  // Ordered buffer view: head-start section (hopcount asc) then cost asc.
+  std::vector<PacketId> priority_order(bool for_transmission) const;
+};
+
+RouterFactory make_maxprop_factory(const MaxPropConfig& config, Bytes buffer_capacity);
+
+}  // namespace rapid

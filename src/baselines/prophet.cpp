@@ -1,0 +1,126 @@
+#include "baselines/prophet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/metadata.h"  // wire-size constants for metadata accounting
+
+namespace rapid {
+
+ProphetRouter::ProphetRouter(NodeId self, Bytes buffer_capacity, const SimContext* ctx,
+                             const ProphetConfig& config)
+    : Router(self, buffer_capacity, ctx), config_(config) {
+  p_.assign(static_cast<std::size_t>(ctx->num_nodes), 0.0);
+}
+
+void ProphetRouter::age_to(Time now) const {
+  if (now <= last_aged_) return;
+  const double k = (now - last_aged_) / config_.aging_unit;
+  const double factor = std::pow(config_.gamma, k);
+  for (double& v : p_) v *= factor;
+  last_aged_ = now;
+}
+
+double ProphetRouter::predictability(NodeId dst, Time now) const {
+  age_to(now);
+  return p_[static_cast<std::size_t>(dst)];
+}
+
+Bytes ProphetRouter::contact_begin(Router& peer, Time now, Bytes meta_budget) {
+  Router::contact_begin(peer, now, meta_budget);
+  plan_built_ = false;
+  age_to(now);
+
+  // Direct-encounter update.
+  auto& mine = p_[static_cast<std::size_t>(peer.self())];
+  mine = mine + (1.0 - mine) * config_.p_init;
+
+  // Transitive update from the peer's vector (its contact_begin may not have
+  // run yet this meeting, but its vector is aged on read).
+  auto* prophet_peer = dynamic_cast<ProphetRouter*>(&peer);
+  if (prophet_peer == nullptr) return 0;
+  const double p_ab = mine;
+  for (NodeId d = 0; d < ctx().num_nodes; ++d) {
+    if (d == self() || d == peer.self()) continue;
+    const double p_bd = prophet_peer->predictability(d, now);
+    const double transitive = p_ab * p_bd * config_.beta;
+    auto& slot = p_[static_cast<std::size_t>(d)];
+    slot = std::max(slot, transitive);
+  }
+  // The exchanged vector costs one entry per node.
+  const Bytes cost = kMeetingRowEntryBytes * static_cast<Bytes>(ctx().num_nodes);
+  return std::min(cost, meta_budget);
+}
+
+void ProphetRouter::build_plan(Router& peer, Time now) {
+  plan_built_ = true;
+  direct_order_.clear();
+  direct_cursor_ = 0;
+  forward_order_.clear();
+  forward_cursor_ = 0;
+  auto* prophet_peer = dynamic_cast<ProphetRouter*>(&peer);
+  buffer().for_each([&](PacketId id, Bytes /*size*/) {
+    const Packet& p = ctx().packet(id);
+    if (p.dst == peer.self()) {
+      direct_order_.push_back(id);
+      return;
+    }
+    if (prophet_peer == nullptr) return;
+    const double theirs = prophet_peer->predictability(p.dst, now);
+    const double ours = predictability(p.dst, now);
+    if (theirs > ours) forward_order_.emplace_back(theirs, id);  // GRTR
+  });
+  std::sort(direct_order_.begin(), direct_order_.end(), [&](PacketId a, PacketId b) {
+    return ctx().packet(a).created < ctx().packet(b).created;
+  });
+  std::sort(forward_order_.begin(), forward_order_.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+}
+
+std::optional<PacketId> ProphetRouter::next_transfer(const ContactContext& contact,
+                                                     Router& peer) {
+  if (!plan_built_) build_plan(peer, contact.now);
+  while (direct_cursor_ < direct_order_.size()) {
+    const PacketId id = direct_order_[direct_cursor_];
+    ++direct_cursor_;
+    if (!buffer().contains(id) || peer.has_received(id) || contact_skipped(id)) continue;
+    if (ctx().packet(id).size > contact.remaining) continue;
+    return id;
+  }
+  while (forward_cursor_ < forward_order_.size()) {
+    const PacketId id = forward_order_[forward_cursor_].second;
+    ++forward_cursor_;
+    if (!buffer().contains(id)) continue;
+    const Packet& p = ctx().packet(id);
+    if (!peer_wants(peer, p)) continue;
+    if (p.size > contact.remaining) continue;
+    return id;
+  }
+  return std::nullopt;
+}
+
+void ProphetRouter::contact_end(Router& peer, Time now) {
+  Router::contact_end(peer, now);
+  plan_built_ = false;
+}
+
+PacketId ProphetRouter::choose_drop_victim(const Packet& /*incoming*/, Time now) {
+  PacketId victim = kNoPacket;
+  double lowest = 0;
+  buffer().for_each([&](PacketId id, Bytes /*size*/) {
+    const double p = predictability(ctx().packet(id).dst, now);
+    if (victim == kNoPacket || p < lowest) {
+      victim = id;
+      lowest = p;
+    }
+  });
+  return victim;
+}
+
+RouterFactory make_prophet_factory(const ProphetConfig& config, Bytes buffer_capacity) {
+  return [config, buffer_capacity](NodeId node, const SimContext& ctx) {
+    return std::make_unique<ProphetRouter>(node, buffer_capacity, &ctx, config);
+  };
+}
+
+}  // namespace rapid

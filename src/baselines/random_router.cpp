@@ -1,0 +1,91 @@
+#include "baselines/random_router.h"
+
+#include <algorithm>
+
+namespace rapid {
+
+RandomRouter::RandomRouter(NodeId self, Bytes buffer_capacity, const SimContext* ctx,
+                           const RandomConfig& config)
+    : Router(self, buffer_capacity, ctx), config_(config) {}
+
+Bytes RandomRouter::contact_begin(Router& peer, Time now, Bytes meta_budget) {
+  Router::contact_begin(peer, now, meta_budget);
+  plan_built_ = false;
+  if (config_.flood_acks) {
+    // Ack flooding is this variant's only control traffic; cap at budget.
+    const Bytes used = exchange_acks(peer, now);
+    return std::min(used, meta_budget);
+  }
+  return 0;
+}
+
+void RandomRouter::build_plan(Router& peer) {
+  plan_built_ = true;
+  direct_order_.clear();
+  direct_cursor_ = 0;
+  shuffled_.clear();
+  shuffle_cursor_ = 0;
+  buffer().for_each([&](PacketId id, Bytes /*size*/) {
+    const Packet& p = ctx().packet(id);
+    if (p.dst == peer.self()) {
+      direct_order_.push_back(id);
+    } else {
+      shuffled_.push_back(id);
+    }
+  });
+  // Oldest first for direct delivery; uniformly random replication order.
+  std::sort(direct_order_.begin(), direct_order_.end(), [&](PacketId a, PacketId b) {
+    return ctx().packet(a).created < ctx().packet(b).created;
+  });
+  rng().shuffle(shuffled_);
+}
+
+std::optional<PacketId> RandomRouter::next_transfer(const ContactContext& contact,
+                                                    Router& peer) {
+  if (!plan_built_) build_plan(peer);
+  while (direct_cursor_ < direct_order_.size()) {
+    const PacketId id = direct_order_[direct_cursor_];
+    ++direct_cursor_;
+    if (!buffer().contains(id) || peer.has_received(id) || contact_skipped(id)) continue;
+    if (ctx().packet(id).size > contact.remaining) continue;
+    return id;
+  }
+  while (shuffle_cursor_ < shuffled_.size()) {
+    const PacketId id = shuffled_[shuffle_cursor_];
+    ++shuffle_cursor_;
+    if (!buffer().contains(id)) continue;
+    const Packet& p = ctx().packet(id);
+    if (!peer_wants(peer, p)) continue;
+    if (p.size > contact.remaining) continue;
+    return id;
+  }
+  return std::nullopt;
+}
+
+void RandomRouter::on_transfer_success(const Packet& p, Router& /*peer*/,
+                                       ReceiveOutcome outcome, Time now) {
+  if (config_.flood_acks && (outcome == ReceiveOutcome::kDelivered ||
+                             outcome == ReceiveOutcome::kDuplicateDelivery)) {
+    learn_ack(p.id, now);
+  }
+}
+
+void RandomRouter::contact_end(Router& peer, Time now) {
+  Router::contact_end(peer, now);
+  plan_built_ = false;
+}
+
+PacketId RandomRouter::choose_drop_victim(const Packet& /*incoming*/, Time /*now*/) {
+  const std::vector<PacketId> ids = buffer().packet_ids();
+  if (ids.empty()) return kNoPacket;
+  return ids[static_cast<std::size_t>(
+      rng().uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1))];
+}
+
+RouterFactory make_random_factory(const RandomConfig& config, Bytes buffer_capacity) {
+  return [config, buffer_capacity](NodeId node, const SimContext& ctx) {
+    return std::make_unique<RandomRouter>(node, buffer_capacity, &ctx, config);
+  };
+}
+
+}  // namespace rapid

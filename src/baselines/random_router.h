@@ -1,0 +1,46 @@
+// Random replication (§6.1): "replicates randomly chosen packets for the
+// duration of the transfer opportunity." Packets destined to the peer are
+// delivered first (all compared protocols do direct delivery).
+//
+// The `flood_acks` variant is the Fig 14 ablation "Random with acks":
+// delivery acknowledgments propagate at every contact and purge delivered
+// copies from buffers.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dtn/router.h"
+
+namespace rapid {
+
+struct RandomConfig {
+  bool flood_acks = false;
+};
+
+class RandomRouter : public Router {
+ public:
+  RandomRouter(NodeId self, Bytes buffer_capacity, const SimContext* ctx,
+               const RandomConfig& config);
+
+  Bytes contact_begin(Router& peer, Time now, Bytes meta_budget) override;
+  std::optional<PacketId> next_transfer(const ContactContext& contact, Router& peer) override;
+  void on_transfer_success(const Packet& p, Router& peer, ReceiveOutcome outcome,
+                           Time now) override;
+  void contact_end(Router& peer, Time now) override;
+  PacketId choose_drop_victim(const Packet& incoming, Time now) override;
+
+ private:
+  RandomConfig config_;
+  bool plan_built_ = false;
+  std::vector<PacketId> direct_order_;
+  std::size_t direct_cursor_ = 0;
+  std::vector<PacketId> shuffled_;
+  std::size_t shuffle_cursor_ = 0;
+
+  void build_plan(Router& peer);
+};
+
+RouterFactory make_random_factory(const RandomConfig& config, Bytes buffer_capacity);
+
+}  // namespace rapid

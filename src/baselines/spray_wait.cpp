@@ -1,0 +1,115 @@
+#include "baselines/spray_wait.h"
+
+#include <algorithm>
+
+namespace rapid {
+
+SprayWaitRouter::SprayWaitRouter(NodeId self, Bytes buffer_capacity, const SimContext* ctx,
+                                 const SprayWaitConfig& config)
+    : Router(self, buffer_capacity, ctx), config_(config) {
+  if (config.initial_copies < 1)
+    throw std::invalid_argument("SprayWaitRouter: initial_copies < 1");
+}
+
+int SprayWaitRouter::copies_of(PacketId id) const {
+  auto it = copies_.find(id);
+  return it == copies_.end() ? 0 : it->second;
+}
+
+bool SprayWaitRouter::on_generate(const Packet& p) {
+  if (!Router::on_generate(p)) return false;
+  copies_[p.id] = config_.initial_copies;
+  return true;
+}
+
+void SprayWaitRouter::on_stored(const Packet& p, NodeId /*from*/, std::int64_t aux,
+                                Time /*now*/) {
+  copies_[p.id] = static_cast<int>(std::max<std::int64_t>(1, aux));
+}
+
+void SprayWaitRouter::on_dropped(const Packet& p, Time /*now*/) { copies_.erase(p.id); }
+void SprayWaitRouter::on_acked(const Packet& p, Time /*now*/) { copies_.erase(p.id); }
+
+Bytes SprayWaitRouter::contact_begin(Router& peer, Time now, Bytes meta_budget) {
+  Router::contact_begin(peer, now, meta_budget);
+  plan_built_ = false;
+  return 0;
+}
+
+void SprayWaitRouter::build_plan(Router& peer) {
+  plan_built_ = true;
+  direct_order_.clear();
+  direct_cursor_ = 0;
+  spray_order_.clear();
+  spray_cursor_ = 0;
+  buffer().for_each([&](PacketId id, Bytes /*size*/) {
+    const Packet& p = ctx().packet(id);
+    if (p.dst == peer.self()) {
+      direct_order_.push_back(id);
+    } else if (copies_of(id) > 1) {
+      spray_order_.push_back(id);  // wait phase (1 copy) never replicates
+    }
+  });
+  auto oldest_first = [&](PacketId a, PacketId b) {
+    return ctx().packet(a).created < ctx().packet(b).created;
+  };
+  std::sort(direct_order_.begin(), direct_order_.end(), oldest_first);
+  std::sort(spray_order_.begin(), spray_order_.end(), oldest_first);
+}
+
+std::optional<PacketId> SprayWaitRouter::next_transfer(const ContactContext& contact,
+                                                       Router& peer) {
+  if (!plan_built_) build_plan(peer);
+  while (direct_cursor_ < direct_order_.size()) {
+    const PacketId id = direct_order_[direct_cursor_];
+    ++direct_cursor_;
+    if (!buffer().contains(id) || peer.has_received(id) || contact_skipped(id)) continue;
+    if (ctx().packet(id).size > contact.remaining) continue;
+    return id;
+  }
+  while (spray_cursor_ < spray_order_.size()) {
+    const PacketId id = spray_order_[spray_cursor_];
+    ++spray_cursor_;
+    if (!buffer().contains(id) || copies_of(id) <= 1) continue;
+    const Packet& p = ctx().packet(id);
+    if (!peer_wants(peer, p)) continue;
+    if (p.size > contact.remaining) continue;
+    return id;
+  }
+  return std::nullopt;
+}
+
+std::int64_t SprayWaitRouter::transfer_aux(const Packet& p, Router& /*peer*/) {
+  // Binary spray: hand over half the copies.
+  return copies_of(p.id) / 2;
+}
+
+void SprayWaitRouter::on_transfer_success(const Packet& p, Router& /*peer*/,
+                                          ReceiveOutcome outcome, Time /*now*/) {
+  if (outcome != ReceiveOutcome::kStored) return;
+  auto it = copies_.find(p.id);
+  if (it == copies_.end()) return;
+  it->second -= it->second / 2;  // keep the ceiling half
+  if (it->second < 1) it->second = 1;
+}
+
+void SprayWaitRouter::contact_end(Router& peer, Time now) {
+  Router::contact_end(peer, now);
+  plan_built_ = false;
+}
+
+PacketId SprayWaitRouter::choose_drop_victim(const Packet& /*incoming*/, Time /*now*/) {
+  // §6.3.2: "Spray and Wait and Random deletes packets randomly."
+  const std::vector<PacketId> ids = buffer().packet_ids();
+  if (ids.empty()) return kNoPacket;
+  return ids[static_cast<std::size_t>(
+      rng().uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1))];
+}
+
+RouterFactory make_spray_wait_factory(const SprayWaitConfig& config, Bytes buffer_capacity) {
+  return [config, buffer_capacity](NodeId node, const SimContext& ctx) {
+    return std::make_unique<SprayWaitRouter>(node, buffer_capacity, &ctx, config);
+  };
+}
+
+}  // namespace rapid

@@ -1,0 +1,56 @@
+// Binary Spray and Wait [Spyropoulos et al. 2005], as configured in §6.1:
+// every packet starts with L = 12 logical copies at its source ("set based on
+// consultation with authors and LEMMA 4.3 in [30] with a = 4"). A node
+// holding c > 1 copies hands floor(c/2) to a node without the packet (spray);
+// a node holding a single copy waits to deliver it directly (wait).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dtn/router.h"
+
+namespace rapid {
+
+struct SprayWaitConfig {
+  int initial_copies = 12;
+};
+
+class SprayWaitRouter : public Router {
+ public:
+  SprayWaitRouter(NodeId self, Bytes buffer_capacity, const SimContext* ctx,
+                  const SprayWaitConfig& config);
+
+  bool on_generate(const Packet& p) override;
+  Bytes contact_begin(Router& peer, Time now, Bytes meta_budget) override;
+  std::optional<PacketId> next_transfer(const ContactContext& contact, Router& peer) override;
+  std::int64_t transfer_aux(const Packet& p, Router& peer) override;
+  void on_transfer_success(const Packet& p, Router& peer, ReceiveOutcome outcome,
+                           Time now) override;
+  void contact_end(Router& peer, Time now) override;
+  PacketId choose_drop_victim(const Packet& incoming, Time now) override;
+
+  int copies_of(PacketId id) const;
+
+ protected:
+  void on_stored(const Packet& p, NodeId from, std::int64_t aux, Time now) override;
+  void on_dropped(const Packet& p, Time now) override;
+  void on_acked(const Packet& p, Time now) override;
+
+ private:
+  SprayWaitConfig config_;
+  std::unordered_map<PacketId, int> copies_;
+
+  bool plan_built_ = false;
+  std::vector<PacketId> direct_order_;
+  std::size_t direct_cursor_ = 0;
+  std::vector<PacketId> spray_order_;
+  std::size_t spray_cursor_ = 0;
+
+  void build_plan(Router& peer);
+};
+
+RouterFactory make_spray_wait_factory(const SprayWaitConfig& config, Bytes buffer_capacity);
+
+}  // namespace rapid

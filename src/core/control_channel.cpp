@@ -1,0 +1,38 @@
+#include "core/control_channel.h"
+
+#include <algorithm>
+
+namespace rapid {
+
+const std::vector<NodeId> GlobalChannel::kEmpty;
+
+const char* to_string(ControlChannelMode mode) {
+  switch (mode) {
+    case ControlChannelMode::kInBand: return "in-band";
+    case ControlChannelMode::kLocalOnly: return "local-only";
+    case ControlChannelMode::kGlobalOracle: return "global-oracle";
+  }
+  return "?";
+}
+
+void GlobalChannel::add_holder(PacketId id, NodeId node) {
+  auto& v = holders_[id];
+  if (std::find(v.begin(), v.end(), node) == v.end()) v.push_back(node);
+}
+
+void GlobalChannel::remove_holder(PacketId id, NodeId node) {
+  auto it = holders_.find(id);
+  if (it == holders_.end()) return;
+  auto& v = it->second;
+  v.erase(std::remove(v.begin(), v.end(), node), v.end());
+  if (v.empty()) holders_.erase(it);
+}
+
+void GlobalChannel::mark_delivered(PacketId id) { delivered_.insert(id); }
+
+const std::vector<NodeId>& GlobalChannel::holders(PacketId id) const {
+  auto it = holders_.find(id);
+  return it == holders_.end() ? kEmpty : it->second;
+}
+
+}  // namespace rapid

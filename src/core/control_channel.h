@@ -1,0 +1,46 @@
+// Control-channel plumbing for RAPID (§4.2, §6.2.3, §6.2.6).
+//
+// Three modes:
+//   kInBand      — the deployed protocol: metadata rides the transfer
+//                  opportunity (delta-encoded, budget-capped) and is
+//                  therefore delayed and possibly stale.
+//   kLocalOnly   — the "rapid-local" ablation of Fig 14: nodes exchange
+//                  metadata about only the packets in their own buffers
+//                  (no relaying of third-party replica information).
+//   kGlobalOracle— the instant global channel of §6.2.3 (hybrid DTN upper
+//                  bound): replica locations, meeting rows and delivery
+//                  acknowledgments are visible everywhere immediately and
+//                  cost no in-band bandwidth.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/types.h"
+
+namespace rapid {
+
+enum class ControlChannelMode { kInBand, kLocalOnly, kGlobalOracle };
+
+const char* to_string(ControlChannelMode mode);
+
+// Shared state implementing the instant global channel. One instance is
+// shared by every RAPID router in a simulation.
+class GlobalChannel {
+ public:
+  void add_holder(PacketId id, NodeId node);
+  void remove_holder(PacketId id, NodeId node);
+  void mark_delivered(PacketId id);
+
+  bool is_delivered(PacketId id) const { return delivered_.count(id) != 0; }
+  // Current true holder set (never stale).
+  const std::vector<NodeId>& holders(PacketId id) const;
+
+ private:
+  std::unordered_map<PacketId, std::vector<NodeId>> holders_;
+  std::unordered_set<PacketId> delivered_;
+  static const std::vector<NodeId> kEmpty;
+};
+
+}  // namespace rapid

@@ -1,0 +1,82 @@
+#include "core/dag_delay.h"
+
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace rapid {
+namespace {
+
+struct Replica {
+  std::size_t node;
+  std::size_t position;  // 0 = head of queue
+};
+
+class DagSolver {
+ public:
+  DagSolver(const QueueSnapshot& snapshot, double horizon, std::size_t bins)
+      : snapshot_(snapshot), horizon_(horizon), bins_(bins) {
+    for (std::size_t n = 0; n < snapshot.queues.size(); ++n) {
+      for (std::size_t k = 0; k < snapshot.queues[n].size(); ++k) {
+        replicas_[snapshot.queues[n][k]].push_back(Replica{n, k});
+      }
+    }
+  }
+
+  DagDelayResult solve() {
+    DagDelayResult result;
+    for (const auto& [id, reps] : replicas_) {
+      const DiscreteDist& d = packet_dist(id);
+      result.distribution.emplace(id, d);
+      result.expected_delay.emplace(id, d.mean());
+    }
+    return result;
+  }
+
+ private:
+  const QueueSnapshot& snapshot_;
+  double horizon_;
+  std::size_t bins_;
+  std::unordered_map<PacketId, std::vector<Replica>> replicas_;
+  std::unordered_map<PacketId, DiscreteDist> memo_;
+  std::unordered_map<PacketId, bool> in_progress_;
+
+  DiscreteDist never() const { return DiscreteDist(horizon_, bins_); }  // all-zero CDF
+
+  DiscreteDist meet_dist(std::size_t node) const {
+    const double lambda = snapshot_.meeting_rate[node];
+    if (lambda <= 0) return never();
+    return DiscreteDist::exponential(lambda, horizon_, bins_);
+  }
+
+  const DiscreteDist& packet_dist(PacketId id) {
+    auto it = memo_.find(id);
+    if (it != memo_.end()) return it->second;
+    if (in_progress_[id])
+      throw std::logic_error("dag_delay: cycle in dependency graph");
+    in_progress_[id] = true;
+
+    std::optional<DiscreteDist> best;
+    for (const Replica& r : replicas_.at(id)) {
+      DiscreteDist contrib = meet_dist(r.node);
+      if (r.position > 0) {
+        const PacketId succ = snapshot_.queues[r.node][r.position - 1];
+        contrib = packet_dist(succ).convolve(contrib);
+      }
+      best = best.has_value() ? best->min_with(contrib) : contrib;
+    }
+    in_progress_[id] = false;
+    auto [pos, inserted] = memo_.emplace(id, best.value_or(never()));
+    return pos->second;
+  }
+};
+
+}  // namespace
+
+DagDelayResult dag_delay(const QueueSnapshot& snapshot, double horizon, std::size_t bins) {
+  if (snapshot.queues.size() != snapshot.meeting_rate.size())
+    throw std::invalid_argument("dag_delay: size mismatch");
+  return DagSolver(snapshot, horizon, bins).solve();
+}
+
+}  // namespace rapid

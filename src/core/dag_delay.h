@@ -1,0 +1,33 @@
+// DAG_DELAY (paper Appendix C): the idealized delay estimator that keeps the
+// non-vertical dependency edges Estimate Delay ignores.
+//
+// Packets destined to a common node Z sit in per-node queues. The delivery
+// delay of a replica of p at node n is d(succ) ⊕ e_n — the full (min-)
+// distribution of the packet ahead of it, convolved with n's inter-meeting
+// distribution — and d(p) is the minimum over p's replicas. Queue heads have
+// d' = e_n. Transfer opportunities are unit-sized (one packet per meeting),
+// exactly the assumption under which the paper defines the dependency graph.
+//
+// Distributions are discretized CDF grids (stats/discrete_dist.h), so ⊕ is a
+// convolution and min composes survival functions.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/delay_estimator.h"
+#include "stats/discrete_dist.h"
+#include "util/types.h"
+
+namespace rapid {
+
+struct DagDelayResult {
+  std::unordered_map<PacketId, DiscreteDist> distribution;
+  std::unordered_map<PacketId, double> expected_delay;
+};
+
+// `snapshot.packet_size` / `snapshot.opportunity` are ignored: the dependency
+// graph is defined for unit-sized opportunities (Appendix C notes it is no
+// longer valid otherwise).
+DagDelayResult dag_delay(const QueueSnapshot& snapshot, double horizon, std::size_t bins);
+
+}  // namespace rapid

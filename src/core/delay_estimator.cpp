@@ -1,0 +1,83 @@
+#include "core/delay_estimator.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rapid {
+
+std::size_t meetings_needed(Bytes bytes_ahead, Bytes packet_size, Bytes expected_opportunity) {
+  if (bytes_ahead < 0 || packet_size <= 0)
+    throw std::invalid_argument("meetings_needed: bad sizes");
+  if (expected_opportunity <= 0) return std::numeric_limits<std::size_t>::max();
+  const Bytes total = bytes_ahead + packet_size;
+  const Bytes n = (total + expected_opportunity - 1) / expected_opportunity;
+  return static_cast<std::size_t>(n < 1 ? 1 : n);
+}
+
+std::size_t meetings_needed_literal(Bytes bytes_ahead, Bytes expected_opportunity) {
+  if (bytes_ahead < 0) throw std::invalid_argument("meetings_needed_literal: bad sizes");
+  if (expected_opportunity <= 0) return std::numeric_limits<std::size_t>::max();
+  return static_cast<std::size_t>((bytes_ahead + expected_opportunity - 1) /
+                                  expected_opportunity);
+}
+
+double direct_delivery_delay(std::size_t meetings, Time expected_meeting_time) {
+  if (expected_meeting_time == kTimeInfinity ||
+      meetings == std::numeric_limits<std::size_t>::max())
+    return kTimeInfinity;
+  if (expected_meeting_time < 0)
+    throw std::invalid_argument("direct_delivery_delay: negative meeting time");
+  return expected_meeting_time * static_cast<double>(meetings);
+}
+
+double combined_rate(const std::vector<double>& direct_delays) {
+  double rate = 0;
+  for (double d : direct_delays) {
+    if (d == kTimeInfinity) continue;
+    if (d <= 0) throw std::invalid_argument("combined_rate: non-positive delay");
+    rate += 1.0 / d;
+  }
+  return rate;
+}
+
+double expected_delay_from_rate(double rate) {
+  if (rate <= 0) return kTimeInfinity;
+  return 1.0 / rate;
+}
+
+double delivery_probability_from_rate(double rate, double within) {
+  if (within <= 0 || rate <= 0) return 0;
+  return 1.0 - std::exp(-rate * within);
+}
+
+std::unordered_map<PacketId, double> estimate_delay_snapshot(const QueueSnapshot& snapshot) {
+  if (snapshot.queues.size() != snapshot.meeting_rate.size())
+    throw std::invalid_argument("estimate_delay_snapshot: size mismatch");
+
+  // Gather, per packet, the direct delays of all its replicas (Step 2), then
+  // combine via the exponential approximation (Step 3).
+  std::unordered_map<PacketId, double> rate_sum;
+  for (std::size_t node = 0; node < snapshot.queues.size(); ++node) {
+    const double lambda = snapshot.meeting_rate[node];
+    Bytes ahead = 0;
+    for (PacketId id : snapshot.queues[node]) {
+      const std::size_t n = meetings_needed(ahead, snapshot.packet_size, snapshot.opportunity);
+      if (lambda > 0) {
+        const double d = direct_delivery_delay(n, 1.0 / lambda);
+        if (d != kTimeInfinity && d > 0) rate_sum[id] += 1.0 / d;
+        else rate_sum.try_emplace(id, 0.0);
+      } else {
+        rate_sum.try_emplace(id, 0.0);
+      }
+      ahead += snapshot.packet_size;
+    }
+  }
+
+  std::unordered_map<PacketId, double> out;
+  out.reserve(rate_sum.size());
+  for (const auto& [id, rate] : rate_sum) out[id] = expected_delay_from_rate(rate);
+  return out;
+}
+
+}  // namespace rapid

@@ -1,0 +1,111 @@
+#include "core/meeting_matrix.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rapid {
+
+MeetingMatrix::MeetingMatrix(NodeId owner, int num_nodes, int max_hops)
+    : owner_(owner), num_nodes_(num_nodes), max_hops_(max_hops) {
+  if (owner < 0 || owner >= num_nodes)
+    throw std::invalid_argument("MeetingMatrix: owner out of range");
+  if (max_hops < 1) throw std::invalid_argument("MeetingMatrix: max_hops < 1");
+  rows_.assign(static_cast<std::size_t>(num_nodes),
+               std::vector<Time>(static_cast<std::size_t>(num_nodes), kTimeInfinity));
+  stamps_.assign(static_cast<std::size_t>(num_nodes), -kTimeInfinity);
+  last_met_.assign(static_cast<std::size_t>(num_nodes), 0.0);
+  meet_count_.assign(static_cast<std::size_t>(num_nodes), 0);
+}
+
+void MeetingMatrix::observe_meeting(NodeId peer, Time now) {
+  if (peer < 0 || peer >= num_nodes_ || peer == owner_)
+    throw std::invalid_argument("MeetingMatrix::observe_meeting: bad peer");
+  auto& count = meet_count_[static_cast<std::size_t>(peer)];
+  auto& last = last_met_[static_cast<std::size_t>(peer)];
+  const Time gap = now - last;  // first gap measured from time 0
+  Time& cell = rows_[static_cast<std::size_t>(owner_)][static_cast<std::size_t>(peer)];
+  if (count == 0) {
+    cell = gap;
+  } else {
+    cell += (gap - cell) / static_cast<double>(count + 1);
+  }
+  ++count;
+  last = now;
+  stamps_[static_cast<std::size_t>(owner_)] = now;
+  dirty_ = true;
+}
+
+bool MeetingMatrix::merge_row(NodeId node, const std::vector<Time>& row, Time stamp) {
+  if (node < 0 || node >= num_nodes_)
+    throw std::invalid_argument("MeetingMatrix::merge_row: bad node");
+  if (node == owner_) return false;  // never overwrite own observations
+  if (row.size() != static_cast<std::size_t>(num_nodes_))
+    throw std::invalid_argument("MeetingMatrix::merge_row: row size mismatch");
+  if (stamp <= stamps_[static_cast<std::size_t>(node)]) return false;
+  rows_[static_cast<std::size_t>(node)] = row;
+  stamps_[static_cast<std::size_t>(node)] = stamp;
+  dirty_ = true;
+  return true;
+}
+
+const std::vector<Time>& MeetingMatrix::own_row() const {
+  return rows_[static_cast<std::size_t>(owner_)];
+}
+
+const std::vector<Time>& MeetingMatrix::row(NodeId node) const {
+  if (node < 0 || node >= num_nodes_)
+    throw std::invalid_argument("MeetingMatrix::row: bad node");
+  return rows_[static_cast<std::size_t>(node)];
+}
+
+Time MeetingMatrix::direct_mean(NodeId from, NodeId to) const {
+  if (from == to) return 0;
+  return rows_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+}
+
+void MeetingMatrix::recompute_hop_distances() const {
+  const auto n = static_cast<std::size_t>(num_nodes_);
+  hop_dist_ = rows_;
+  for (std::size_t u = 0; u < n; ++u) hop_dist_[u][u] = 0;
+  // max_hops - 1 double-buffered relaxation rounds extend paths one edge at
+  // a time: after round r, hop_dist_ holds the cheapest expected time using
+  // at most r+1 meetings (never more, matching the paper's h = 3 bound).
+  for (int round = 1; round < max_hops_; ++round) {
+    const std::vector<std::vector<Time>> prev = hop_dist_;
+    bool changed = false;
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t mid = 0; mid < n; ++mid) {
+        const Time leg = rows_[u][mid];
+        if (leg == kTimeInfinity) continue;
+        for (std::size_t v = 0; v < n; ++v) {
+          const Time rest = prev[mid][v];
+          if (rest == kTimeInfinity) continue;
+          const Time candidate = leg + rest;
+          if (candidate < hop_dist_[u][v]) {
+            hop_dist_[u][v] = candidate;
+            changed = true;
+          }
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  dirty_ = false;
+}
+
+Time MeetingMatrix::expected_meeting_time(NodeId from, NodeId to) const {
+  if (from < 0 || from >= num_nodes_ || to < 0 || to >= num_nodes_)
+    throw std::invalid_argument("MeetingMatrix::expected_meeting_time: bad node");
+  if (from == to) return 0;
+  if (dirty_) recompute_hop_distances();
+  return hop_dist_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+}
+
+int MeetingMatrix::peers_met() const {
+  int met = 0;
+  for (int count : meet_count_)
+    if (count > 0) ++met;
+  return met;
+}
+
+}  // namespace rapid

@@ -1,0 +1,64 @@
+// Inter-node meeting-time estimation (§4.1.2).
+//
+// Every node tabulates the average time to meet every other node from its
+// own meeting history, exchanges these rows as metadata, and estimates
+// E[M_XZ] as the expected time for X to meet Z in at most h hops (h = 3 in
+// the paper): if X never meets Z directly, the estimate is the cheapest sum
+// of expected pairwise meeting times along a path of at most h rows. Pairs
+// unreachable in h hops get infinity.
+#pragma once
+
+#include <vector>
+
+#include "util/types.h"
+
+namespace rapid {
+
+class MeetingMatrix {
+ public:
+  // `owner` is the node whose local view this is; `num_nodes` sizes the table.
+  MeetingMatrix(NodeId owner, int num_nodes, int max_hops = 3);
+
+  NodeId owner() const { return owner_; }
+  int num_nodes() const { return num_nodes_; }
+
+  // Record a direct meeting between the owner and `peer` at `now`. The
+  // running mean of inter-meeting gaps is the row entry; the first gap is
+  // measured from time 0, as the testbed implementation does.
+  void observe_meeting(NodeId peer, Time now);
+
+  // Merge another node's row (from metadata). Rows are versioned by `stamp`;
+  // stale rows are ignored. Returns true if the row was accepted.
+  bool merge_row(NodeId node, const std::vector<Time>& row, Time stamp);
+
+  // The owner's own averaged row and its freshness stamp.
+  const std::vector<Time>& own_row() const;
+  Time row_stamp(NodeId node) const { return stamps_[static_cast<std::size_t>(node)]; }
+  const std::vector<Time>& row(NodeId node) const;
+
+  // Direct average only (infinity if never seen in any known row).
+  Time direct_mean(NodeId from, NodeId to) const;
+
+  // E[M_{from,to}] within max_hops hops; infinity when unreachable.
+  Time expected_meeting_time(NodeId from, NodeId to) const;
+
+  // Number of finite entries in the owner's own row (how many peers it met).
+  int peers_met() const;
+
+ private:
+  NodeId owner_;
+  int num_nodes_;
+  int max_hops_;
+  // rows_[u][v] = u's averaged time to meet v, as most recently learnt.
+  std::vector<std::vector<Time>> rows_;
+  std::vector<Time> stamps_;
+  std::vector<Time> last_met_;   // owner's last direct meeting time per peer
+  std::vector<int> meet_count_;  // owner's direct meeting counts
+
+  mutable bool dirty_ = true;
+  mutable std::vector<std::vector<Time>> hop_dist_;  // cached h-hop all-pairs
+
+  void recompute_hop_distances() const;
+};
+
+}  // namespace rapid

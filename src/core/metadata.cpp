@@ -1,0 +1,65 @@
+#include "core/metadata.h"
+
+#include <algorithm>
+
+namespace rapid {
+
+const std::vector<ReplicaEstimate> MetadataStore::kEmpty;
+
+bool MetadataStore::update_replica(PacketId id, const ReplicaEstimate& estimate) {
+  PacketMetadata& meta = by_packet_[id];
+  for (ReplicaEstimate& existing : meta.replicas) {
+    if (existing.holder == estimate.holder) {
+      if (estimate.stamp <= existing.stamp) return false;
+      existing = estimate;
+      meta.last_changed = std::max(meta.last_changed, estimate.stamp);
+      return true;
+    }
+  }
+  meta.replicas.push_back(estimate);
+  meta.last_changed = std::max(meta.last_changed, estimate.stamp);
+  return true;
+}
+
+bool MetadataStore::remove_replica(PacketId id, NodeId holder, Time stamp) {
+  auto it = by_packet_.find(id);
+  if (it == by_packet_.end()) return false;
+  auto& replicas = it->second.replicas;
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    if (replicas[i].holder == holder) {
+      if (stamp <= replicas[i].stamp) return false;  // we have fresher info
+      replicas.erase(replicas.begin() + static_cast<std::ptrdiff_t>(i));
+      it->second.last_changed = std::max(it->second.last_changed, stamp);
+      return true;
+    }
+  }
+  return false;
+}
+
+void MetadataStore::forget_packet(PacketId id) { by_packet_.erase(id); }
+
+const PacketMetadata* MetadataStore::find(PacketId id) const {
+  auto it = by_packet_.find(id);
+  return it == by_packet_.end() ? nullptr : &it->second;
+}
+
+const std::vector<ReplicaEstimate>& MetadataStore::replicas(PacketId id) const {
+  auto it = by_packet_.find(id);
+  return it == by_packet_.end() ? kEmpty : it->second.replicas;
+}
+
+std::vector<std::pair<PacketId, const PacketMetadata*>> MetadataStore::changed_since(
+    Time since) const {
+  std::vector<std::pair<PacketId, const PacketMetadata*>> out;
+  for (const auto& [id, meta] : by_packet_) {
+    if (meta.last_changed > since) out.emplace_back(id, &meta);
+  }
+  return out;
+}
+
+Bytes MetadataStore::record_bytes(const PacketMetadata& meta) {
+  return kPacketRecordHeaderBytes +
+         kReplicaEntryBytes * static_cast<Bytes>(meta.replicas.size());
+}
+
+}  // namespace rapid

@@ -1,0 +1,71 @@
+// The per-node metadata view RAPID's control channel maintains (§4.2):
+// "For each encountered packet i, rapid maintains a list of nodes that carry
+// the replica of i, and for each replica, an estimated time for direct
+// delivery."
+//
+// Entries are versioned with timestamps so exchanges are delta-encoded: a
+// node only sends records that changed since its last exchange with that
+// peer, "which reduces the size of the exchange considerably."
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.h"
+
+namespace rapid {
+
+struct ReplicaEstimate {
+  NodeId holder = kNoNode;
+  double direct_delay = 0;  // holder's own estimate of its direct-delivery time
+  Time stamp = -kTimeInfinity;
+};
+
+struct PacketMetadata {
+  std::vector<ReplicaEstimate> replicas;
+  Time last_changed = -kTimeInfinity;
+};
+
+// Modeled wire sizes (bytes) for metadata accounting.
+inline constexpr Bytes kPacketRecordHeaderBytes = 8;  // packet id
+inline constexpr Bytes kReplicaEntryBytes = 8;        // holder id + delay estimate
+inline constexpr Bytes kAckEntryBytes = 8;
+inline constexpr Bytes kMeetingRowHeaderBytes = 4;
+inline constexpr Bytes kMeetingRowEntryBytes = 8;
+inline constexpr Bytes kScalarBytes = 8;  // e.g. average transfer size
+
+class MetadataStore {
+ public:
+  // Record (or refresh) a replica estimate; keeps the newest stamp per
+  // (packet, holder). Returns true if anything changed.
+  bool update_replica(PacketId id, const ReplicaEstimate& estimate);
+  // The holder no longer carries the packet (dropped it).
+  bool remove_replica(PacketId id, NodeId holder, Time stamp);
+  // Forget the packet entirely (it was acknowledged as delivered).
+  void forget_packet(PacketId id);
+
+  bool knows(PacketId id) const { return by_packet_.count(id) != 0; }
+  const PacketMetadata* find(PacketId id) const;
+  // Believed replicas of a packet (possibly stale — that is the point).
+  const std::vector<ReplicaEstimate>& replicas(PacketId id) const;
+  std::size_t packet_count() const { return by_packet_.size(); }
+
+  // Records changed since `since`, as (packet, metadata) pairs; used for the
+  // delta exchange. Order is unspecified.
+  std::vector<std::pair<PacketId, const PacketMetadata*>> changed_since(Time since) const;
+
+  // Wire size of one record.
+  static Bytes record_bytes(const PacketMetadata& meta);
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [id, meta] : by_packet_) fn(id, meta);
+  }
+
+ private:
+  std::unordered_map<PacketId, PacketMetadata> by_packet_;
+  static const std::vector<ReplicaEstimate> kEmpty;
+};
+
+}  // namespace rapid

@@ -1,0 +1,490 @@
+#include "core/rapid_router.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/delay_estimator.h"
+
+namespace rapid {
+
+RapidRouter::RapidRouter(NodeId self, Bytes buffer_capacity, const SimContext* ctx,
+                         const RapidConfig& config, std::shared_ptr<GlobalChannel> global)
+    : Router(self, buffer_capacity, ctx),
+      config_(config),
+      matrix_(self, ctx->num_nodes, config.max_hops),
+      global_(std::move(global)) {
+  if (config_.control == ControlChannelMode::kGlobalOracle && global_ == nullptr)
+    throw std::invalid_argument("RapidRouter: global-oracle mode needs a GlobalChannel");
+}
+
+// --- queue maintenance -------------------------------------------------------
+
+void RapidRouter::queue_insert(const Packet& p) {
+  auto& q = dest_queue_[p.dst];
+  const QueueEntry e{p.created, p.id, p.size};
+  q.insert(std::upper_bound(q.begin(), q.end(), e), e);
+}
+
+void RapidRouter::queue_erase(const Packet& p) {
+  auto it = dest_queue_.find(p.dst);
+  if (it == dest_queue_.end()) return;
+  auto& q = it->second;
+  const QueueEntry e{p.created, p.id, p.size};
+  auto pos = std::lower_bound(q.begin(), q.end(), e);
+  if (pos != q.end() && pos->id == p.id) q.erase(pos);
+  if (q.empty()) dest_queue_.erase(it);
+}
+
+Bytes RapidRouter::queue_bytes_ahead(const Packet& p, bool /*include_self_copy*/) const {
+  auto it = dest_queue_.find(p.dst);
+  if (it == dest_queue_.end()) return 0;
+  const auto& q = it->second;
+  const QueueEntry e{p.created, p.id, 0};
+  const auto pos = std::lower_bound(q.begin(), q.end(), e);
+  const auto idx = static_cast<std::size_t>(pos - q.begin());
+  // Fast path: per-experiment packets are uniform-sized (Table 4), so the
+  // prefix is idx * size; fall back to a scan for mixed sizes.
+  if (idx == 0) return 0;
+  const Bytes first = q.front().size;
+  bool uniform = true;
+  Bytes total = 0;
+  for (std::size_t i = 0; i < idx; ++i) {
+    if (q[i].size != first) {
+      uniform = false;
+      break;
+    }
+  }
+  if (uniform) return static_cast<Bytes>(idx) * first;
+  for (std::size_t i = 0; i < idx; ++i) total += q[i].size;
+  return total;
+}
+
+// --- inference ----------------------------------------------------------------
+
+double RapidRouter::effective_meeting_time(NodeId node) const {
+  if (node == self()) return 0;
+  const Time e = matrix_.expected_meeting_time(self(), node);
+  if (e == kTimeInfinity) return kTimeInfinity;  // unreachable within h hops
+  return std::max(e, 1.0);
+}
+
+Bytes RapidRouter::expected_opportunity(NodeId peer) const {
+  auto it = per_peer_opportunity_.find(peer);
+  if (it != per_peer_opportunity_.end() && !it->second.empty())
+    return std::max<Bytes>(1, static_cast<Bytes>(it->second.value()));
+  if (!avg_opportunity_.empty())
+    return std::max<Bytes>(1, static_cast<Bytes>(avg_opportunity_.value()));
+  return config_.prior_opportunity_bytes;
+}
+
+double RapidRouter::self_direct_delay(const Packet& p) const {
+  const Bytes ahead = queue_bytes_ahead(p, false);
+  const std::size_t n = meetings_needed(ahead, p.size, expected_opportunity(p.dst));
+  return direct_delivery_delay(n, effective_meeting_time(p.dst));
+}
+
+double RapidRouter::direct_delay_if_stored(const Packet& p) const {
+  // Position the packet would take in this node's destination queue
+  // (insertion by age keeps the delivered-oldest-first order).
+  const Bytes ahead = queue_bytes_ahead(p, false);
+  const std::size_t n = meetings_needed(ahead, p.size, expected_opportunity(p.dst));
+  return direct_delivery_delay(n, effective_meeting_time(p.dst));
+}
+
+double RapidRouter::replica_rate(const Packet& p) const {
+  double rate = 0;
+  if (config_.control == ControlChannelMode::kGlobalOracle) {
+    for (NodeId holder : global_->holders(p.id)) {
+      const Router* r = (*ctx().routers)[static_cast<std::size_t>(holder)];
+      const auto* rr = dynamic_cast<const RapidRouter*>(r);
+      if (rr == nullptr) continue;
+      const double d = rr->self_direct_delay(p);
+      if (d > 0 && d != kTimeInfinity) rate += 1.0 / d;
+    }
+    return rate;
+  }
+  if (buffer().contains(p.id)) {
+    const double d = self_direct_delay(p);
+    if (d > 0 && d != kTimeInfinity) rate += 1.0 / d;
+  }
+  for (const ReplicaEstimate& est : meta_.replicas(p.id)) {
+    if (est.holder == self()) continue;  // always use the fresh self term
+    if (est.direct_delay > 0 && est.direct_delay != kTimeInfinity)
+      rate += 1.0 / est.direct_delay;
+  }
+  return rate;
+}
+
+double RapidRouter::expected_total_delay_of(const Packet& p, Time now) const {
+  return expected_total_delay(p.age(now), replica_rate(p), config_.utility);
+}
+
+double RapidRouter::utility_of(const Packet& p, Time now) const {
+  return packet_utility(config_.metric, replica_rate(p), p.age(now),
+                        p.deadline == kTimeInfinity ? kTimeInfinity : p.deadline - now,
+                        config_.utility);
+}
+
+double RapidRouter::marginal_for(const Packet& p, RapidRouter* rapid_peer, Router& peer,
+                                 Time now) const {
+  double d_new = kTimeInfinity;
+  if (rapid_peer != nullptr) {
+    d_new = rapid_peer->direct_delay_if_stored(p);
+  } else {
+    // Non-RAPID peer (mixed-protocol runs): fall back to our own matrix view
+    // of the peer's meeting time and an empty-queue assumption.
+    const Time e = matrix_.expected_meeting_time(peer.self(), p.dst);
+    const double eff = (e == kTimeInfinity) ? kTimeInfinity : std::max(e, 1.0);
+    d_new = direct_delivery_delay(meetings_needed(0, p.size, expected_opportunity(p.dst)), eff);
+  }
+  const double remaining =
+      p.deadline == kTimeInfinity ? kTimeInfinity : p.deadline - now;
+  return marginal_utility(config_.metric, replica_rate(p), d_new, p.age(now), remaining,
+                          config_.utility);
+}
+
+// --- lifecycle hooks -----------------------------------------------------------
+
+bool RapidRouter::on_generate(const Packet& p) {
+  if (!Router::on_generate(p)) return false;
+  queue_insert(p);
+  meta_.update_replica(p.id, ReplicaEstimate{self(), self_direct_delay(p), p.created});
+  if (global_ != nullptr) global_->add_holder(p.id, self());
+  return true;
+}
+
+void RapidRouter::on_stored(const Packet& p, NodeId /*from*/, std::int64_t /*aux*/,
+                            Time now) {
+  queue_insert(p);
+  meta_.update_replica(p.id, ReplicaEstimate{self(), self_direct_delay(p), now});
+  if (global_ != nullptr) global_->add_holder(p.id, self());
+}
+
+void RapidRouter::on_dropped(const Packet& p, Time now) {
+  queue_erase(p);
+  meta_.remove_replica(p.id, self(), now);
+  if (global_ != nullptr) global_->remove_holder(p.id, self());
+}
+
+void RapidRouter::on_acked(const Packet& p, Time /*now*/) {
+  queue_erase(p);
+  meta_.forget_packet(p.id);
+  if (global_ != nullptr) global_->remove_holder(p.id, self());
+}
+
+void RapidRouter::on_delivered_here(const Packet& p, Time now) {
+  if (config_.control != ControlChannelMode::kGlobalOracle) return;
+  // Instant global acknowledgment: every node purges its copy immediately.
+  global_->mark_delivered(p.id);
+  for (Router* r : *ctx().routers) {
+    if (r == nullptr || r == this) continue;
+    if (auto* rr = dynamic_cast<RapidRouter*>(r)) rr->learn_ack(p.id, now);
+  }
+}
+
+// --- contact protocol -----------------------------------------------------------
+
+void RapidRouter::observe_opportunity(Bytes capacity, NodeId peer, Time now) {
+  (void)now;
+  // A contact that carried no bytes is not a transfer-opportunity sample;
+  // folding zeros into B would wildly inflate the meeting counts of Alg. 2.
+  if (capacity <= 0) return;
+  avg_opportunity_.add(static_cast<double>(capacity));
+  per_peer_opportunity_[peer].add(static_cast<double>(capacity));
+}
+
+void RapidRouter::broadcast_own_row(Time now) {
+  for (Router* r : *ctx().routers) {
+    if (r == nullptr || r == this) continue;
+    if (auto* rr = dynamic_cast<RapidRouter*>(r))
+      rr->matrix_.merge_row(self(), matrix_.own_row(), now);
+  }
+}
+
+Bytes RapidRouter::contact_begin(Router& peer, Time now, Bytes meta_budget) {
+  Router::contact_begin(peer, now, meta_budget);
+  contact_active_ = false;  // plan is rebuilt lazily on first next_transfer
+  matrix_.observe_meeting(peer.self(), now);
+
+  if (config_.control == ControlChannelMode::kGlobalOracle) {
+    broadcast_own_row(now);
+    return 0;  // the global channel is out of band
+  }
+  auto* rapid_peer = dynamic_cast<RapidRouter*>(&peer);
+  if (rapid_peer == nullptr) return 0;
+  return exchange_metadata(*rapid_peer, now, meta_budget);
+}
+
+Bytes RapidRouter::exchange_metadata(RapidRouter& peer, Time now, Bytes budget) {
+  Bytes used = 0;
+  const auto fits = [&](Bytes cost) { return used + cost <= budget; };
+  const auto finish = [&]() -> Bytes {
+    last_sync_[peer.self()] = now;
+    return used;
+  };
+
+  // Priority 1: scalar — average size of past transfer opportunities.
+  if (fits(kScalarBytes)) used += kScalarBytes;
+
+  // Priority 2: delivery acknowledgments (delta: only those the peer lacks).
+  for (const auto& [id, when] : acks()) {
+    if (peer.knows_ack(id)) continue;
+    if (!fits(kAckEntryBytes)) break;
+    used += kAckEntryBytes;
+    peer.learn_ack(id, when);
+  }
+
+  // Priority 3: meeting-time rows changed since the last exchange with this
+  // peer (own observations and relayed rows alike).
+  const Time since = [&] {
+    auto it = last_sync_.find(peer.self());
+    return it == last_sync_.end() ? -kTimeInfinity : it->second;
+  }();
+  for (NodeId u = 0; u < matrix_.num_nodes(); ++u) {
+    if (u == peer.self()) continue;
+    const Time stamp = matrix_.row_stamp(u);
+    if (stamp <= since) continue;
+    const auto& row = matrix_.row(u);
+    Bytes finite = 0;
+    for (Time t : row)
+      if (t != kTimeInfinity) ++finite;
+    const Bytes cost = kMeetingRowHeaderBytes + kMeetingRowEntryBytes * finite;
+    if (!fits(cost)) break;
+    used += cost;
+    peer.matrix_.merge_row(u, row, stamp);
+  }
+
+  // Priorities 4 and 5: fresh estimates for our own buffered packets and
+  // relayed third-party records changed since the last exchange, freshest
+  // first, bounded by the relay budget (see RapidConfig). rapid-local mode
+  // only ever describes this node's own buffer.
+  const Bytes relay_budget =
+      used + static_cast<Bytes>(config_.relay_budget_fraction * static_cast<double>(budget));
+  const auto relay_fits = [&](Bytes cost) {
+    return used + cost <= std::min(relay_budget, budget);
+  };
+
+  // Own-buffer estimates first ("for each of its own packets, the updated
+  // delivery delay estimate based on current buffer state").
+  for (const auto& [dst, queue] : dest_queue_) {
+    (void)dst;
+    for (const QueueEntry& entry : queue) {
+      const Packet& p = ctx().packet(entry.id);
+      const Bytes cost = kPacketRecordHeaderBytes + kReplicaEntryBytes;
+      if (!relay_fits(cost)) return finish();
+      used += cost;
+      peer.meta_.update_replica(p.id,
+                                ReplicaEstimate{self(), self_direct_delay(p), now});
+    }
+  }
+
+  // Then relayed records ("information about other packets if modified
+  // since last exchange with the peer"), freshest change first.
+  if (config_.control == ControlChannelMode::kInBand) {
+    auto changed = meta_.changed_since(since);
+    std::stable_sort(changed.begin(), changed.end(), [](const auto& a, const auto& b) {
+      return a.second->last_changed > b.second->last_changed;
+    });
+    for (const auto& [id, record] : changed) {
+      if (peer.knows_ack(id)) continue;
+      if (buffer().contains(id)) continue;  // covered above
+      const Bytes cost = MetadataStore::record_bytes(*record);
+      if (!relay_fits(cost)) return finish();
+      used += cost;
+      for (const ReplicaEstimate& est : record->replicas) {
+        if (est.holder == peer.self()) continue;
+        peer.meta_.update_replica(id, est);
+      }
+    }
+  }
+
+  return finish();
+}
+
+void RapidRouter::build_contact_plan(const ContactContext& contact, Router& peer) {
+  contact_active_ = true;
+  direct_order_.clear();
+  direct_cursor_ = 0;
+  replication_order_.clear();
+  replication_cursor_ = 0;
+  auto* rapid_peer = dynamic_cast<RapidRouter*>(&peer);
+  const Time now = contact.now;
+
+  // Step 2 — direct delivery, "in decreasing order of their utility":
+  // oldest-first for the delay metrics (the order the per-destination queue
+  // already maintains), most-urgent-viable-first for the deadline metric.
+  auto qit = dest_queue_.find(peer.self());
+  if (qit != dest_queue_.end()) {
+    for (const QueueEntry& e : qit->second) direct_order_.push_back(e.id);
+    if (config_.metric == RoutingMetric::kMissedDeadlines) {
+      std::stable_sort(direct_order_.begin(), direct_order_.end(),
+                       [&](PacketId a, PacketId b) {
+                         const Packet& pa = ctx().packet(a);
+                         const Packet& pb = ctx().packet(b);
+                         const bool va = pa.deadline > now;
+                         const bool vb = pb.deadline > now;
+                         if (va != vb) return va;  // viable packets first
+                         if (va) return pa.deadline < pb.deadline;  // most urgent first
+                         return pa.created < pb.created;
+                       });
+    }
+  }
+
+  // Step 3 — replication candidates scored once per contact. Replicating a
+  // packet only changes that packet's own utility, so a single descending
+  // order is work-conserving (see DESIGN.md). Candidates whose marginal
+  // utility is zero (no known path to the destination yet, Eq. 1's
+  // infinity - infinity case) form a second tier ordered by fewest believed
+  // replicas, so spare bandwidth is still used rather than idled.
+  replication_order_.reserve(buffer().count());
+  std::vector<Candidate> fallback;
+  buffer().for_each([&](PacketId id, Bytes /*size*/) {
+    const Packet& p = ctx().packet(id);
+    if (p.dst == peer.self()) return;  // handled by direct delivery
+    if (knows_ack(id)) return;
+    if (!peer_wants(peer, p)) return;
+    if (config_.metric == RoutingMetric::kMissedDeadlines && p.deadline <= now)
+      return;  // Eq. 2: a missed deadline contributes nothing
+    const double marginal = marginal_for(p, rapid_peer, peer, now);
+    Candidate c;
+    c.id = id;
+    if (marginal <= 0) {
+      const double replicas = 1.0 + static_cast<double>(meta_.replicas(id).size());
+      c.score = 1.0 / replicas - p.created * 1e-12;  // fewest replicas, then oldest
+      fallback.push_back(c);
+      return;
+    }
+    if (config_.metric == RoutingMetric::kMaxDelay) {
+      // Eq. 3: only the packet with the maximum expected delay has utility;
+      // evaluating in decreasing D(i) is the paper's work-conserving rule.
+      c.score = expected_total_delay_of(p, now);
+    } else {
+      c.score = marginal / static_cast<double>(p.size);
+    }
+    replication_order_.push_back(c);
+  });
+  const auto by_score_desc = [](const Candidate& a, const Candidate& b) {
+    return a.score > b.score;
+  };
+  std::stable_sort(replication_order_.begin(), replication_order_.end(), by_score_desc);
+  std::stable_sort(fallback.begin(), fallback.end(), by_score_desc);
+  replication_order_.insert(replication_order_.end(), fallback.begin(), fallback.end());
+}
+
+std::optional<PacketId> RapidRouter::next_transfer(const ContactContext& contact,
+                                                   Router& peer) {
+  if (!contact_active_) build_contact_plan(contact, peer);
+
+  // Direct delivery first.
+  while (direct_cursor_ < direct_order_.size()) {
+    const PacketId id = direct_order_[direct_cursor_];
+    ++direct_cursor_;
+    if (!buffer().contains(id)) continue;
+    const Packet& p = ctx().packet(id);
+    if (peer.has_received(id) || contact_skipped(id)) continue;
+    if (p.size > contact.remaining) continue;
+    return id;
+  }
+
+  // Then replication in decreasing marginal utility per byte.
+  while (replication_cursor_ < replication_order_.size()) {
+    const Candidate c = replication_order_[replication_cursor_];
+    ++replication_cursor_;
+    if (!buffer().contains(c.id)) continue;  // dropped or acked mid-contact
+    const Packet& p = ctx().packet(c.id);
+    if (!peer_wants(peer, p)) continue;
+    if (p.size > contact.remaining) continue;
+    return c.id;
+  }
+  return std::nullopt;
+}
+
+void RapidRouter::on_transfer_success(const Packet& p, Router& peer, ReceiveOutcome outcome,
+                                      Time now) {
+  if (outcome == ReceiveOutcome::kDelivered || outcome == ReceiveOutcome::kDuplicateDelivery) {
+    if (config_.control != ControlChannelMode::kGlobalOracle) {
+      // We are talking to the destination: learn the ack right away.
+      learn_ack(p.id, now);
+    }
+    return;
+  }
+  if (outcome != ReceiveOutcome::kStored) return;
+  auto* rapid_peer = dynamic_cast<RapidRouter*>(&peer);
+  if (rapid_peer != nullptr && config_.control != ControlChannelMode::kGlobalOracle) {
+    // Track the new replica and hand the packet's known replica list to the
+    // receiver (it travels with the packet; full in-band mode only). Refresh
+    // our own estimate first so the receiver gets current buffer state.
+    meta_.update_replica(p.id, ReplicaEstimate{self(), self_direct_delay(p), now});
+    meta_.update_replica(p.id,
+                         ReplicaEstimate{peer.self(), rapid_peer->self_direct_delay(p), now});
+    if (config_.control == ControlChannelMode::kInBand) {
+      for (const ReplicaEstimate& est : meta_.replicas(p.id)) {
+        if (est.holder == peer.self()) continue;
+        rapid_peer->meta_.update_replica(p.id, est);
+      }
+    }
+  }
+}
+
+void RapidRouter::contact_end(Router& peer, Time now) {
+  Router::contact_end(peer, now);
+  contact_active_ = false;
+  direct_order_.clear();
+  replication_order_.clear();
+}
+
+PacketId RapidRouter::choose_drop_victim(const Packet& incoming, Time now) {
+  // Keep-priority per metric: drop the packet that contributes least to the
+  // routing metric (§3.4: "packets with the lowest utility are deleted
+  // first"); a source never drops its own unacknowledged packet.
+  const auto keep_priority = [&](const Packet& p) -> double {
+    // For the incoming (not yet stored) packet, include the self term it
+    // would gain by being stored here, so the comparison is like for like.
+    double rate = replica_rate(p);
+    if (!buffer().contains(p.id)) {
+      const double d = direct_delay_if_stored(p);
+      if (d > 0 && d != kTimeInfinity) rate += 1.0 / d;
+    }
+    switch (config_.metric) {
+      case RoutingMetric::kAvgDelay:
+        return -expected_total_delay(p.age(now), rate, config_.utility);
+      case RoutingMetric::kMissedDeadlines: {
+        if (p.deadline <= now) return -1e18 + p.created;  // expired: drop first, oldest first
+        return packet_utility(config_.metric, rate, p.age(now), p.deadline - now,
+                              config_.utility);
+      }
+      case RoutingMetric::kMaxDelay:
+        // Minimizing the max delay wants old packets kept; drop low-D first.
+        return expected_total_delay(p.age(now), rate, config_.utility);
+    }
+    return 0;
+  };
+
+  PacketId victim = kNoPacket;
+  double victim_priority = 0;
+  buffer().for_each([&](PacketId id, Bytes /*size*/) {
+    const Packet& p = ctx().packet(id);
+    if (p.src == self()) return;  // own un-acked packets are protected
+    const double priority = keep_priority(p);
+    if (victim == kNoPacket || priority < victim_priority) {
+      victim = id;
+      victim_priority = priority;
+    }
+  });
+  if (victim == kNoPacket) return kNoPacket;
+  // If the incoming packet would itself be the least useful, reject it.
+  if (incoming.src != self() && keep_priority(incoming) <= victim_priority) return kNoPacket;
+  return victim;
+}
+
+RouterFactory make_rapid_factory(const RapidConfig& config, Bytes buffer_capacity,
+                                 std::shared_ptr<GlobalChannel> global) {
+  return [config, buffer_capacity, global](NodeId node, const SimContext& ctx) {
+    std::shared_ptr<GlobalChannel> channel = global;
+    if (config.control == ControlChannelMode::kGlobalOracle && channel == nullptr)
+      throw std::invalid_argument("make_rapid_factory: global mode without channel");
+    return std::make_unique<RapidRouter>(node, buffer_capacity, &ctx, config, channel);
+  };
+}
+
+}  // namespace rapid

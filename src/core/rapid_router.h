@@ -1,0 +1,141 @@
+// The RAPID router: Protocol rapid(X, Y) of §3.4 with the inference
+// algorithm of §4 and the control channel of §4.2.
+//
+// At a transfer opportunity the router:
+//   1. exchanges metadata (acks, meeting-time rows, replica lists with
+//      direct-delivery estimates, average opportunity sizes) under the
+//      metadata budget;
+//   2. delivers packets destined to the peer, highest utility first;
+//   3. replicates packets in decreasing marginal utility per byte
+//      delta(U_i) / s_i, skipping packets the peer already holds;
+//   4. stops when the opportunity is exhausted.
+//
+// Expected delays come from Estimate Delay (core/delay_estimator.h) applied
+// to the router's (possibly stale) metadata view; meeting times come from
+// the <= 3-hop meeting matrix (core/meeting_matrix.h).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/control_channel.h"
+#include "core/meeting_matrix.h"
+#include "core/metadata.h"
+#include "core/utility.h"
+#include "dtn/router.h"
+#include "stats/moments.h"
+
+namespace rapid {
+
+struct RapidConfig {
+  RoutingMetric metric = RoutingMetric::kAvgDelay;
+  ControlChannelMode control = ControlChannelMode::kInBand;
+  int max_hops = 3;  // paper restricts the meeting-time estimate to h = 3
+  UtilityParams utility;
+  // Reserved scale for "no information yet": destinations unreachable within
+  // h hops contribute zero marginal utility (§4.1.2 sets their expected
+  // meeting time to infinity); such packets are replicated last, with spare
+  // bandwidth only (work conservation). This knob only anchors reporting of
+  // capped delays in diagnostics.
+  double prior_meeting_time = 6.0 * kSecondsPerHour;
+  // Bound on the per-contact replica-estimate/record exchange (priorities 4
+  // and 5 of the control channel) as a fraction of the metadata budget,
+  // freshest records first. Keeps the control channel at the few-percent
+  // overhead the paper reports (Table 3, Fig 9) instead of letting the
+  // relay grow with the total packet population.
+  double relay_budget_fraction = 0.05;
+  // Prior for the expected transfer-opportunity size before any is observed.
+  Bytes prior_opportunity_bytes = 100_KB;
+};
+
+class RapidRouter : public Router {
+ public:
+  RapidRouter(NodeId self, Bytes buffer_capacity, const SimContext* ctx,
+              const RapidConfig& config, std::shared_ptr<GlobalChannel> global = nullptr);
+
+  const RapidConfig& config() const { return config_; }
+  const MeetingMatrix& matrix() const { return matrix_; }
+  const MetadataStore& metadata() const { return meta_; }
+
+  // --- Router interface -----------------------------------------------------
+  bool on_generate(const Packet& p) override;
+  void observe_opportunity(Bytes capacity, NodeId peer, Time now) override;
+  Bytes contact_begin(Router& peer, Time now, Bytes meta_budget) override;
+  std::optional<PacketId> next_transfer(const ContactContext& contact, Router& peer) override;
+  void on_transfer_success(const Packet& p, Router& peer, ReceiveOutcome outcome,
+                           Time now) override;
+  void contact_end(Router& peer, Time now) override;
+  PacketId choose_drop_victim(const Packet& incoming, Time now) override;
+
+  // --- Inference (exposed for tests and for peers during a contact) ---------
+  // This node's own direct-delivery delay estimate for a buffered packet.
+  double self_direct_delay(const Packet& p) const;
+  // Direct-delivery delay this node would have for `p` if it were
+  // replicated here now (position it would take in the destination queue).
+  double direct_delay_if_stored(const Packet& p) const;
+  // Believed rate sum over replicas (self fresh + metadata view / oracle).
+  double replica_rate(const Packet& p) const;
+  // D(i) = T(i) + A(i) under the current view.
+  double expected_total_delay_of(const Packet& p, Time now) const;
+  // Expected inter-meeting time with `node` (<= h hops, prior-substituted).
+  double effective_meeting_time(NodeId node) const;
+  Bytes expected_opportunity(NodeId peer) const;
+
+ protected:
+  void on_stored(const Packet& p, NodeId from, std::int64_t aux, Time now) override;
+  void on_dropped(const Packet& p, Time now) override;
+  void on_acked(const Packet& p, Time now) override;
+  void on_delivered_here(const Packet& p, Time now) override;
+
+ private:
+  struct Candidate {
+    PacketId id = kNoPacket;
+    double score = 0;  // delta(U)/s, or D(i) for the max-delay metric
+  };
+
+  RapidConfig config_;
+  MeetingMatrix matrix_;
+  MetadataStore meta_;
+  std::shared_ptr<GlobalChannel> global_;
+  std::unordered_map<NodeId, Time> last_sync_;
+  MovingAverage avg_opportunity_;                         // all peers
+  std::unordered_map<NodeId, MovingAverage> per_peer_opportunity_;
+
+  // Destination-sorted queues: per destination, (created, id, size) ascending
+  // by age rank — front is oldest, i.e. delivered first (§4.1).
+  struct QueueEntry {
+    Time created;
+    PacketId id;
+    Bytes size;
+    bool operator<(const QueueEntry& o) const {
+      return created != o.created ? created < o.created : id < o.id;
+    }
+  };
+  std::unordered_map<NodeId, std::vector<QueueEntry>> dest_queue_;
+
+  // Per-contact cached orderings (the candidate set is stable within a
+  // contact; see DESIGN.md on work conservation).
+  bool contact_active_ = false;
+  std::vector<PacketId> direct_order_;
+  std::size_t direct_cursor_ = 0;
+  std::vector<Candidate> replication_order_;
+  std::size_t replication_cursor_ = 0;
+
+  void queue_insert(const Packet& p);
+  void queue_erase(const Packet& p);
+  Bytes queue_bytes_ahead(const Packet& p, bool include_self_copy) const;
+
+  Bytes exchange_metadata(RapidRouter& peer, Time now, Bytes budget);
+  void build_contact_plan(const ContactContext& contact, Router& peer);
+  double marginal_for(const Packet& p, RapidRouter* rapid_peer, Router& peer, Time now) const;
+  double utility_of(const Packet& p, Time now) const;
+  void broadcast_own_row(Time now);
+};
+
+// Convenience factory for the experiment harness.
+RouterFactory make_rapid_factory(const RapidConfig& config, Bytes buffer_capacity,
+                                 std::shared_ptr<GlobalChannel> global = nullptr);
+
+}  // namespace rapid

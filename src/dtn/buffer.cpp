@@ -1,0 +1,43 @@
+#include "dtn/buffer.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace rapid {
+
+bool Buffer::insert(PacketId id, Bytes size) {
+  if (size < 0) throw std::invalid_argument("Buffer::insert: negative size");
+  if (contains(id)) return false;
+  if (!fits(size)) return false;
+  sizes_.emplace(id, size);
+  used_ += size;
+  return true;
+}
+
+bool Buffer::erase(PacketId id) {
+  auto it = sizes_.find(id);
+  if (it == sizes_.end()) return false;
+  used_ -= it->second;
+  sizes_.erase(it);
+  return true;
+}
+
+Bytes Buffer::free_bytes() const {
+  if (capacity_ < 0) return std::numeric_limits<Bytes>::max();
+  return capacity_ - used_;
+}
+
+Bytes Buffer::size_of(PacketId id) const {
+  auto it = sizes_.find(id);
+  if (it == sizes_.end()) throw std::out_of_range("Buffer::size_of: not buffered");
+  return it->second;
+}
+
+std::vector<PacketId> Buffer::packet_ids() const {
+  std::vector<PacketId> out;
+  out.reserve(sizes_.size());
+  for (const auto& [id, size] : sizes_) out.push_back(id);
+  return out;
+}
+
+}  // namespace rapid

@@ -1,0 +1,48 @@
+// A node's in-transit packet store with a byte capacity (§3.1: "limited
+// storage ... only storage for in-transit data is limited").
+//
+// The buffer enforces the capacity invariant; *which* packet to evict is a
+// routing-protocol decision and lives in Router::choose_drop_victim.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.h"
+
+namespace rapid {
+
+class Buffer {
+ public:
+  // capacity < 0 means unlimited.
+  explicit Buffer(Bytes capacity = -1) : capacity_(capacity) {}
+
+  bool contains(PacketId id) const { return sizes_.count(id) != 0; }
+  // Inserts if it fits; returns false (and stores nothing) otherwise.
+  bool insert(PacketId id, Bytes size);
+  // Removes the packet; returns false if absent.
+  bool erase(PacketId id);
+
+  bool fits(Bytes size) const { return capacity_ < 0 || used_ + size <= capacity_; }
+  Bytes used() const { return used_; }
+  Bytes capacity() const { return capacity_; }
+  Bytes free_bytes() const;
+  std::size_t count() const { return sizes_.size(); }
+  bool empty() const { return sizes_.empty(); }
+  Bytes size_of(PacketId id) const;
+
+  // Stable snapshot of buffered packet ids (unspecified order).
+  std::vector<PacketId> packet_ids() const;
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [id, size] : sizes_) fn(id, size);
+  }
+
+ private:
+  Bytes capacity_;
+  Bytes used_ = 0;
+  std::unordered_map<PacketId, Bytes> sizes_;
+};
+
+}  // namespace rapid

@@ -1,0 +1,88 @@
+#include "dtn/contact.h"
+
+#include <algorithm>
+
+namespace rapid {
+
+ContactStats run_contact(Router& x, Router& y, const Meeting& meeting, int meeting_index,
+                         const ContactConfig& config, const PacketPool& pool,
+                         MetricsCollector& metrics) {
+  ContactStats stats;
+  Bytes budget = meeting.capacity;
+
+  x.observe_opportunity(meeting.capacity, y.self(), meeting.time);
+  y.observe_opportunity(meeting.capacity, x.self(), meeting.time);
+
+  // --- Step 1: metadata exchange -------------------------------------------
+  Bytes meta_budget = budget;
+  if (config.metadata_cap_fraction >= 0) {
+    meta_budget = std::min<Bytes>(
+        budget, static_cast<Bytes>(config.metadata_cap_fraction *
+                                   static_cast<double>(meeting.capacity)));
+  }
+  const Bytes used_x = std::min(x.contact_begin(y, meeting.time, meta_budget), meta_budget);
+  const Bytes used_y =
+      std::min(y.contact_begin(x, meeting.time, meta_budget - used_x), meta_budget - used_x);
+  stats.metadata_bytes = used_x + used_y;
+  metrics.record_metadata(stats.metadata_bytes);
+  if (config.charge_metadata) budget -= stats.metadata_bytes;
+
+  // --- Steps 2-3: direct delivery and replication, alternating sides -------
+  ContactContext ctx_x{y.self(), meeting.time, budget, meeting_index};
+  ContactContext ctx_y{x.self(), meeting.time, budget, meeting_index};
+  bool x_done = false;
+  bool y_done = false;
+  bool x_turn = true;
+  while (budget > 0 && !(x_done && y_done)) {
+    const bool use_x = x_turn ? !x_done : y_done;
+    Router& sender = use_x ? x : y;
+    Router& receiver = use_x ? y : x;
+    ContactContext& ctx = use_x ? ctx_x : ctx_y;
+    bool& done = use_x ? x_done : y_done;
+    x_turn = !x_turn;
+
+    ctx.remaining = budget;
+    const std::optional<PacketId> pid = sender.next_transfer(ctx, receiver);
+    if (!pid.has_value()) {
+      done = true;
+      continue;
+    }
+    const Packet& p = pool.get(*pid);
+    if (p.size > budget) {
+      // The protocol offered something that no longer fits; this side is done.
+      done = true;
+      continue;
+    }
+
+    const std::int64_t aux = sender.transfer_aux(p, receiver);
+    // The copy crosses the air: the bytes are spent whatever the outcome.
+    budget -= p.size;
+    stats.data_bytes += p.size;
+    metrics.record_data_transfer(p.size);
+    ++stats.transfers;
+
+    const ReceiveOutcome outcome = receiver.receive_copy(p, sender, aux, meeting.time);
+    switch (outcome) {
+      case ReceiveOutcome::kDelivered:
+        metrics.record_delivery(p.id, meeting.time);
+        ++stats.deliveries;
+        sender.on_transfer_success(p, receiver, outcome, meeting.time);
+        break;
+      case ReceiveOutcome::kDuplicateDelivery:
+      case ReceiveOutcome::kStored:
+        sender.on_transfer_success(p, receiver, outcome, meeting.time);
+        break;
+      case ReceiveOutcome::kDuplicate:
+      case ReceiveOutcome::kRejected:
+        // Make sure the sender cannot spin on the same packet.
+        sender.on_transfer_failed(p, receiver, meeting.time);
+        break;
+    }
+  }
+
+  x.contact_end(y, meeting.time);
+  y.contact_end(x, meeting.time);
+  return stats;
+}
+
+}  // namespace rapid

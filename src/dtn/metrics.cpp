@@ -1,0 +1,95 @@
+#include "dtn/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rapid {
+
+double SimResult::delay_of(const Packet& p) const {
+  const Time t = delivery_time.at(static_cast<std::size_t>(p.id));
+  if (t == kTimeInfinity) return kTimeInfinity;
+  return t - p.created;
+}
+
+bool SimResult::is_delivered(PacketId id) const {
+  return delivery_time.at(static_cast<std::size_t>(id)) != kTimeInfinity;
+}
+
+void MetricsCollector::begin(const PacketPool& pool, const MeetingSchedule& schedule) {
+  delivery_time_.assign(pool.size(), kTimeInfinity);
+  data_bytes_ = 0;
+  metadata_bytes_ = 0;
+  capacity_bytes_ = schedule.total_capacity();
+  meetings_ = schedule.size();
+  drops_ = 0;
+  ack_purges_ = 0;
+}
+
+void MetricsCollector::record_delivery(PacketId id, Time when) {
+  auto& slot = delivery_time_.at(static_cast<std::size_t>(id));
+  if (slot != kTimeInfinity)
+    throw std::logic_error("MetricsCollector: duplicate delivery recorded");
+  slot = when;
+}
+
+void MetricsCollector::record_drop(NodeId /*node*/) { ++drops_; }
+void MetricsCollector::record_ack_purge(NodeId /*node*/) { ++ack_purges_; }
+
+bool MetricsCollector::is_delivered(PacketId id) const {
+  return delivery_time_.at(static_cast<std::size_t>(id)) != kTimeInfinity;
+}
+
+Time MetricsCollector::delivery_time(PacketId id) const {
+  return delivery_time_.at(static_cast<std::size_t>(id));
+}
+
+SimResult MetricsCollector::finalize(const PacketPool& pool, Time end_time) const {
+  SimResult r;
+  r.total_packets = pool.size();
+  r.delivery_time = delivery_time_;
+  r.data_bytes = data_bytes_;
+  r.metadata_bytes = metadata_bytes_;
+  r.capacity_bytes = capacity_bytes_;
+  r.meetings = meetings_;
+  r.drops = drops_;
+  r.ack_purges = ack_purges_;
+
+  double delay_sum = 0;
+  double delay_sum_all = 0;
+  double max_delay = 0;
+  std::size_t within_deadline = 0;
+  for (const Packet& p : pool.all()) {
+    const Time t = delivery_time_[static_cast<std::size_t>(p.id)];
+    if (t != kTimeInfinity) {
+      const double d = t - p.created;
+      ++r.delivered;
+      delay_sum += d;
+      delay_sum_all += d;
+      max_delay = std::max(max_delay, d);
+      if (t <= p.deadline) ++within_deadline;
+    } else {
+      delay_sum_all += std::max(0.0, end_time - p.created);
+    }
+  }
+  if (r.total_packets > 0) {
+    r.delivery_rate = static_cast<double>(r.delivered) / static_cast<double>(r.total_packets);
+    r.deadline_rate =
+        static_cast<double>(within_deadline) / static_cast<double>(r.total_packets);
+    r.avg_delay_with_undelivered = delay_sum_all / static_cast<double>(r.total_packets);
+  }
+  if (r.delivered > 0) r.avg_delay = delay_sum / static_cast<double>(r.delivered);
+  r.max_delay = max_delay;
+
+  if (r.capacity_bytes > 0) {
+    r.channel_utilization = static_cast<double>(r.data_bytes + r.metadata_bytes) /
+                            static_cast<double>(r.capacity_bytes);
+    r.metadata_over_capacity =
+        static_cast<double>(r.metadata_bytes) / static_cast<double>(r.capacity_bytes);
+  }
+  if (r.data_bytes > 0)
+    r.metadata_over_data =
+        static_cast<double>(r.metadata_bytes) / static_cast<double>(r.data_bytes);
+  return r;
+}
+
+}  // namespace rapid

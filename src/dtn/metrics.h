@@ -1,0 +1,72 @@
+// Per-run measurement: delivery events, byte accounting, and the aggregate
+// quantities the paper's figures plot.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dtn/packet.h"
+#include "dtn/schedule.h"
+#include "util/types.h"
+
+namespace rapid {
+
+// Aggregates for one simulated day (§6.1: each day is an independent
+// experiment; undelivered packets at day end are lost).
+struct SimResult {
+  std::size_t total_packets = 0;
+  std::size_t delivered = 0;
+  double delivery_rate = 0;
+
+  double avg_delay = 0;              // delivered packets only (Figs 4, 16, 19, 22)
+  double avg_delay_with_undelivered = 0;  // undelivered charged residence time (Fig 13)
+  double max_delay = 0;              // delivered packets only (Figs 6, 17, 20, 23)
+  double deadline_rate = 0;          // delivered within per-packet deadline / total
+
+  Bytes data_bytes = 0;
+  Bytes metadata_bytes = 0;
+  Bytes capacity_bytes = 0;          // sum of transfer-opportunity sizes
+  double channel_utilization = 0;    // (data + metadata) / capacity
+  double metadata_over_capacity = 0; // Table 3 row "Meta-data size/bandwidth"
+  double metadata_over_data = 0;     // Table 3 row "Meta-data size/data size"
+
+  std::size_t drops = 0;
+  std::size_t ack_purges = 0;
+  std::size_t meetings = 0;
+
+  // delivery_time[id] = absolute delivery time, or kTimeInfinity.
+  std::vector<Time> delivery_time;
+
+  // Helpers over the raw per-packet data.
+  double delay_of(const Packet& p) const;  // infinity if undelivered
+  bool is_delivered(PacketId id) const;
+};
+
+class MetricsCollector {
+ public:
+  void begin(const PacketPool& pool, const MeetingSchedule& schedule);
+
+  void record_delivery(PacketId id, Time when);
+  void record_data_transfer(Bytes bytes) { data_bytes_ += bytes; }
+  void record_metadata(Bytes bytes) { metadata_bytes_ += bytes; }
+  void record_drop(NodeId node);
+  void record_ack_purge(NodeId node);
+
+  bool is_delivered(PacketId id) const;
+  Time delivery_time(PacketId id) const;
+
+  // Builds the aggregate view; `end_time` is the day end used to charge
+  // undelivered packets their in-system residence time.
+  SimResult finalize(const PacketPool& pool, Time end_time) const;
+
+ private:
+  std::vector<Time> delivery_time_;
+  Bytes data_bytes_ = 0;
+  Bytes metadata_bytes_ = 0;
+  Bytes capacity_bytes_ = 0;
+  std::size_t meetings_ = 0;
+  std::size_t drops_ = 0;
+  std::size_t ack_purges_ = 0;
+};
+
+}  // namespace rapid

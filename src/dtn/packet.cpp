@@ -1,0 +1,5 @@
+#include "dtn/packet.h"
+
+// Packet and PacketPool are header-only; this translation unit anchors the
+// library target.
+namespace rapid {}

@@ -1,0 +1,49 @@
+// The paper's workload model (§3.1): a packet is a tuple
+// (source, destination, size, creation time); we add the absolute deadline
+// used by the "maximize packets delivered within a deadline" metric.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/types.h"
+
+namespace rapid {
+
+struct Packet {
+  PacketId id = kNoPacket;
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  Bytes size = 0;
+  Time created = 0;
+  Time deadline = kTimeInfinity;  // absolute time; infinity when the metric ignores it
+
+  // Time since creation, the T(i) of Table 2.
+  Time age(Time now) const { return now - created; }
+  bool deadline_missed(Time now) const { return now >= deadline; }
+};
+
+// Owns every packet of an experiment; ids are dense indexes into the pool,
+// which lets per-packet simulator state live in flat vectors.
+class PacketPool {
+ public:
+  PacketId add(Packet p) {
+    p.id = static_cast<PacketId>(packets_.size());
+    packets_.push_back(p);
+    return p.id;
+  }
+
+  const Packet& get(PacketId id) const {
+    if (id < 0 || static_cast<std::size_t>(id) >= packets_.size())
+      throw std::out_of_range("PacketPool::get: bad id");
+    return packets_[static_cast<std::size_t>(id)];
+  }
+
+  std::size_t size() const { return packets_.size(); }
+  const std::vector<Packet>& all() const { return packets_; }
+
+ private:
+  std::vector<Packet> packets_;
+};
+
+}  // namespace rapid

@@ -1,0 +1,107 @@
+#include "dtn/router.h"
+
+#include "dtn/metrics.h"
+
+namespace rapid {
+
+Router::Router(NodeId self, Bytes buffer_capacity, const SimContext* ctx)
+    : self_(self),
+      buffer_(buffer_capacity),
+      ctx_(ctx),
+      rng_(0x5eedULL + static_cast<std::uint64_t>(self) * 0x9e3779b97f4a7c15ULL) {}
+
+bool Router::on_generate(const Packet& p) {
+  if (p.dst == self_) return false;  // degenerate; workload never produces this
+  return store_with_eviction(p, p.created);
+}
+
+void Router::observe_opportunity(Bytes /*capacity*/, NodeId /*peer*/, Time /*now*/) {}
+
+Bytes Router::contact_begin(Router& /*peer*/, Time /*now*/, Bytes /*meta_budget*/) {
+  skip_.clear();
+  return 0;
+}
+
+void Router::on_transfer_success(const Packet& /*p*/, Router& /*peer*/,
+                                 ReceiveOutcome /*outcome*/, Time /*now*/) {}
+
+void Router::on_transfer_failed(const Packet& p, Router& /*peer*/, Time /*now*/) {
+  skip_.insert(p.id);
+}
+
+ReceiveOutcome Router::receive_copy(const Packet& p, Router& from, std::int64_t aux,
+                                    Time now) {
+  if (p.dst == self_) {
+    if (!received_.insert(p.id).second) return ReceiveOutcome::kDuplicateDelivery;
+    // The destination has "sufficient capacity to store delivered packets"
+    // (§3.1); the copy does not occupy the in-transit buffer.
+    learn_ack(p.id, now);
+    on_delivered_here(p, now);
+    return ReceiveOutcome::kDelivered;
+  }
+  if (buffer_.contains(p.id)) return ReceiveOutcome::kDuplicate;
+  if (knows_ack(p.id)) return ReceiveOutcome::kDuplicate;  // already delivered elsewhere
+  if (!store_with_eviction(p, now)) return ReceiveOutcome::kRejected;
+  on_stored(p, from.self(), aux, now);
+  return ReceiveOutcome::kStored;
+}
+
+void Router::contact_end(Router& /*peer*/, Time /*now*/) { skip_.clear(); }
+
+std::int64_t Router::transfer_aux(const Packet& /*p*/, Router& /*peer*/) { return 0; }
+
+bool Router::peer_wants(const Router& peer, const Packet& p) const {
+  if (skip_.count(p.id) != 0) return false;
+  if (peer.buffer().contains(p.id)) return false;
+  if (peer.has_received(p.id)) return false;
+  if (knows_ack(p.id) || peer.knows_ack(p.id)) return false;
+  return true;
+}
+
+void Router::learn_ack(PacketId id, Time when) {
+  auto [it, inserted] = acked_.emplace(id, when);
+  if (!inserted) return;
+  if (buffer_.erase(id)) {
+    if (ctx_ != nullptr && ctx_->metrics != nullptr) ctx_->metrics->record_ack_purge(self_);
+  }
+  on_acked(ctx_->pool->get(id), when);
+}
+
+Bytes Router::exchange_acks(Router& peer, Time now) {
+  // Delta exchange: each side sends the entries the other lacks; 8 bytes per
+  // packet id on the wire.
+  std::vector<PacketId> to_peer;
+  for (const auto& [id, when] : acked_) {
+    if (!peer.knows_ack(id)) to_peer.push_back(id);
+  }
+  std::vector<PacketId> to_self;
+  for (const auto& [id, when] : peer.acked_) {
+    if (!knows_ack(id)) to_self.push_back(id);
+  }
+  for (PacketId id : to_peer) peer.learn_ack(id, now);
+  for (PacketId id : to_self) learn_ack(id, now);
+  return static_cast<Bytes>(8) * static_cast<Bytes>(to_peer.size() + to_self.size());
+}
+
+bool Router::store_with_eviction(const Packet& p, Time now) {
+  if (buffer_.insert(p.id, p.size)) return true;
+  if (buffer_.capacity() >= 0 && p.size > buffer_.capacity()) return false;
+  while (!buffer_.fits(p.size)) {
+    const PacketId victim = choose_drop_victim(p, now);
+    if (victim == kNoPacket) return false;
+    const Packet& vp = ctx_->pool->get(victim);
+    buffer_.erase(victim);
+    ++drops_;
+    if (ctx_->metrics != nullptr) ctx_->metrics->record_drop(self_);
+    on_dropped(vp, now);
+  }
+  return buffer_.insert(p.id, p.size);
+}
+
+void Router::on_stored(const Packet& /*p*/, NodeId /*from*/, std::int64_t /*aux*/,
+                       Time /*now*/) {}
+void Router::on_dropped(const Packet& /*p*/, Time /*now*/) {}
+void Router::on_acked(const Packet& /*p*/, Time /*now*/) {}
+void Router::on_delivered_here(const Packet& /*p*/, Time /*now*/) {}
+
+}  // namespace rapid

@@ -1,0 +1,167 @@
+// The routing-protocol contract.
+//
+// The engine owns one Router per node. At a meeting it runs the symmetric
+// contact protocol:
+//
+//   1. contact_begin on both sides — metadata / ack exchange, charged against
+//      the transfer opportunity;
+//   2. alternating next_transfer calls — each returns the packet that side
+//      wants to replicate (or deliver) next, recomputed per call so that
+//      utility-driven protocols stay work-conserving;
+//   3. receive_copy on the receiving side — enforces storage by asking the
+//      protocol for drop victims;
+//   4. contact_end on both sides.
+//
+// Routers may inspect the peer object during a contact (buffer membership,
+// queue state); this models the metadata both radios exchange at link-up and
+// is the standard device in DTN simulators.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dtn/buffer.h"
+#include "dtn/packet.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace rapid {
+
+class Router;
+class MetricsCollector;
+
+// Engine services visible to routers. Deliberately narrow: no access to the
+// future schedule (only the offline Optimal router is constructed with it).
+struct SimContext {
+  const PacketPool* pool = nullptr;
+  MetricsCollector* metrics = nullptr;
+  // All routers, indexed by node; used only by oracle modes (instant global
+  // control channel) and by tests.
+  std::vector<Router*>* routers = nullptr;
+  int num_nodes = 0;
+
+  const Packet& packet(PacketId id) const { return pool->get(id); }
+};
+
+struct ContactContext {
+  NodeId peer = kNoNode;
+  Time now = 0;
+  Bytes remaining = 0;     // bytes left in this transfer opportunity
+  int meeting_index = -1;  // position of this meeting in the schedule
+};
+
+enum class ReceiveOutcome {
+  kDelivered,          // this node is the destination, first arrival
+  kDuplicateDelivery,  // destination already had it
+  kStored,             // accepted into the buffer
+  kDuplicate,          // already buffered (sender should have known)
+  kRejected,           // no room even after eviction policy ran
+};
+
+class Router {
+ public:
+  Router(NodeId self, Bytes buffer_capacity, const SimContext* ctx);
+  virtual ~Router() = default;
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  NodeId self() const { return self_; }
+  Buffer& buffer() { return buffer_; }
+  const Buffer& buffer() const { return buffer_; }
+  const SimContext& ctx() const { return *ctx_; }
+
+  // --- protocol hooks -------------------------------------------------------
+
+  // Application created a packet at this node. Default: store it (evicting
+  // per policy if needed); returns false if the packet could not be stored.
+  virtual bool on_generate(const Packet& p);
+
+  // Called by the engine at every meeting, before contact_begin, with the
+  // size of the transfer opportunity; protocols that track "average size of
+  // past transfers" (RAPID Alg. 2 step 3, MaxProp's threshold) observe here.
+  virtual void observe_opportunity(Bytes capacity, NodeId peer, Time now);
+
+  // Start of a contact. `meta_budget` caps the metadata bytes this side may
+  // send (Fig 8 experiments); return the metadata bytes actually used.
+  virtual Bytes contact_begin(Router& peer, Time now, Bytes meta_budget);
+
+  // The next packet this side wants to push to `peer`, or nullopt when done.
+  // Must not return packets in contact_skip(); must re-evaluate utilities on
+  // every call (work conservation).
+  virtual std::optional<PacketId> next_transfer(const ContactContext& contact,
+                                                Router& peer) = 0;
+
+  // Sender-side notification after a successful transfer.
+  virtual void on_transfer_success(const Packet& p, Router& peer, ReceiveOutcome outcome,
+                                   Time now);
+  // Sender-side notification that `peer` rejected the packet (no room); the
+  // base class adds it to the contact skip set.
+  virtual void on_transfer_failed(const Packet& p, Router& peer, Time now);
+
+  // Receiver-side entry point; implements delivery/duplicate/storage
+  // mechanics and calls choose_drop_victim as required.
+  virtual ReceiveOutcome receive_copy(const Packet& p, Router& from, std::int64_t aux,
+                                      Time now);
+
+  virtual void contact_end(Router& peer, Time now);
+
+  // Protocol-specific extra word carried with a transfer (e.g. Spray and
+  // Wait's token count). Called right before the copy crosses.
+  virtual std::int64_t transfer_aux(const Packet& p, Router& peer);
+
+  // Eviction policy: which buffered packet to drop to make room for
+  // `incoming` (kNoPacket = refuse to drop anything, rejecting the packet).
+  virtual PacketId choose_drop_victim(const Packet& incoming, Time now) = 0;
+
+  // --- shared state helpers -------------------------------------------------
+
+  bool has_received(PacketId id) const { return received_.count(id) != 0; }
+  bool knows_ack(PacketId id) const { return acked_.count(id) != 0; }
+  const std::unordered_map<PacketId, Time>& acks() const { return acked_; }
+  std::size_t drops() const { return drops_; }
+
+  // True if `peer` could use a copy of p: peer is not known (to us or to it)
+  // to have the packet already.
+  bool peer_wants(const Router& peer, const Packet& p) const;
+  bool contact_skipped(PacketId id) const { return skip_.count(id) != 0; }
+
+ protected:
+  // Learn that packet `id` was delivered at `when`; purges the buffered copy.
+  void learn_ack(PacketId id, Time when);
+  // Flood-style ack exchange with the peer; returns modeled metadata bytes
+  // (8 bytes per ack entry new to the other side). Used by protocols that
+  // propagate delivery notifications.
+  Bytes exchange_acks(Router& peer, Time now);
+
+  // Receiver-side storage with eviction; returns true if stored.
+  bool store_with_eviction(const Packet& p, Time now);
+
+  // Hooks for derived classes to maintain per-copy state.
+  virtual void on_stored(const Packet& p, NodeId from, std::int64_t aux, Time now);
+  virtual void on_dropped(const Packet& p, Time now);
+  virtual void on_acked(const Packet& p, Time now);
+  virtual void on_delivered_here(const Packet& p, Time now);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  NodeId self_;
+  Buffer buffer_;
+  const SimContext* ctx_;
+  Rng rng_;
+  std::unordered_set<PacketId> received_;   // delivered to this node (we are dst)
+  std::unordered_map<PacketId, Time> acked_;  // known-delivered packets
+  std::unordered_set<PacketId> skip_;       // rejected during the current contact
+  std::size_t drops_ = 0;
+};
+
+// Factory the engine uses to build one router per node.
+using RouterFactory = std::function<std::unique_ptr<Router>(NodeId, const SimContext&)>;
+
+}  // namespace rapid

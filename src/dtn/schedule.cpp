@@ -1,0 +1,32 @@
+#include "dtn/schedule.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rapid {
+
+void MeetingSchedule::add(NodeId a, NodeId b, Time t, Bytes capacity) {
+  if (a == b) throw std::invalid_argument("MeetingSchedule::add: self meeting");
+  if (a < 0 || b < 0 || a >= num_nodes || b >= num_nodes)
+    throw std::invalid_argument("MeetingSchedule::add: node out of range");
+  if (capacity < 0) throw std::invalid_argument("MeetingSchedule::add: negative capacity");
+  meetings.push_back(Meeting{a, b, t, capacity});
+}
+
+void MeetingSchedule::sort() {
+  std::stable_sort(meetings.begin(), meetings.end(),
+                   [](const Meeting& x, const Meeting& y) { return x.time < y.time; });
+}
+
+bool MeetingSchedule::is_sorted() const {
+  return std::is_sorted(meetings.begin(), meetings.end(),
+                        [](const Meeting& x, const Meeting& y) { return x.time < y.time; });
+}
+
+Bytes MeetingSchedule::total_capacity() const {
+  Bytes total = 0;
+  for (const Meeting& m : meetings) total += m.capacity;
+  return total;
+}
+
+}  // namespace rapid

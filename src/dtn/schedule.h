@@ -1,0 +1,35 @@
+// The node-meeting schedule of §3.1: a directed multigraph whose edges are
+// meetings annotated with (time, transfer-opportunity size). We store each
+// meeting once as an unordered pair; the engine runs the symmetric protocol
+// over the shared opportunity, which matches the testbed behaviour of two
+// radios merging into one connection event.
+#pragma once
+
+#include <vector>
+
+#include "util/types.h"
+
+namespace rapid {
+
+struct Meeting {
+  NodeId a = kNoNode;
+  NodeId b = kNoNode;
+  Time time = 0;
+  Bytes capacity = 0;  // size of the transfer opportunity, in bytes
+};
+
+struct MeetingSchedule {
+  int num_nodes = 0;
+  Time duration = 0;              // experiment length (a trace day)
+  std::vector<Meeting> meetings;  // kept sorted by time
+
+  void add(NodeId a, NodeId b, Time t, Bytes capacity);
+  // Sorts by time; must be called after out-of-order construction.
+  void sort();
+  bool is_sorted() const;
+
+  Bytes total_capacity() const;
+  std::size_t size() const { return meetings.size(); }
+};
+
+}  // namespace rapid

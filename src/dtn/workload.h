@@ -1,0 +1,47 @@
+// Workload generation. The paper generates packets "periodically on each bus
+// with an exponential inter-arrival time" for every other active node, and
+// expresses load as packets per hour per destination (§5.1, §6.1).
+#pragma once
+
+#include <vector>
+
+#include "dtn/packet.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace rapid {
+
+struct WorkloadConfig {
+  // Mean packets generated per source-destination pair per `load_period`.
+  double packets_per_period_per_pair = 4.0;
+  Time load_period = kSecondsPerHour;  // trace: 1 hour; synthetic models use 50 s
+  Bytes packet_size = 1_KB;
+  Time duration = 19 * kSecondsPerHour;
+  // Relative deadline applied to every packet; infinity disables deadlines.
+  Time deadline = kTimeInfinity;
+};
+
+// Generates a Poisson workload over the given active nodes: for every ordered
+// pair (src, dst), arrivals with mean inter-arrival load_period / rate.
+// Packets are returned sorted by creation time with dense ids.
+PacketPool generate_workload(const WorkloadConfig& config,
+                             const std::vector<NodeId>& active_nodes, Rng& rng);
+
+// Convenience: all nodes 0..n-1 active.
+PacketPool generate_workload(const WorkloadConfig& config, int num_nodes, Rng& rng);
+
+// A "parallel cohort" workload for the fairness experiment (Fig 15):
+// `cohort_size` packets created at the same instant from a common source to
+// distinct destinations, repeated every `spacing` seconds on top of a base
+// Poisson load.
+struct ParallelCohortConfig {
+  WorkloadConfig base;
+  int cohort_size = 30;
+  Time first_cohort_at = 60.0;
+  Time spacing = kTimeInfinity;  // infinity: a single cohort
+};
+PacketPool generate_parallel_cohorts(const ParallelCohortConfig& config,
+                                     const std::vector<NodeId>& active_nodes, Rng& rng,
+                                     std::vector<std::vector<PacketId>>* cohorts_out);
+
+}  // namespace rapid

@@ -1,0 +1,113 @@
+#include "mobility/dieselnet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mobility/exponential_model.h"
+
+namespace rapid {
+
+std::vector<int> dieselnet_routes(const DieselNetConfig& config) {
+  // Fixed round-robin assignment: bus i serves route i mod num_routes. Fixed
+  // across days, as real buses mostly stay on their lines; day-to-day
+  // variation comes from the active subset.
+  std::vector<int> routes(static_cast<std::size_t>(config.fleet_size));
+  for (int i = 0; i < config.fleet_size; ++i)
+    routes[static_cast<std::size_t>(i)] = i % config.num_routes;
+  return routes;
+}
+
+namespace {
+
+// Meetings per hour for a pair of buses, given their routes.
+double pair_rate(const DieselNetConfig& config, int route_a, int route_b) {
+  if (route_a == route_b) return config.same_route_rate + config.hub_rate;
+  const int diff = std::abs(route_a - route_b);
+  const int ring = std::min(diff, config.num_routes - diff);  // routes form a ring
+  if (ring == 1) return config.adjacent_route_rate + config.hub_rate;
+  // Far routes only ever meet at the hub; with hub_rate zero these pairs
+  // never meet directly (exercises the multi-hop meeting-time estimation).
+  return config.hub_rate;
+}
+
+}  // namespace
+
+DieselNetTrace generate_dieselnet_trace(const DieselNetConfig& config, int num_days,
+                                        Rng& rng) {
+  if (config.fleet_size < 2) throw std::invalid_argument("dieselnet: fleet too small");
+  if (config.num_routes < 1) throw std::invalid_argument("dieselnet: no routes");
+  if (config.min_buses_per_day < 2 || config.max_buses_per_day > config.fleet_size ||
+      config.min_buses_per_day > config.max_buses_per_day)
+    throw std::invalid_argument("dieselnet: bad buses-per-day range");
+  if (num_days < 1) throw std::invalid_argument("dieselnet: num_days < 1");
+
+  const std::vector<int> routes = dieselnet_routes(config);
+
+  DieselNetTrace trace;
+  trace.config = config;
+  trace.days.reserve(static_cast<std::size_t>(num_days));
+
+  for (int day = 0; day < num_days; ++day) {
+    Rng day_rng = rng.split("dieselnet-day", static_cast<std::uint64_t>(day));
+
+    DayTrace dt;
+    dt.schedule.num_nodes = config.fleet_size;
+    dt.schedule.duration = config.day_duration;
+
+    // Draw the day's active subset.
+    std::vector<NodeId> fleet(static_cast<std::size_t>(config.fleet_size));
+    for (int i = 0; i < config.fleet_size; ++i) fleet[static_cast<std::size_t>(i)] = i;
+    day_rng.shuffle(fleet);
+    const int count = static_cast<int>(
+        day_rng.uniform_int(config.min_buses_per_day, config.max_buses_per_day));
+    dt.active_buses.assign(fleet.begin(), fleet.begin() + count);
+    std::sort(dt.active_buses.begin(), dt.active_buses.end());
+
+    for (std::size_t i = 0; i < dt.active_buses.size(); ++i) {
+      for (std::size_t j = i + 1; j < dt.active_buses.size(); ++j) {
+        const NodeId a = dt.active_buses[i];
+        const NodeId b = dt.active_buses[j];
+        const double per_hour = pair_rate(config, routes[static_cast<std::size_t>(a)],
+                                          routes[static_cast<std::size_t>(b)]);
+        if (per_hour <= 0) continue;
+        const double mean_gap = kSecondsPerHour / per_hour;
+        Rng stream = day_rng.split("pair", static_cast<std::uint64_t>(a) * 1009 +
+                                               static_cast<std::uint64_t>(b));
+        Time t = stream.exponential_mean(mean_gap);
+        while (t < config.day_duration) {
+          dt.schedule.add(a, b, t,
+                          draw_opportunity_bytes(stream, config.mean_opportunity,
+                                                 config.opportunity_cv));
+          t += stream.exponential_mean(mean_gap);
+        }
+      }
+    }
+    dt.schedule.sort();
+    trace.days.push_back(std::move(dt));
+  }
+  return trace;
+}
+
+MeetingSchedule perturb_schedule(const MeetingSchedule& schedule,
+                                 const DeploymentPerturbation& perturbation, Rng& rng) {
+  MeetingSchedule out;
+  out.num_nodes = schedule.num_nodes;
+  out.duration = schedule.duration;
+  Rng stream = rng.split("deployment-perturb");
+  for (const Meeting& m : schedule.meetings) {
+    if (stream.bernoulli(perturbation.meeting_loss_prob)) continue;
+    Meeting pm = m;
+    const double shave = stream.uniform(0.0, perturbation.capacity_shave_max);
+    pm.capacity = static_cast<Bytes>(static_cast<double>(m.capacity) * (1.0 - shave));
+    pm.capacity = std::max<Bytes>(0, pm.capacity - perturbation.handshake_bytes);
+    pm.time = std::clamp(m.time + stream.uniform(-perturbation.time_jitter,
+                                                 perturbation.time_jitter),
+                         0.0, schedule.duration);
+    out.meetings.push_back(pm);
+  }
+  out.sort();
+  return out;
+}
+
+}  // namespace rapid

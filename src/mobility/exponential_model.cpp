@@ -1,0 +1,43 @@
+#include "mobility/exponential_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rapid {
+
+Bytes draw_opportunity_bytes(Rng& rng, Bytes mean, double cv) {
+  if (mean <= 0) throw std::invalid_argument("draw_opportunity_bytes: mean <= 0");
+  if (cv <= 0) return mean;
+  const double raw = rng.lognormal_mean_cv(static_cast<double>(mean), cv);
+  return std::max<Bytes>(1_KB, static_cast<Bytes>(raw));
+}
+
+MeetingSchedule generate_exponential_schedule(const ExponentialMobilityConfig& config,
+                                              Rng& rng) {
+  if (config.num_nodes < 2)
+    throw std::invalid_argument("exponential schedule: need >= 2 nodes");
+  if (config.pair_mean_intermeeting <= 0)
+    throw std::invalid_argument("exponential schedule: bad mean inter-meeting time");
+
+  MeetingSchedule schedule;
+  schedule.num_nodes = config.num_nodes;
+  schedule.duration = config.duration;
+
+  for (NodeId a = 0; a < config.num_nodes; ++a) {
+    for (NodeId b = a + 1; b < config.num_nodes; ++b) {
+      Rng stream = rng.split("exp-pair", static_cast<std::uint64_t>(a) * 1009 +
+                                             static_cast<std::uint64_t>(b));
+      Time t = stream.exponential_mean(config.pair_mean_intermeeting);
+      while (t < config.duration) {
+        schedule.add(a, b, t,
+                     draw_opportunity_bytes(stream, config.mean_opportunity,
+                                            config.opportunity_cv));
+        t += stream.exponential_mean(config.pair_mean_intermeeting);
+      }
+    }
+  }
+  schedule.sort();
+  return schedule;
+}
+
+}  // namespace rapid

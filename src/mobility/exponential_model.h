@@ -1,0 +1,27 @@
+// Uniform exponential mobility (§4.1.1, §6.3.3): every pair of nodes meets
+// according to a Poisson process with a common mean inter-meeting time.
+#pragma once
+
+#include "dtn/schedule.h"
+#include "util/rng.h"
+
+namespace rapid {
+
+struct ExponentialMobilityConfig {
+  int num_nodes = 20;
+  Time duration = 15.0 * kSecondsPerMinute;  // Table 4: 15 min experiments
+  // Mean inter-meeting time per node pair. Chosen so that delays land in the
+  // seconds-to-tens-of-seconds range of Figs 16-24.
+  double pair_mean_intermeeting = 30.0;
+  Bytes mean_opportunity = 100_KB;  // Table 4: average transfer opp. 100 KB
+  double opportunity_cv = 0.5;      // spread of opportunity sizes (lognormal)
+};
+
+MeetingSchedule generate_exponential_schedule(const ExponentialMobilityConfig& config,
+                                              Rng& rng);
+
+// Shared helper: draws an opportunity size (lognormal with the given mean and
+// cv, clamped below by one packet-ish minimum).
+Bytes draw_opportunity_bytes(Rng& rng, Bytes mean, double cv);
+
+}  // namespace rapid

@@ -1,0 +1,119 @@
+#include "mobility/trace_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace rapid {
+
+void write_trace(std::ostream& os, const DieselNetTrace& trace) {
+  // Full round-trip precision for meeting times.
+  os << std::setprecision(17);
+  os << "rapid-trace v1\n";
+  os << "fleet " << trace.config.fleet_size << "\n";
+  for (const DayTrace& day : trace.days) {
+    os << "day " << day.schedule.duration << " active";
+    for (NodeId bus : day.active_buses) os << ' ' << bus;
+    os << '\n';
+    for (const Meeting& m : day.schedule.meetings) {
+      os << "meet " << m.a << ' ' << m.b << ' ' << m.time << ' ' << m.capacity << '\n';
+    }
+    os << "end\n";
+  }
+}
+
+bool write_trace_file(const std::string& path, const DieselNetTrace& trace) {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_trace(f, trace);
+  return static_cast<bool>(f);
+}
+
+namespace {
+
+[[noreturn]] void fail(int line_no, const std::string& why) {
+  std::ostringstream os;
+  os << "trace parse error at line " << line_no << ": " << why;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace
+
+DieselNetTrace read_trace(std::istream& is) {
+  DieselNetTrace trace;
+  std::string line;
+  int line_no = 0;
+  bool saw_header = false;
+  bool in_day = false;
+  DayTrace day;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::string_view sv = trim(line);
+    if (sv.empty() || sv.front() == '#') continue;
+
+    if (!saw_header) {
+      if (sv != "rapid-trace v1") fail(line_no, "missing 'rapid-trace v1' header");
+      saw_header = true;
+      continue;
+    }
+    std::istringstream ss{std::string(sv)};
+    std::string keyword;
+    ss >> keyword;
+    if (keyword == "fleet") {
+      int n = 0;
+      if (!(ss >> n) || n < 2) fail(line_no, "bad fleet size");
+      trace.config.fleet_size = n;
+    } else if (keyword == "day") {
+      if (in_day) fail(line_no, "nested day block");
+      if (trace.config.fleet_size < 2) fail(line_no, "day before fleet");
+      double duration = 0;
+      std::string active_kw;
+      if (!(ss >> duration >> active_kw) || active_kw != "active" || duration <= 0)
+        fail(line_no, "bad day line");
+      day = DayTrace{};
+      day.schedule.num_nodes = trace.config.fleet_size;
+      day.schedule.duration = duration;
+      int bus = 0;
+      while (ss >> bus) {
+        if (bus < 0 || bus >= trace.config.fleet_size) fail(line_no, "active bus out of range");
+        day.active_buses.push_back(bus);
+      }
+      if (day.active_buses.size() < 2) fail(line_no, "day needs >= 2 active buses");
+      in_day = true;
+    } else if (keyword == "meet") {
+      if (!in_day) fail(line_no, "meet outside day block");
+      int a = 0, b = 0;
+      double t = 0;
+      long long bytes = 0;
+      if (!(ss >> a >> b >> t >> bytes)) fail(line_no, "bad meet line");
+      if (t < 0 || t > day.schedule.duration) fail(line_no, "meeting time out of range");
+      if (bytes < 0) fail(line_no, "negative capacity");
+      if (a == b) fail(line_no, "self meeting");
+      if (a < 0 || b < 0 || a >= trace.config.fleet_size || b >= trace.config.fleet_size)
+        fail(line_no, "meeting node out of range");
+      day.schedule.add(a, b, t, bytes);
+    } else if (keyword == "end") {
+      if (!in_day) fail(line_no, "end outside day block");
+      day.schedule.sort();
+      trace.days.push_back(std::move(day));
+      in_day = false;
+    } else {
+      fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!saw_header) fail(line_no, "empty trace");
+  if (in_day) fail(line_no, "unterminated day block");
+  return trace;
+}
+
+DieselNetTrace read_trace_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open trace file: " + path);
+  return read_trace(f);
+}
+
+}  // namespace rapid

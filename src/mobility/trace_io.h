@@ -1,0 +1,31 @@
+// Text serialization of multi-day contact traces, so generated DieselNet
+// traces can be inspected, archived, and replayed — the same role the
+// published UMass trace files play for the paper.
+//
+// Format (line oriented, '#' comments allowed):
+//
+//   rapid-trace v1
+//   fleet <N>
+//   day <duration_seconds> active <id> <id> ...
+//   meet <a> <b> <time_seconds> <bytes>
+//   ...
+//   end
+//
+// Each `day` block runs until its `end`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mobility/dieselnet.h"
+
+namespace rapid {
+
+void write_trace(std::ostream& os, const DieselNetTrace& trace);
+bool write_trace_file(const std::string& path, const DieselNetTrace& trace);
+
+// Throws std::runtime_error with a line-numbered message on malformed input.
+DieselNetTrace read_trace(std::istream& is);
+DieselNetTrace read_trace_file(const std::string& path);
+
+}  // namespace rapid

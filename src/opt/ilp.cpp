@@ -1,0 +1,100 @@
+#include "opt/ilp.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace rapid {
+namespace {
+
+struct Node {
+  std::vector<std::pair<int, int>> fixings;  // (var, 0 or 1)
+};
+
+bool is_integral(double v, double eps) { return std::fabs(v - std::round(v)) <= eps; }
+
+}  // namespace
+
+IlpSolution solve_ilp(const LinearProgram& lp, const std::vector<int>& binary_vars,
+                      const IlpOptions& options) {
+  for (int v : binary_vars) {
+    if (v < 0 || v >= lp.num_vars) throw std::out_of_range("solve_ilp: bad binary var");
+  }
+
+  IlpSolution best;
+  best.status = LpStatus::kInfeasible;
+  bool any_limit_hit = false;
+
+  // DFS with an explicit stack; each node adds x<=1 bounds for all binaries
+  // plus its branching fixings.
+  std::vector<Node> stack;
+  stack.push_back(Node{});
+  int explored = 0;
+
+  while (!stack.empty() && explored < options.max_nodes) {
+    const Node node = stack.back();
+    stack.pop_back();
+    ++explored;
+
+    LinearProgram sub = lp;
+    for (int v : binary_vars) {
+      sub.add_constraint({{v, 1.0}}, Relation::kLe, 1.0);
+    }
+    for (const auto& [var, value] : node.fixings) {
+      sub.add_constraint({{var, 1.0}}, Relation::kEq, static_cast<double>(value));
+    }
+
+    const LpSolution relax = solve_lp(sub, options.lp);
+    if (relax.status == LpStatus::kIterationLimit) {
+      any_limit_hit = true;
+      continue;
+    }
+    if (relax.status != LpStatus::kOptimal) continue;  // infeasible branch
+    if (best.status == LpStatus::kOptimal &&
+        relax.objective <= best.objective + options.integrality_eps)
+      continue;  // bound
+
+    // Most-fractional branching variable.
+    int branch_var = -1;
+    double worst = options.integrality_eps;
+    for (int v : binary_vars) {
+      const double value = relax.x[static_cast<std::size_t>(v)];
+      const double frac = std::fabs(value - std::round(value));
+      if (frac > worst) {
+        worst = frac;
+        branch_var = v;
+      }
+    }
+    if (branch_var < 0) {
+      // Integral: candidate incumbent.
+      if (best.status != LpStatus::kOptimal || relax.objective > best.objective) {
+        best.status = LpStatus::kOptimal;
+        best.objective = relax.objective;
+        best.x = relax.x;
+        for (int v : binary_vars) {
+          auto& value = best.x[static_cast<std::size_t>(v)];
+          value = std::round(value);
+        }
+      }
+      continue;
+    }
+
+    Node zero = node;
+    zero.fixings.emplace_back(branch_var, 0);
+    Node one = node;
+    one.fixings.emplace_back(branch_var, 1);
+    // Explore the rounded-up branch first (delivery-maximizing instincts).
+    stack.push_back(std::move(zero));
+    stack.push_back(std::move(one));
+  }
+
+  best.nodes_explored = explored;
+  best.proven_optimal =
+      best.status == LpStatus::kOptimal && stack.empty() && !any_limit_hit;
+  for (double& v : best.x) {
+    if (is_integral(v, options.integrality_eps)) v = std::round(v);
+  }
+  return best;
+}
+
+}  // namespace rapid

@@ -1,0 +1,33 @@
+// Branch-and-bound 0/1 integer programming over the simplex LP relaxation.
+// Sufficient for the time-expanded routing ILPs of Appendix D, whose LP
+// relaxations are near-integral multicommodity flows.
+#pragma once
+
+#include <vector>
+
+#include "opt/simplex.h"
+
+namespace rapid {
+
+struct IlpOptions {
+  SimplexOptions lp;
+  int max_nodes = 5000;          // branch-and-bound node budget
+  double integrality_eps = 1e-6;
+};
+
+struct IlpSolution {
+  LpStatus status = LpStatus::kInfeasible;  // kOptimal = proven optimal
+  bool proven_optimal = false;
+  double objective = 0;
+  std::vector<double> x;
+  int nodes_explored = 0;
+};
+
+// Maximizes lp.objective with the listed variables restricted to {0, 1}
+// (they must also carry x <= 1 bounds or semantics that imply them; the
+// solver adds the 0/1 branching cuts itself). Variables not listed stay
+// continuous.
+IlpSolution solve_ilp(const LinearProgram& lp, const std::vector<int>& binary_vars,
+                      const IlpOptions& options = {});
+
+}  // namespace rapid

@@ -1,0 +1,253 @@
+#include "opt/simplex.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rapid {
+
+int LinearProgram::add_variable(double objective_coeff) {
+  objective.push_back(objective_coeff);
+  for (Constraint& c : constraints) c.coeffs.push_back(0.0);
+  return num_vars++;
+}
+
+void LinearProgram::add_constraint(const std::vector<std::pair<int, double>>& terms,
+                                   Relation rel, double rhs) {
+  Constraint c;
+  c.coeffs.assign(static_cast<std::size_t>(num_vars), 0.0);
+  for (const auto& [var, coeff] : terms) {
+    if (var < 0 || var >= num_vars)
+      throw std::out_of_range("LinearProgram::add_constraint: bad variable");
+    c.coeffs[static_cast<std::size_t>(var)] += coeff;
+  }
+  c.relation = rel;
+  c.rhs = rhs;
+  constraints.push_back(std::move(c));
+}
+
+namespace {
+
+// Tableau layout: rows = constraints (+ objective row last), columns =
+// structural vars | slack/surplus | artificial | rhs.
+class Tableau {
+ public:
+  Tableau(const LinearProgram& lp, const SimplexOptions& options)
+      : options_(options), n_(lp.num_vars), m_(static_cast<int>(lp.constraints.size())) {
+    // Count slack and artificial columns.
+    for (const Constraint& c : lp.constraints) {
+      if (c.relation != Relation::kEq) ++num_slack_;
+    }
+    for (const Constraint& c : lp.constraints) {
+      // >= rows and = rows need artificials; <= rows with negative rhs are
+      // normalized first, so count after normalization below.
+      (void)c;
+    }
+    cols_ = n_ + num_slack_;  // artificials appended later
+    rows_.assign(static_cast<std::size_t>(m_), {});
+    basis_.assign(static_cast<std::size_t>(m_), -1);
+
+    int slack_index = 0;
+    std::vector<int> needs_artificial;
+    for (int i = 0; i < m_; ++i) {
+      Constraint c = lp.constraints[static_cast<std::size_t>(i)];
+      // Normalize to rhs >= 0.
+      double sign = 1.0;
+      if (c.rhs < 0) {
+        sign = -1.0;
+        c.rhs = -c.rhs;
+        for (double& v : c.coeffs) v = -v;
+        if (c.relation == Relation::kLe) c.relation = Relation::kGe;
+        else if (c.relation == Relation::kGe) c.relation = Relation::kLe;
+      }
+      (void)sign;
+      auto& row = rows_[static_cast<std::size_t>(i)];
+      row.assign(static_cast<std::size_t>(cols_) + 1, 0.0);
+      for (int j = 0; j < n_; ++j) row[static_cast<std::size_t>(j)] = c.coeffs[static_cast<std::size_t>(j)];
+      row[static_cast<std::size_t>(cols_)] = c.rhs;
+
+      if (c.relation == Relation::kLe) {
+        row[static_cast<std::size_t>(n_ + slack_index)] = 1.0;
+        basis_[static_cast<std::size_t>(i)] = n_ + slack_index;
+        ++slack_index;
+      } else if (c.relation == Relation::kGe) {
+        row[static_cast<std::size_t>(n_ + slack_index)] = -1.0;
+        ++slack_index;
+        needs_artificial.push_back(i);
+      } else {
+        needs_artificial.push_back(i);
+      }
+    }
+
+    // Append artificial columns.
+    num_artificial_ = static_cast<int>(needs_artificial.size());
+    const int total = cols_ + num_artificial_;
+    for (auto& row : rows_) {
+      row.insert(row.end() - 1, static_cast<std::size_t>(num_artificial_), 0.0);
+    }
+    for (int k = 0; k < num_artificial_; ++k) {
+      const int i = needs_artificial[static_cast<std::size_t>(k)];
+      rows_[static_cast<std::size_t>(i)][static_cast<std::size_t>(cols_ + k)] = 1.0;
+      basis_[static_cast<std::size_t>(i)] = cols_ + k;
+    }
+    cols_ = total;
+  }
+
+  LpSolution solve(const LinearProgram& lp) {
+    LpSolution solution;
+
+    // Phase 1: minimize sum of artificials (maximize the negative).
+    if (num_artificial_ > 0) {
+      std::vector<double> phase1(static_cast<std::size_t>(cols_), 0.0);
+      for (int j = cols_ - num_artificial_; j < cols_; ++j)
+        phase1[static_cast<std::size_t>(j)] = -1.0;
+      build_objective(phase1);
+      const LpStatus status = run();
+      if (status == LpStatus::kIterationLimit) {
+        solution.status = status;
+        return solution;
+      }
+      if (objective_value() < -options_.eps) {
+        solution.status = LpStatus::kInfeasible;
+        return solution;
+      }
+      // Drive any artificial still in the basis out (degenerate rows).
+      for (int i = 0; i < m_; ++i) {
+        if (basis_[static_cast<std::size_t>(i)] < cols_ - num_artificial_) continue;
+        bool pivoted = false;
+        for (int j = 0; j < cols_ - num_artificial_ && !pivoted; ++j) {
+          if (std::fabs(rows_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]) >
+              options_.eps) {
+            pivot(i, j);
+            pivoted = true;
+          }
+        }
+        // A row with no pivotable column is all-zero: redundant; leave it.
+      }
+    }
+
+    // Phase 2: original objective (artificial columns pinned to zero by
+    // never selecting them as entering columns).
+    std::vector<double> phase2(static_cast<std::size_t>(cols_), 0.0);
+    for (int j = 0; j < n_; ++j)
+      phase2[static_cast<std::size_t>(j)] = lp.objective[static_cast<std::size_t>(j)];
+    build_objective(phase2);
+    forbid_artificials_ = true;
+    const LpStatus status = run();
+    solution.status = status;
+    if (status != LpStatus::kOptimal) return solution;
+
+    solution.x.assign(static_cast<std::size_t>(n_), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const int b = basis_[static_cast<std::size_t>(i)];
+      if (b >= 0 && b < n_)
+        solution.x[static_cast<std::size_t>(b)] =
+            rows_[static_cast<std::size_t>(i)][static_cast<std::size_t>(cols_)];
+    }
+    solution.objective = 0;
+    for (int j = 0; j < n_; ++j)
+      solution.objective +=
+          lp.objective[static_cast<std::size_t>(j)] * solution.x[static_cast<std::size_t>(j)];
+    return solution;
+  }
+
+ private:
+  SimplexOptions options_;
+  int n_;              // structural variables
+  int m_;              // constraints
+  int cols_ = 0;       // structural + slack + artificial
+  int num_slack_ = 0;
+  int num_artificial_ = 0;
+  bool forbid_artificials_ = false;
+  std::vector<std::vector<double>> rows_;  // each row has cols_+1 entries (rhs last)
+  std::vector<double> z_;                  // reduced-cost row, cols_+1 entries
+  std::vector<int> basis_;
+
+  double objective_value() const { return z_[static_cast<std::size_t>(cols_)]; }
+
+  void build_objective(const std::vector<double>& costs) {
+    // z row = costs expressed over the current basis: z_j = c_B B^-1 A_j - c_j.
+    z_.assign(static_cast<std::size_t>(cols_) + 1, 0.0);
+    for (int j = 0; j < cols_; ++j) z_[static_cast<std::size_t>(j)] = -costs[static_cast<std::size_t>(j)];
+    for (int i = 0; i < m_; ++i) {
+      const int b = basis_[static_cast<std::size_t>(i)];
+      const double cb = costs[static_cast<std::size_t>(b)];
+      if (cb == 0.0) continue;
+      const auto& row = rows_[static_cast<std::size_t>(i)];
+      for (int j = 0; j <= cols_; ++j)
+        z_[static_cast<std::size_t>(j)] += cb * row[static_cast<std::size_t>(j)];
+    }
+  }
+
+  void pivot(int pr, int pc) {
+    auto& prow = rows_[static_cast<std::size_t>(pr)];
+    const double pivot_value = prow[static_cast<std::size_t>(pc)];
+    for (double& v : prow) v /= pivot_value;
+    for (int i = 0; i < m_; ++i) {
+      if (i == pr) continue;
+      auto& row = rows_[static_cast<std::size_t>(i)];
+      const double factor = row[static_cast<std::size_t>(pc)];
+      if (factor == 0.0) continue;
+      for (int j = 0; j <= cols_; ++j)
+        row[static_cast<std::size_t>(j)] -= factor * prow[static_cast<std::size_t>(j)];
+    }
+    const double zfactor = z_[static_cast<std::size_t>(pc)];
+    if (zfactor != 0.0) {
+      for (int j = 0; j <= cols_; ++j)
+        z_[static_cast<std::size_t>(j)] -= zfactor * prow[static_cast<std::size_t>(j)];
+    }
+    basis_[static_cast<std::size_t>(pr)] = pc;
+  }
+
+  LpStatus run() {
+    const int limit_col = forbid_artificials_ ? cols_ - num_artificial_ : cols_;
+    for (long iter = 0; iter < options_.max_iterations; ++iter) {
+      // Bland's rule: smallest-index column with negative reduced cost.
+      int pc = -1;
+      for (int j = 0; j < limit_col; ++j) {
+        if (z_[static_cast<std::size_t>(j)] < -options_.eps) {
+          pc = j;
+          break;
+        }
+      }
+      if (pc < 0) return LpStatus::kOptimal;
+
+      int pr = -1;
+      double best_ratio = 0;
+      for (int i = 0; i < m_; ++i) {
+        const double a = rows_[static_cast<std::size_t>(i)][static_cast<std::size_t>(pc)];
+        if (a <= options_.eps) continue;
+        const double ratio =
+            rows_[static_cast<std::size_t>(i)][static_cast<std::size_t>(cols_)] / a;
+        if (pr < 0 || ratio < best_ratio - options_.eps ||
+            (std::fabs(ratio - best_ratio) <= options_.eps &&
+             basis_[static_cast<std::size_t>(i)] < basis_[static_cast<std::size_t>(pr)])) {
+          pr = i;
+          best_ratio = ratio;
+        }
+      }
+      if (pr < 0) return LpStatus::kUnbounded;
+      pivot(pr, pc);
+    }
+    return LpStatus::kIterationLimit;
+  }
+};
+
+}  // namespace
+
+LpSolution solve_lp(const LinearProgram& lp, const SimplexOptions& options) {
+  if (lp.objective.size() != static_cast<std::size_t>(lp.num_vars))
+    throw std::invalid_argument("solve_lp: objective size mismatch");
+  for (const Constraint& c : lp.constraints) {
+    if (c.coeffs.size() != static_cast<std::size_t>(lp.num_vars))
+      throw std::invalid_argument("solve_lp: constraint width mismatch");
+  }
+  if (lp.num_vars == 0) {
+    LpSolution s;
+    s.status = LpStatus::kOptimal;
+    return s;
+  }
+  Tableau tableau(lp, options);
+  return tableau.solve(lp);
+}
+
+}  // namespace rapid

@@ -1,0 +1,48 @@
+// Dense two-phase primal simplex.
+//
+// Solves  maximize c·x  subject to  A x {<=,=,>=} b,  x >= 0.
+// Bland's rule guards against cycling. This is the in-house replacement for
+// the CPLEX solver the paper uses for its ILP experiments (§6.2.4); the
+// instances Fig 13 needs are small (hundreds of variables), where a dense
+// tableau is simple and entirely adequate.
+#pragma once
+
+#include <vector>
+
+namespace rapid {
+
+enum class Relation { kLe, kEq, kGe };
+
+struct Constraint {
+  std::vector<double> coeffs;  // dense, size = num_vars
+  Relation relation = Relation::kLe;
+  double rhs = 0;
+};
+
+struct LinearProgram {
+  int num_vars = 0;
+  std::vector<double> objective;  // maximize objective·x
+  std::vector<Constraint> constraints;
+
+  // Convenience builders.
+  int add_variable(double objective_coeff);
+  void add_constraint(const std::vector<std::pair<int, double>>& terms, Relation rel,
+                      double rhs);
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0;
+  std::vector<double> x;
+};
+
+struct SimplexOptions {
+  double eps = 1e-9;
+  long max_iterations = 200000;
+};
+
+LpSolution solve_lp(const LinearProgram& lp, const SimplexOptions& options = {});
+
+}  // namespace rapid

@@ -1,0 +1,47 @@
+// Time-expanded routing ILP (paper Appendix D, arc-flow form).
+//
+// The schedule is expanded into a DAG: node (bus, slot) is the state of a
+// bus just before its slot-th meeting; hold arcs connect consecutive slots;
+// each meeting contributes one transfer arc per direction. Every packet is
+// one unit of flow injected at its source's first slot after creation.
+// Delivery is rewarded on arcs entering the packet's destination with weight
+// (duration - t_meeting), so maximizing the reward minimizes total delay
+// with undelivered packets charged their full residence time — exactly the
+// paper's ILP objective. Transfer arcs are binary; per-meeting capacity
+// couples the packets ("bandwidth constraint").
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "dtn/packet.h"
+#include "dtn/schedule.h"
+#include "opt/ilp.h"
+
+namespace rapid {
+
+struct PlannedTransfer {
+  PacketId packet = kNoPacket;
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+};
+
+struct OptimalPlan {
+  // Transfers to execute at each meeting (indexed by schedule position).
+  std::unordered_map<int, std::vector<PlannedTransfer>> by_meeting;
+  double objective = 0;       // total savings (see header comment)
+  bool proven_optimal = false;
+  int delivered = 0;          // deliveries the plan achieves
+  double total_delay = 0;     // ILP objective converted to delay-with-undelivered
+};
+
+struct TimeExpandedOptions {
+  IlpOptions ilp;
+};
+
+// Solves the routing ILP for the given day. Intended for small instances
+// (Fig 13 restricts itself to low loads for the same reason the paper does).
+OptimalPlan solve_optimal_routing(const MeetingSchedule& schedule, const PacketPool& workload,
+                                  const TimeExpandedOptions& options = {});
+
+}  // namespace rapid

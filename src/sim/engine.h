@@ -1,0 +1,27 @@
+// The trace-driven discrete-event simulator of §5.3: input is a schedule of
+// node meetings with per-meeting bandwidth, a packet workload, and a routing
+// protocol; output is the SimResult the figures are built from. Validated
+// against a perturbed "deployment mode" run in bench_fig03_validation.
+#pragma once
+
+#include "dtn/contact.h"
+#include "dtn/metrics.h"
+#include "dtn/packet.h"
+#include "dtn/router.h"
+#include "dtn/schedule.h"
+
+namespace rapid {
+
+struct SimConfig {
+  // Buffer capacity is a router property (captured by the factory); the
+  // engine itself only needs the contact policy.
+  ContactConfig contact;
+};
+
+// Runs one experiment day. The factory is invoked once per node; protocols
+// with shared state (RAPID's global channel, Optimal's plan) must be given a
+// fresh factory per call.
+SimResult run_simulation(const MeetingSchedule& schedule, const PacketPool& workload,
+                         const RouterFactory& factory, const SimConfig& config);
+
+}  // namespace rapid

@@ -1,0 +1,131 @@
+#include "stats/discrete_dist.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/distributions.h"
+
+namespace rapid {
+
+DiscreteDist::DiscreteDist(double horizon, std::size_t bins) : horizon_(horizon) {
+  if (horizon <= 0) throw std::invalid_argument("DiscreteDist: horizon <= 0");
+  if (bins == 0) throw std::invalid_argument("DiscreteDist: bins == 0");
+  cdf_.assign(bins, 0.0);
+}
+
+void DiscreteDist::enforce_monotone() {
+  double running = 0;
+  for (double& v : cdf_) {
+    running = std::clamp(std::max(running, v), 0.0, 1.0);
+    v = running;
+  }
+}
+
+DiscreteDist DiscreteDist::exponential(double lambda, double horizon, std::size_t bins) {
+  DiscreteDist d(horizon, bins);
+  const double dt = d.step();
+  for (std::size_t i = 0; i < bins; ++i) {
+    d.cdf_[i] = exponential_cdf(dt * static_cast<double>(i + 1), lambda);
+  }
+  return d;
+}
+
+DiscreteDist DiscreteDist::erlang(std::size_t n, double lambda, double horizon, std::size_t bins) {
+  DiscreteDist d(horizon, bins);
+  const double dt = d.step();
+  for (std::size_t i = 0; i < bins; ++i) {
+    d.cdf_[i] = erlang_cdf(dt * static_cast<double>(i + 1), n, lambda);
+  }
+  return d;
+}
+
+DiscreteDist DiscreteDist::constant(double value, double horizon, std::size_t bins) {
+  DiscreteDist d(horizon, bins);
+  const double dt = d.step();
+  for (std::size_t i = 0; i < bins; ++i) {
+    d.cdf_[i] = (dt * static_cast<double>(i + 1) >= value) ? 1.0 : 0.0;
+  }
+  return d;
+}
+
+double DiscreteDist::cdf(double t) const {
+  if (t <= 0) return 0;
+  const double dt = step();
+  const auto idx = static_cast<std::size_t>(t / dt);
+  if (idx == 0) return cdf_[0] * (t / dt);  // linear below the first grid point
+  if (idx >= cdf_.size()) return cdf_.back();
+  // Linear interpolation between grid points idx-1 and idx.
+  const double t0 = dt * static_cast<double>(idx);
+  const double frac = (t - t0) / dt;
+  return cdf_[idx - 1] + frac * (cdf_[idx] - cdf_[idx - 1]);
+}
+
+double DiscreteDist::mean() const {
+  // E[X] = integral of the survival function; rectangle rule on the grid,
+  // tail mass beyond the horizon truncated at the horizon.
+  const double dt = step();
+  double total = 0;
+  double prev_cdf = 0;
+  for (double v : cdf_) {
+    // Survival over this cell approximated by 1 - cdf at the left edge.
+    total += (1.0 - prev_cdf) * dt;
+    prev_cdf = v;
+  }
+  return total;
+}
+
+DiscreteDist DiscreteDist::convolve(const DiscreteDist& other) const {
+  if (bins() != other.bins() || horizon_ != other.horizon_)
+    throw std::invalid_argument("DiscreteDist::convolve: grid mismatch");
+  const std::size_t n = bins();
+  const double dt = step();
+
+  // Work with per-cell probability masses.
+  std::vector<double> pa(n), pb(n);
+  double prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    pa[i] = cdf_[i] - prev;
+    prev = cdf_[i];
+  }
+  prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    pb[i] = other.cdf_[i] - prev;
+    prev = other.cdf_[i];
+  }
+
+  std::vector<double> pc(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pa[i] == 0) continue;
+    for (std::size_t j = 0; j + i + 1 < n; ++j) {
+      // Mass at cells i and j sums to a delay in cell ~(i + j + 1); the +1
+      // keeps the convolution conservative (never underestimates delay).
+      pc[i + j + 1] += pa[i] * pb[j];
+    }
+  }
+
+  DiscreteDist out(horizon_, n);
+  double acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += pc[i];
+    out.cdf_[i] = acc;
+  }
+  out.enforce_monotone();
+  (void)dt;
+  return out;
+}
+
+DiscreteDist DiscreteDist::min_with(const DiscreteDist& other) const {
+  if (bins() != other.bins() || horizon_ != other.horizon_)
+    throw std::invalid_argument("DiscreteDist::min_with: grid mismatch");
+  DiscreteDist out(horizon_, bins());
+  for (std::size_t i = 0; i < bins(); ++i) {
+    const double sa = 1.0 - cdf_[i];
+    const double sb = 1.0 - other.cdf_[i];
+    out.cdf_[i] = 1.0 - sa * sb;
+  }
+  out.enforce_monotone();
+  return out;
+}
+
+}  // namespace rapid

@@ -1,0 +1,54 @@
+// Discretized delay distributions with the two operators the idealized
+// DAG_DELAY estimator (paper Appendix C) needs:
+//
+//   a ⊕ b  — the distribution of the sum of two independent delays
+//            (convolution), e.g. "meet Z, then meet Z again";
+//   min    — the distribution of the minimum of independent delays,
+//            composed via survival functions: S_min = prod S_i.
+//
+// A distribution is represented by its CDF sampled on a uniform grid
+// [0, horizon] with `bins` cells; mass beyond the horizon is the remaining
+// tail (CDF simply has not reached 1). This keeps both operators O(bins^2)
+// and O(bins) respectively, and is exact in the limit of fine grids.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rapid {
+
+class DiscreteDist {
+ public:
+  // CDF grid of `bins` points covering (0, horizon]; cdf_[i] = P(X <= step*(i+1)).
+  DiscreteDist(double horizon, std::size_t bins);
+
+  static DiscreteDist exponential(double lambda, double horizon, std::size_t bins);
+  static DiscreteDist erlang(std::size_t n, double lambda, double horizon, std::size_t bins);
+  // Deterministic (point mass) delay.
+  static DiscreteDist constant(double value, double horizon, std::size_t bins);
+
+  double horizon() const { return horizon_; }
+  std::size_t bins() const { return cdf_.size(); }
+  double step() const { return horizon_ / static_cast<double>(cdf_.size()); }
+
+  double cdf(double t) const;           // P(X <= t), clamped at the horizon value
+  double survival(double t) const { return 1.0 - cdf(t); }
+  // Expectation restricted to the grid; tail mass beyond the horizon
+  // contributes horizon (a deliberate, documented truncation).
+  double mean() const;
+
+  // Sum of independent delays.
+  DiscreteDist convolve(const DiscreteDist& other) const;
+  // Minimum of independent delays.
+  DiscreteDist min_with(const DiscreteDist& other) const;
+
+  const std::vector<double>& raw_cdf() const { return cdf_; }
+
+ private:
+  double horizon_;
+  std::vector<double> cdf_;
+
+  void enforce_monotone();
+};
+
+}  // namespace rapid

@@ -1,0 +1,128 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rapid {
+
+double exponential_pdf(double x, double lambda) {
+  if (lambda <= 0) throw std::invalid_argument("exponential_pdf: lambda <= 0");
+  if (x < 0) return 0;
+  return lambda * std::exp(-lambda * x);
+}
+
+double exponential_cdf(double x, double lambda) {
+  if (lambda <= 0) throw std::invalid_argument("exponential_cdf: lambda <= 0");
+  if (x <= 0) return 0;
+  return 1.0 - std::exp(-lambda * x);
+}
+
+double exponential_mean(double lambda) {
+  if (lambda <= 0) return std::numeric_limits<double>::infinity();
+  return 1.0 / lambda;
+}
+
+double min_exponentials_rate(const double* lambdas, std::size_t k) {
+  double total = 0;
+  for (std::size_t i = 0; i < k; ++i) total += lambdas[i];
+  return total;
+}
+
+double min_exponentials_cdf(double x, const double* lambdas, std::size_t k) {
+  const double rate = min_exponentials_rate(lambdas, k);
+  if (rate <= 0) return 0;
+  return exponential_cdf(x, rate);
+}
+
+double min_exponentials_mean(const double* lambdas, std::size_t k) {
+  const double rate = min_exponentials_rate(lambdas, k);
+  return exponential_mean(rate);
+}
+
+double erlang_mean(std::size_t n, double lambda) {
+  if (lambda <= 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(n) / lambda;
+}
+
+namespace {
+
+// Series expansion of the regularized lower incomplete gamma function,
+// valid for x < s + 1.
+double gamma_p_series(double s, double x) {
+  double sum = 1.0 / s;
+  double term = sum;
+  for (int k = 1; k < 500; ++k) {
+    term *= x / (s + k);
+    sum += term;
+    if (term < sum * 1e-15) break;
+  }
+  return sum * std::exp(-x + s * std::log(x) - std::lgamma(s));
+}
+
+// Continued fraction for the regularized upper incomplete gamma function,
+// valid for x >= s + 1 (Lentz's algorithm).
+double gamma_q_cf(double s, double x) {
+  constexpr double kFpMin = 1e-300;
+  double b = x + 1.0 - s;
+  double c = 1.0 / kFpMin;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -i * (i - s);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = b + an / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + s * std::log(x) - std::lgamma(s)) * h;
+}
+
+}  // namespace
+
+double regularized_gamma_p(double s, double x) {
+  if (s <= 0) throw std::invalid_argument("regularized_gamma_p: s <= 0");
+  if (x < 0) throw std::invalid_argument("regularized_gamma_p: x < 0");
+  if (x == 0) return 0;
+  if (x < s + 1.0) return gamma_p_series(s, x);
+  return 1.0 - gamma_q_cf(s, x);
+}
+
+double gamma_cdf(double x, double shape, double rate) {
+  if (shape <= 0 || rate <= 0) throw std::invalid_argument("gamma_cdf: bad parameters");
+  if (x <= 0) return 0;
+  return regularized_gamma_p(shape, rate * x);
+}
+
+double erlang_cdf(double x, std::size_t n, double lambda) {
+  if (n == 0) throw std::invalid_argument("erlang_cdf: n == 0");
+  return gamma_cdf(x, static_cast<double>(n), lambda);
+}
+
+double rapid_delivery_probability(double t, const ReplicaTerm* terms, std::size_t k) {
+  if (t <= 0) return 0;
+  double rate = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (terms[i].n == 0) throw std::invalid_argument("rapid_delivery_probability: n == 0");
+    rate += terms[i].lambda / static_cast<double>(terms[i].n);
+  }
+  if (rate <= 0) return 0;
+  return 1.0 - std::exp(-rate * t);
+}
+
+double rapid_expected_delay(const ReplicaTerm* terms, std::size_t k) {
+  double rate = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (terms[i].n == 0) throw std::invalid_argument("rapid_expected_delay: n == 0");
+    rate += terms[i].lambda / static_cast<double>(terms[i].n);
+  }
+  if (rate <= 0) return std::numeric_limits<double>::infinity();
+  return 1.0 / rate;
+}
+
+}  // namespace rapid

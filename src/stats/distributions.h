@@ -1,0 +1,45 @@
+// Closed-form distribution helpers used by RAPID's inference algorithm
+// (§4.1.1): exponential and gamma (Erlang) laws, the minimum of independent
+// exponentials, and the exponential approximation to "time until the k-th
+// meeting" that Eq. 7/8 rely on.
+#pragma once
+
+#include <cstddef>
+
+namespace rapid {
+
+// --- Exponential with rate lambda ------------------------------------------
+double exponential_pdf(double x, double lambda);
+double exponential_cdf(double x, double lambda);
+double exponential_mean(double lambda);
+
+// Minimum of k independent exponentials with rates lambda_1..lambda_k is an
+// exponential with rate sum(lambda_i); these helpers make that explicit.
+double min_exponentials_rate(const double* lambdas, std::size_t k);
+double min_exponentials_cdf(double x, const double* lambdas, std::size_t k);
+double min_exponentials_mean(const double* lambdas, std::size_t k);
+
+// --- Gamma / Erlang ---------------------------------------------------------
+// Time until the n-th meeting under Poisson meetings with rate lambda is
+// Erlang(n, lambda): mean n / lambda.
+double erlang_mean(std::size_t n, double lambda);
+double erlang_cdf(double x, std::size_t n, double lambda);
+double gamma_cdf(double x, double shape, double rate);
+// Regularized lower incomplete gamma P(s, x).
+double regularized_gamma_p(double s, double x);
+
+// --- RAPID's exponential approximation (Eq. 7/8) ----------------------------
+// The paper approximates Erlang(n, lambda) by an exponential with the same
+// mean (rate lambda / n) so that the minimum across replicas stays
+// exponential. Delivery probability within t given replicas with rates
+// lambda_j and required meeting counts n_j:
+//   P(a < t) = 1 - exp(-sum_j (lambda_j / n_j) t)
+//   A        = 1 / sum_j (lambda_j / n_j)
+struct ReplicaTerm {
+  double lambda = 0;   // meeting rate with the destination (1 / E[M])
+  std::size_t n = 1;   // meetings required to flush the queue ahead of the packet
+};
+double rapid_delivery_probability(double t, const ReplicaTerm* terms, std::size_t k);
+double rapid_expected_delay(const ReplicaTerm* terms, std::size_t k);
+
+}  // namespace rapid

@@ -1,0 +1,16 @@
+#include "stats/fairness.h"
+
+namespace rapid {
+
+double jain_fairness_index(const std::vector<double>& values) {
+  if (values.size() <= 1) return 1.0;
+  double sum = 0, sum_sq = 0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;  // all-zero delays: perfectly fair
+  return (sum * sum) / (static_cast<double>(values.size()) * sum_sq);
+}
+
+}  // namespace rapid

@@ -1,0 +1,18 @@
+// Jain's fairness index over per-packet delays, used by the Fig 15
+// experiment: packets created in parallel should see similar delays.
+//
+// The paper's expression (§6.2.5) is the standard Jain index
+//   J = (sum d_i)^2 / (n * sum d_i^2)
+// which is 1 when all delays are equal and 1/n when one packet absorbs all
+// the delay.
+#pragma once
+
+#include <vector>
+
+namespace rapid {
+
+// Returns the Jain fairness index in (0, 1]; 1.0 for an empty or singleton
+// cohort (trivially fair).
+double jain_fairness_index(const std::vector<double>& values);
+
+}  // namespace rapid

@@ -1,0 +1,75 @@
+#include "stats/moments.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rapid {
+
+void RunningMoments::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningMoments::merge(const RunningMoments& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningMoments::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningMoments::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningMoments::stddev() const { return std::sqrt(variance()); }
+
+double RunningMoments::min() const { return n_ == 0 ? 0.0 : min_; }
+double RunningMoments::max() const { return n_ == 0 ? 0.0 : max_; }
+
+void MovingAverage::add(double x) {
+  ++n_;
+  if (n_ == 1) {
+    value_ = x;
+    return;
+  }
+  if (alpha_ <= 0.0) {
+    value_ += (x - value_) / static_cast<double>(n_);
+  } else {
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+  }
+}
+
+double percentile(std::vector<double> data, double p) {
+  if (data.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (p < 0 || p > 100) throw std::invalid_argument("percentile: p out of range");
+  std::sort(data.begin(), data.end());
+  const double rank = p / 100.0 * static_cast<double>(data.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, data.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return data[lo] * (1 - frac) + data[hi] * frac;
+}
+
+}  // namespace rapid

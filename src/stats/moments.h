@@ -1,0 +1,57 @@
+// Streaming statistics: Welford running moments, min/max tracking, and a
+// windowless moving average used for the "average size of past transfer
+// opportunities" state that RAPID's Estimate Delay consumes (Alg. 2 step 3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rapid {
+
+class RunningMoments {
+ public:
+  void add(double x);
+  void merge(const RunningMoments& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  // Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Exponentially weighted moving average. alpha = weight of the new sample.
+// With alpha = 0 the estimate is the plain running mean, matching the paper's
+// "moving average of past transfers" loosely while staying simple to reason
+// about; RAPID uses the plain mean by default.
+class MovingAverage {
+ public:
+  explicit MovingAverage(double alpha = 0.0) : alpha_(alpha) {}
+
+  void add(double x);
+  bool empty() const { return n_ == 0; }
+  std::size_t count() const { return n_; }
+  double value() const { return value_; }
+  double value_or(double fallback) const { return n_ == 0 ? fallback : value_; }
+
+ private:
+  double alpha_;
+  double value_ = 0;
+  std::size_t n_ = 0;
+};
+
+// Percentile of a sample (nearest-rank). data is copied and sorted.
+double percentile(std::vector<double> data, double p);
+
+}  // namespace rapid

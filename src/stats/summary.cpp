@@ -1,0 +1,102 @@
+#include "stats/summary.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/moments.h"
+
+namespace rapid {
+namespace {
+
+// Continued-fraction evaluation of the incomplete beta function
+// (Numerical Recipes style, Lentz's algorithm).
+double betacf(double a, double b, double x) {
+  constexpr int kMaxIter = 200;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  if (x < 0.0 || x > 1.0) throw std::invalid_argument("incomplete_beta: x out of [0,1]");
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double ln_bt = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                       a * std::log(x) + b * std::log(1.0 - x);
+  const double bt = std::exp(ln_bt);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return bt * betacf(a, b, x) / a;
+  }
+  return 1.0 - bt * betacf(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, std::size_t df) {
+  if (df == 0) throw std::invalid_argument("student_t_cdf: df == 0");
+  const double v = static_cast<double>(df);
+  const double x = v / (v + t * t);
+  const double p = 0.5 * incomplete_beta(v / 2.0, 0.5, x);
+  return t >= 0 ? 1.0 - p : p;
+}
+
+double student_t_critical(std::size_t df, double confidence) {
+  if (df == 0) throw std::invalid_argument("student_t_critical: df == 0");
+  if (confidence <= 0 || confidence >= 1)
+    throw std::invalid_argument("student_t_critical: confidence out of (0,1)");
+  // Bisection on the CDF; the CDF is monotone in t.
+  const double target = 0.5 + confidence / 2.0;
+  double lo = 0.0, hi = 1e3;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (student_t_cdf(mid, df) < target)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+Summary summarize(const std::vector<double>& samples, double confidence) {
+  Summary s;
+  RunningMoments m;
+  for (double x : samples) m.add(x);
+  s.n = m.count();
+  s.mean = m.mean();
+  s.stddev = m.stddev();
+  if (s.n >= 2) {
+    const double se = s.stddev / std::sqrt(static_cast<double>(s.n));
+    s.ci_half_width = student_t_critical(s.n - 1, confidence) * se;
+  }
+  return s;
+}
+
+}  // namespace rapid

@@ -1,0 +1,32 @@
+// Cross-run summaries: mean with a Student-t confidence interval, used by
+// the experiment harness to report "averaged over N runs, 95% CI" exactly as
+// the paper's figures do.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rapid {
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0;
+  double stddev = 0;
+  double ci_half_width = 0;  // half-width of the requested confidence interval
+
+  double lo() const { return mean - ci_half_width; }
+  double hi() const { return mean + ci_half_width; }
+};
+
+// confidence in (0, 1), e.g. 0.95.
+Summary summarize(const std::vector<double>& samples, double confidence = 0.95);
+
+// Student-t distribution helpers (exposed for tests and the paired t-test).
+// Two-sided critical value t such that P(|T_df| <= t) = confidence.
+double student_t_critical(std::size_t df, double confidence);
+// CDF of the t distribution with df degrees of freedom.
+double student_t_cdf(double t, std::size_t df);
+// Regularized incomplete beta function I_x(a, b).
+double incomplete_beta(double a, double b, double x);
+
+}  // namespace rapid

@@ -1,0 +1,38 @@
+#include "stats/ttest.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/moments.h"
+#include "stats/summary.h"
+
+namespace rapid {
+
+PairedTTestResult paired_t_test(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("paired_t_test: size mismatch");
+  PairedTTestResult r;
+  r.n = a.size();
+  if (r.n < 2) return r;
+
+  RunningMoments diff;
+  for (std::size_t i = 0; i < a.size(); ++i) diff.add(a[i] - b[i]);
+  r.mean_difference = diff.mean();
+  const double sd = diff.stddev();
+  if (sd == 0.0) {
+    // All differences identical; the test degenerates. Zero difference means
+    // p = 1; a constant nonzero difference is overwhelming evidence.
+    r.valid = r.mean_difference != 0.0;
+    r.p_value = r.mean_difference == 0.0 ? 1.0 : 0.0;
+    r.t_statistic = r.mean_difference == 0.0 ? 0.0
+                    : (r.mean_difference > 0 ? 1e9 : -1e9);
+    return r;
+  }
+  const double se = sd / std::sqrt(static_cast<double>(r.n));
+  r.t_statistic = r.mean_difference / se;
+  const double cdf = student_t_cdf(std::fabs(r.t_statistic), r.n - 1);
+  r.p_value = 2.0 * (1.0 - cdf);
+  r.valid = true;
+  return r;
+}
+
+}  // namespace rapid

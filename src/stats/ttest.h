@@ -1,0 +1,21 @@
+// Paired t-test, used as in §6.2.1: the paper compares the average delay of
+// every source-destination pair under RAPID against the same pair under
+// MaxProp and reports p < 0.0005.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rapid {
+
+struct PairedTTestResult {
+  std::size_t n = 0;          // number of pairs
+  double mean_difference = 0; // mean of (a_i - b_i)
+  double t_statistic = 0;
+  double p_value = 1.0;       // two-sided
+  bool valid = false;         // false when n < 2 or the differences are constant-zero
+};
+
+PairedTTestResult paired_t_test(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace rapid

@@ -1,0 +1,40 @@
+// Small helpers for emitting the tabular series the benches print.
+//
+// Every bench prints a human-readable aligned table to stdout (the rows the
+// paper's figures plot) and can optionally mirror the same rows as CSV to a
+// file for plotting.
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rapid {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+  // Convenience: formats doubles with fixed precision.
+  void add_row(const std::vector<double>& cells, int precision = 3);
+
+  // Writes an aligned, human-readable rendering.
+  void print(std::ostream& os) const;
+  // Writes RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  void write_csv(std::ostream& os) const;
+  bool write_csv_file(const std::string& path) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& column_names() const { return columns_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string format_double(double v, int precision);
+
+}  // namespace rapid

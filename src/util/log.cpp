@@ -1,0 +1,29 @@
+#include "util/log.h"
+
+#include <iostream>
+
+namespace rapid {
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (level < g_level) return;
+  std::cerr << "[" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace rapid

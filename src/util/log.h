@@ -1,0 +1,39 @@
+// Minimal leveled logging. The simulator is hot-path sensitive, so debug
+// logging compiles to a cheap level check and is off by default.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rapid {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define RAPID_LOG(level)                                \
+  if (::rapid::log_level() > ::rapid::LogLevel::level) { \
+  } else                                                \
+    ::rapid::detail::LogLine(::rapid::LogLevel::level)
+
+}  // namespace rapid

@@ -1,0 +1,128 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rapid {
+namespace {
+
+// SplitMix64: used to expand seeds into full xoshiro state and to hash
+// stream labels into seed material.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() {
+  // xoshiro256**
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+Rng Rng::split(std::string_view label, std::uint64_t index) const {
+  std::uint64_t mix = state_[0] ^ rotl(state_[3], 11);
+  mix ^= fnv1a(label);
+  mix += 0x632be59bd9b4e019ULL * (index + 1);
+  return Rng(mix);
+}
+
+double Rng::uniform() {
+  // 53-bit mantissa in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("uniform_int: lo > hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = std::numeric_limits<std::uint64_t>::max() -
+                              (std::numeric_limits<std::uint64_t>::max() % span);
+  std::uint64_t r;
+  do {
+    r = next_u64();
+  } while (r >= limit);
+  return lo + static_cast<std::int64_t>(r % span);
+}
+
+double Rng::exponential_mean(double mean) {
+  if (mean <= 0) return std::numeric_limits<double>::infinity();
+  double u;
+  do {
+    u = uniform();
+  } while (u == 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::lognormal_mean_cv(double mean, double cv) {
+  if (mean <= 0) throw std::invalid_argument("lognormal_mean_cv: mean must be positive");
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(mean) - sigma2 / 2.0;
+  return std::exp(normal(mu, std::sqrt(sigma2)));
+}
+
+double Rng::normal(double mu, double sigma) {
+  // Box-Muller; one value per call keeps the stream stateless across splits.
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 == 0.0);
+  const double u2 = uniform();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mu + sigma * z;
+}
+
+double Rng::pareto(double scale, double shape) {
+  double u;
+  do {
+    u = uniform();
+  } while (u == 0.0);
+  return scale / std::pow(u, 1.0 / shape);
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) total += w;
+  if (total <= 0) throw std::invalid_argument("weighted_index: non-positive total weight");
+  double x = uniform(0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace rapid

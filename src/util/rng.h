@@ -1,0 +1,60 @@
+// Deterministic, splittable random number generation.
+//
+// Every stochastic component of the simulator draws from an Rng that is
+// derived from an experiment seed plus a stream label, so that adding a new
+// consumer of randomness never perturbs the draws seen by existing ones and
+// every experiment is exactly reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+#include <vector>
+
+namespace rapid {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Derives an independent generator for a named sub-stream. The same
+  // (seed, label, index) triple always yields the same stream.
+  Rng split(std::string_view label, std::uint64_t index = 0) const;
+
+  // Uniform in [0, 1).
+  double uniform();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Exponential with the given mean (not rate). mean <= 0 returns +inf.
+  double exponential_mean(double mean);
+  // Lognormal such that the resulting distribution has the given mean and
+  // coefficient of variation (stddev / mean).
+  double lognormal_mean_cv(double mean, double cv);
+  double normal(double mu, double sigma);
+  double pareto(double scale, double shape);
+
+  // True with probability p.
+  bool bernoulli(double p);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Picks an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  std::uint64_t next_u64();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace rapid

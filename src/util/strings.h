@@ -1,0 +1,34 @@
+// String utilities used by trace IO and the bench option parser.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rapid {
+
+std::vector<std::string> split(std::string_view s, char delim);
+std::string_view trim(std::string_view s);
+bool starts_with(std::string_view s, std::string_view prefix);
+
+std::optional<double> parse_double(std::string_view s);
+std::optional<std::int64_t> parse_int(std::string_view s);
+
+// Tiny "--key=value" argument parser so benches and examples share flag
+// handling without a dependency.
+class Options {
+ public:
+  Options(int argc, char** argv);
+
+  double get_double(std::string_view key, double fallback) const;
+  std::int64_t get_int(std::string_view key, std::int64_t fallback) const;
+  std::string get_string(std::string_view key, std::string_view fallback) const;
+  bool get_bool(std::string_view key, bool fallback) const;
+  bool has(std::string_view key) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+}  // namespace rapid

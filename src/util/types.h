@@ -1,0 +1,33 @@
+// Scalar vocabulary types shared by every module.
+//
+// Simulation time is a double in seconds since the start of the experiment
+// (a trace day). Sizes are signed 64-bit byte counts so that subtraction in
+// budget arithmetic cannot wrap.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rapid {
+
+using Time = double;       // seconds since experiment start
+using Bytes = std::int64_t;
+
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+// Identifies a mobile node (a bus in DieselNet terms). Dense, 0-based.
+using NodeId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+// Globally unique packet identity, assigned by the workload generator.
+using PacketId = std::int64_t;
+inline constexpr PacketId kNoPacket = -1;
+
+inline constexpr double kSecondsPerMinute = 60.0;
+inline constexpr double kSecondsPerHour = 3600.0;
+
+constexpr Bytes operator""_KB(unsigned long long v) { return static_cast<Bytes>(v) * 1024; }
+constexpr Bytes operator""_MB(unsigned long long v) { return static_cast<Bytes>(v) * 1024 * 1024; }
+constexpr Bytes operator""_GB(unsigned long long v) { return static_cast<Bytes>(v) * 1024 * 1024 * 1024; }
+
+}  // namespace rapid

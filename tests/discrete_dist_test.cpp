@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/discrete_dist.h"
+#include "stats/distributions.h"
+
+namespace rapid {
+namespace {
+
+constexpr double kHorizon = 200.0;
+constexpr std::size_t kBins = 4000;
+
+TEST(DiscreteDist, ExponentialCdfMatchesClosedForm) {
+  const auto d = DiscreteDist::exponential(0.1, kHorizon, kBins);
+  for (double t : {1.0, 5.0, 10.0, 50.0}) {
+    EXPECT_NEAR(d.cdf(t), exponential_cdf(t, 0.1), 1e-3) << "t=" << t;
+  }
+}
+
+TEST(DiscreteDist, ExponentialMean) {
+  const auto d = DiscreteDist::exponential(0.2, kHorizon, kBins);
+  EXPECT_NEAR(d.mean(), 5.0, 0.1);
+}
+
+TEST(DiscreteDist, ConstantIsStep) {
+  const auto d = DiscreteDist::constant(10.0, kHorizon, kBins);
+  EXPECT_NEAR(d.cdf(9.0), 0.0, 1e-9);
+  EXPECT_NEAR(d.cdf(11.0), 1.0, 1e-9);
+  EXPECT_NEAR(d.mean(), 10.0, 0.1);
+}
+
+TEST(DiscreteDist, ConvolveExponentialsGivesErlang) {
+  const auto e = DiscreteDist::exponential(0.1, kHorizon, kBins);
+  const auto sum = e.convolve(e);
+  for (double t : {5.0, 10.0, 20.0, 40.0}) {
+    EXPECT_NEAR(sum.cdf(t), erlang_cdf(t, 2, 0.1), 0.02) << "t=" << t;
+  }
+  EXPECT_NEAR(sum.mean(), 20.0, 0.5);
+}
+
+TEST(DiscreteDist, ConvolveWithConstantShifts) {
+  const auto e = DiscreteDist::exponential(0.2, kHorizon, kBins);
+  const auto shifted = e.convolve(DiscreteDist::constant(5.0, kHorizon, kBins));
+  EXPECT_NEAR(shifted.mean(), 10.0, 0.2);
+  EXPECT_NEAR(shifted.cdf(4.0), 0.0, 0.02);
+}
+
+TEST(DiscreteDist, MinOfExponentialsIsExponentialSumRates) {
+  const auto a = DiscreteDist::exponential(0.1, kHorizon, kBins);
+  const auto b = DiscreteDist::exponential(0.3, kHorizon, kBins);
+  const auto m = a.min_with(b);
+  for (double t : {1.0, 2.5, 5.0, 10.0}) {
+    EXPECT_NEAR(m.cdf(t), exponential_cdf(t, 0.4), 2e-3) << "t=" << t;
+  }
+  EXPECT_NEAR(m.mean(), 2.5, 0.1);
+}
+
+TEST(DiscreteDist, MinNeverExceedsComponents) {
+  const auto a = DiscreteDist::erlang(3, 0.1, kHorizon, kBins);
+  const auto b = DiscreteDist::exponential(0.05, kHorizon, kBins);
+  const auto m = a.min_with(b);
+  EXPECT_LE(m.mean(), a.mean() + 1e-9);
+  EXPECT_LE(m.mean(), b.mean() + 1e-9);
+  for (double t : {5.0, 20.0, 80.0}) {
+    EXPECT_GE(m.cdf(t) + 1e-12, a.cdf(t));
+    EXPECT_GE(m.cdf(t) + 1e-12, b.cdf(t));
+  }
+}
+
+TEST(DiscreteDist, CdfMonotone) {
+  const auto d = DiscreteDist::erlang(2, 0.2, kHorizon, 500).convolve(
+      DiscreteDist::exponential(0.1, kHorizon, 500));
+  double prev = -1;
+  for (double t = 0; t < kHorizon; t += 2.5) {
+    const double c = d.cdf(t);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_LE(c, 1.0 + 1e-12);
+    prev = c;
+  }
+}
+
+TEST(DiscreteDist, GridMismatchThrows) {
+  const auto a = DiscreteDist::exponential(0.1, kHorizon, 100);
+  const auto b = DiscreteDist::exponential(0.1, kHorizon, 200);
+  EXPECT_THROW(a.convolve(b), std::invalid_argument);
+  EXPECT_THROW(a.min_with(b), std::invalid_argument);
+  EXPECT_THROW(DiscreteDist(0.0, 10), std::invalid_argument);
+  EXPECT_THROW(DiscreteDist(1.0, 0), std::invalid_argument);
+}
+
+TEST(DiscreteDist, TailTruncationIsConservative) {
+  // A slow exponential loses tail mass beyond the horizon; the mean must be
+  // truncated (underestimated) but never above the true mean.
+  const auto d = DiscreteDist::exponential(0.005, 100.0, 1000);  // true mean 200
+  EXPECT_LT(d.mean(), 200.0);
+  EXPECT_GT(d.mean(), 50.0);
+}
+
+}  // namespace
+}  // namespace rapid

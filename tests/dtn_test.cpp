@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "dtn/buffer.h"
+#include "dtn/packet.h"
+#include "dtn/schedule.h"
+#include "dtn/workload.h"
+#include "util/rng.h"
+
+namespace rapid {
+namespace {
+
+TEST(PacketPool, AssignsDenseIds) {
+  PacketPool pool;
+  Packet p;
+  p.src = 0;
+  p.dst = 1;
+  p.size = 1_KB;
+  EXPECT_EQ(pool.add(p), 0);
+  EXPECT_EQ(pool.add(p), 1);
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.get(1).id, 1);
+  EXPECT_THROW(pool.get(2), std::out_of_range);
+  EXPECT_THROW(pool.get(-1), std::out_of_range);
+}
+
+TEST(Packet, AgeAndDeadline) {
+  Packet p;
+  p.created = 100;
+  p.deadline = 160;
+  EXPECT_DOUBLE_EQ(p.age(130), 30.0);
+  EXPECT_FALSE(p.deadline_missed(159));
+  EXPECT_TRUE(p.deadline_missed(160));
+}
+
+TEST(Buffer, CapacityInvariant) {
+  Buffer buffer(3_KB);
+  EXPECT_TRUE(buffer.insert(1, 1_KB));
+  EXPECT_TRUE(buffer.insert(2, 1_KB));
+  EXPECT_TRUE(buffer.insert(3, 1_KB));
+  EXPECT_FALSE(buffer.insert(4, 1_KB));  // full
+  EXPECT_EQ(buffer.used(), 3_KB);
+  EXPECT_TRUE(buffer.erase(2));
+  EXPECT_TRUE(buffer.insert(4, 1_KB));
+  EXPECT_EQ(buffer.count(), 3u);
+}
+
+TEST(Buffer, UnlimitedCapacity) {
+  Buffer buffer(-1);
+  for (PacketId id = 0; id < 100; ++id) EXPECT_TRUE(buffer.insert(id, 10_MB));
+  EXPECT_TRUE(buffer.fits(1_GB));
+}
+
+TEST(Buffer, DuplicateInsertRejected) {
+  Buffer buffer(10_KB);
+  EXPECT_TRUE(buffer.insert(7, 1_KB));
+  EXPECT_FALSE(buffer.insert(7, 1_KB));
+  EXPECT_EQ(buffer.used(), 1_KB);
+}
+
+TEST(Buffer, EraseAccounting) {
+  Buffer buffer(10_KB);
+  buffer.insert(1, 2_KB);
+  EXPECT_FALSE(buffer.erase(99));
+  EXPECT_TRUE(buffer.erase(1));
+  EXPECT_EQ(buffer.used(), 0);
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_THROW(buffer.size_of(1), std::out_of_range);
+}
+
+TEST(Buffer, NegativeSizeThrows) {
+  Buffer buffer(10_KB);
+  EXPECT_THROW(buffer.insert(1, -5), std::invalid_argument);
+}
+
+TEST(Schedule, SortAndValidate) {
+  MeetingSchedule s;
+  s.num_nodes = 3;
+  s.duration = 100;
+  s.add(0, 1, 50, 1_KB);
+  s.add(1, 2, 10, 2_KB);
+  EXPECT_FALSE(s.is_sorted());
+  s.sort();
+  EXPECT_TRUE(s.is_sorted());
+  EXPECT_DOUBLE_EQ(s.meetings.front().time, 10.0);
+  EXPECT_EQ(s.total_capacity(), 3_KB);
+}
+
+TEST(Schedule, RejectsBadMeetings) {
+  MeetingSchedule s;
+  s.num_nodes = 2;
+  EXPECT_THROW(s.add(0, 0, 1, 1), std::invalid_argument);   // self meeting
+  EXPECT_THROW(s.add(0, 2, 1, 1), std::invalid_argument);   // out of range
+  EXPECT_THROW(s.add(0, 1, 1, -1), std::invalid_argument);  // negative capacity
+}
+
+TEST(Workload, PoissonRateMatchesLoad) {
+  WorkloadConfig config;
+  config.packets_per_period_per_pair = 4.0;
+  config.load_period = kSecondsPerHour;
+  config.duration = 10 * kSecondsPerHour;
+  Rng rng(1);
+  const PacketPool pool = generate_workload(config, 5, rng);
+  // 5*4 = 20 ordered pairs, each ~4/h over 10 h => ~800 packets.
+  EXPECT_NEAR(static_cast<double>(pool.size()), 800.0, 120.0);
+}
+
+TEST(Workload, SortedByCreationWithDenseIds) {
+  WorkloadConfig config;
+  config.packets_per_period_per_pair = 10.0;
+  config.duration = kSecondsPerHour;
+  Rng rng(2);
+  const PacketPool pool = generate_workload(config, 4, rng);
+  ASSERT_GT(pool.size(), 0u);
+  Time prev = -1;
+  for (const Packet& p : pool.all()) {
+    EXPECT_GE(p.created, prev);
+    prev = p.created;
+    EXPECT_NE(p.src, p.dst);
+    EXPECT_EQ(p.size, 1_KB);
+    EXPECT_EQ(&pool.get(p.id), &p);
+  }
+}
+
+TEST(Workload, DeadlinesAreRelative) {
+  WorkloadConfig config;
+  config.packets_per_period_per_pair = 5.0;
+  config.duration = kSecondsPerHour;
+  config.deadline = 120.0;
+  Rng rng(3);
+  const PacketPool pool = generate_workload(config, 3, rng);
+  for (const Packet& p : pool.all()) EXPECT_DOUBLE_EQ(p.deadline, p.created + 120.0);
+}
+
+TEST(Workload, RestrictedToActiveNodes) {
+  WorkloadConfig config;
+  config.packets_per_period_per_pair = 20.0;
+  config.duration = kSecondsPerHour;
+  Rng rng(4);
+  const std::vector<NodeId> active = {2, 5, 7};
+  const PacketPool pool = generate_workload(config, active, rng);
+  for (const Packet& p : pool.all()) {
+    EXPECT_TRUE(p.src == 2 || p.src == 5 || p.src == 7);
+    EXPECT_TRUE(p.dst == 2 || p.dst == 5 || p.dst == 7);
+  }
+}
+
+TEST(Workload, ZeroLoadIsEmpty) {
+  WorkloadConfig config;
+  config.packets_per_period_per_pair = 0.0;
+  Rng rng(5);
+  EXPECT_EQ(generate_workload(config, 4, rng).size(), 0u);
+}
+
+TEST(Workload, DeterministicForSeed) {
+  WorkloadConfig config;
+  config.packets_per_period_per_pair = 3.0;
+  config.duration = kSecondsPerHour;
+  Rng a(77), b(77);
+  const PacketPool p1 = generate_workload(config, 4, a);
+  const PacketPool p2 = generate_workload(config, 4, b);
+  ASSERT_EQ(p1.size(), p2.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(p1.all()[i].created, p2.all()[i].created);
+    EXPECT_EQ(p1.all()[i].src, p2.all()[i].src);
+  }
+}
+
+TEST(Workload, ParallelCohorts) {
+  ParallelCohortConfig config;
+  config.base.packets_per_period_per_pair = 1.0;
+  config.base.duration = kSecondsPerHour;
+  config.cohort_size = 10;
+  config.first_cohort_at = 30.0;
+  config.spacing = 600.0;
+  std::vector<NodeId> nodes;
+  for (NodeId n = 0; n < 12; ++n) nodes.push_back(n);
+  Rng rng(6);
+  std::vector<std::vector<PacketId>> cohorts;
+  const PacketPool pool = generate_parallel_cohorts(config, nodes, rng, &cohorts);
+  ASSERT_EQ(cohorts.size(), 6u);  // 30, 630, ..., 3030
+  for (const auto& cohort : cohorts) {
+    ASSERT_EQ(cohort.size(), 10u);
+    const Time t0 = pool.get(cohort.front()).created;
+    const NodeId src = pool.get(cohort.front()).src;
+    for (PacketId id : cohort) {
+      EXPECT_DOUBLE_EQ(pool.get(id).created, t0);  // truly parallel
+      EXPECT_EQ(pool.get(id).src, src);
+    }
+  }
+}
+
+TEST(Workload, BadConfigThrows) {
+  WorkloadConfig config;
+  config.packet_size = 0;
+  Rng rng(1);
+  EXPECT_THROW(generate_workload(config, 3, rng), std::invalid_argument);
+  config = WorkloadConfig{};
+  config.duration = 0;
+  EXPECT_THROW(generate_workload(config, 3, rng), std::invalid_argument);
+  config = WorkloadConfig{};
+  config.packets_per_period_per_pair = -1;
+  EXPECT_THROW(generate_workload(config, 3, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rapid

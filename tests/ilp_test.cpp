@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "opt/ilp.h"
+#include "util/rng.h"
+
+namespace rapid {
+namespace {
+
+TEST(Ilp, FractionalLpGetsRounded) {
+  // max x + y s.t. 2x + 2y <= 3 with binaries: LP gives x + y = 1.5; the
+  // integral optimum picks exactly one variable.
+  LinearProgram lp;
+  const int x = lp.add_variable(1);
+  const int y = lp.add_variable(1);
+  lp.add_constraint({{x, 2}, {y, 2}}, Relation::kLe, 3);
+  const IlpSolution s = solve_ilp(lp, {x, y});
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_TRUE(s.proven_optimal);
+  EXPECT_NEAR(s.objective, 1.0, 1e-6);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)] + s.x[static_cast<std::size_t>(y)], 1.0,
+              1e-6);
+}
+
+TEST(Ilp, KnapsackSmall) {
+  // Values {6,5,4}, weights {3,2,2}, capacity 4 -> best = 5 + 4 = 9.
+  LinearProgram lp;
+  const int a = lp.add_variable(6);
+  const int b = lp.add_variable(5);
+  const int c = lp.add_variable(4);
+  lp.add_constraint({{a, 3}, {b, 2}, {c, 2}}, Relation::kLe, 4);
+  const IlpSolution s = solve_ilp(lp, {a, b, c});
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 9.0, 1e-6);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(a)], 0.0, 1e-6);
+}
+
+TEST(Ilp, InfeasibleIntegerProblem) {
+  // x + y = 1.5 has fractional solutions only.
+  LinearProgram lp;
+  const int x = lp.add_variable(1);
+  const int y = lp.add_variable(1);
+  lp.add_constraint({{x, 1}, {y, 1}}, Relation::kEq, 1.5);
+  const IlpSolution s = solve_ilp(lp, {x, y});
+  EXPECT_NE(s.status, LpStatus::kOptimal);
+}
+
+TEST(Ilp, ContinuousVariablesStayContinuous) {
+  // Binary x, continuous z: max 2x + z s.t. x + z <= 1.5, z <= 0.7.
+  LinearProgram lp;
+  const int x = lp.add_variable(2);
+  const int z = lp.add_variable(1);
+  lp.add_constraint({{x, 1}, {z, 1}}, Relation::kLe, 1.5);
+  lp.add_constraint({{z, 1}}, Relation::kLe, 0.7);
+  const IlpSolution s = solve_ilp(lp, {x});
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 1.0, 1e-6);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(z)], 0.5, 1e-6);
+  EXPECT_NEAR(s.objective, 2.5, 1e-6);
+}
+
+// Property: branch-and-bound must match brute-force enumeration on random
+// small knapsack-style 0/1 programs.
+class IlpRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(IlpRandomized, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  const int n = 6;
+  std::vector<double> value(n), weight(n);
+  for (int i = 0; i < n; ++i) {
+    value[static_cast<std::size_t>(i)] = rng.uniform(1.0, 10.0);
+    weight[static_cast<std::size_t>(i)] = rng.uniform(1.0, 5.0);
+  }
+  const double capacity = rng.uniform(5.0, 12.0);
+
+  LinearProgram lp;
+  std::vector<int> vars;
+  for (int i = 0; i < n; ++i) vars.push_back(lp.add_variable(value[static_cast<std::size_t>(i)]));
+  std::vector<std::pair<int, double>> terms;
+  for (int i = 0; i < n; ++i) terms.emplace_back(vars[static_cast<std::size_t>(i)],
+                                                 weight[static_cast<std::size_t>(i)]);
+  lp.add_constraint(terms, Relation::kLe, capacity);
+
+  const IlpSolution s = solve_ilp(lp, vars);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  ASSERT_TRUE(s.proven_optimal);
+
+  double best = 0;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    double v = 0, w = 0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1 << i)) {
+        v += value[static_cast<std::size_t>(i)];
+        w += weight[static_cast<std::size_t>(i)];
+      }
+    }
+    if (w <= capacity) best = std::max(best, v);
+  }
+  EXPECT_NEAR(s.objective, best, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IlpRandomized, ::testing::Range(1, 11));
+
+TEST(Ilp, RejectsBadBinaryIndex) {
+  LinearProgram lp;
+  lp.add_variable(1);
+  EXPECT_THROW(solve_ilp(lp, {5}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace rapid

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "core/metadata.h"
+
+namespace rapid {
+namespace {
+
+TEST(MetadataStore, UpdateAndLookup) {
+  MetadataStore store;
+  EXPECT_FALSE(store.knows(1));
+  EXPECT_TRUE(store.update_replica(1, {3, 120.0, 10.0}));
+  ASSERT_TRUE(store.knows(1));
+  ASSERT_EQ(store.replicas(1).size(), 1u);
+  EXPECT_EQ(store.replicas(1)[0].holder, 3);
+  EXPECT_DOUBLE_EQ(store.replicas(1)[0].direct_delay, 120.0);
+}
+
+TEST(MetadataStore, FreshStampWins) {
+  MetadataStore store;
+  store.update_replica(1, {3, 120.0, 10.0});
+  EXPECT_FALSE(store.update_replica(1, {3, 50.0, 5.0}));  // stale, ignored
+  EXPECT_DOUBLE_EQ(store.replicas(1)[0].direct_delay, 120.0);
+  EXPECT_TRUE(store.update_replica(1, {3, 50.0, 20.0}));
+  EXPECT_DOUBLE_EQ(store.replicas(1)[0].direct_delay, 50.0);
+}
+
+TEST(MetadataStore, MultipleHolders) {
+  MetadataStore store;
+  store.update_replica(1, {3, 120.0, 10.0});
+  store.update_replica(1, {5, 60.0, 11.0});
+  store.update_replica(1, {7, 90.0, 12.0});
+  EXPECT_EQ(store.replicas(1).size(), 3u);
+}
+
+TEST(MetadataStore, RemoveReplicaRespectsStamps) {
+  MetadataStore store;
+  store.update_replica(1, {3, 120.0, 10.0});
+  EXPECT_FALSE(store.remove_replica(1, 3, 5.0));  // stale removal ignored
+  EXPECT_EQ(store.replicas(1).size(), 1u);
+  EXPECT_TRUE(store.remove_replica(1, 3, 15.0));
+  EXPECT_TRUE(store.replicas(1).empty());
+  EXPECT_FALSE(store.remove_replica(2, 3, 1.0));  // unknown packet
+}
+
+TEST(MetadataStore, ForgetPacket) {
+  MetadataStore store;
+  store.update_replica(1, {3, 120.0, 10.0});
+  store.forget_packet(1);
+  EXPECT_FALSE(store.knows(1));
+  EXPECT_TRUE(store.replicas(1).empty());
+  EXPECT_EQ(store.find(1), nullptr);
+}
+
+TEST(MetadataStore, ChangedSinceDeltaEncoding) {
+  MetadataStore store;
+  store.update_replica(1, {3, 120.0, 10.0});
+  store.update_replica(2, {4, 60.0, 20.0});
+  store.update_replica(3, {5, 30.0, 30.0});
+
+  EXPECT_EQ(store.changed_since(-kTimeInfinity).size(), 3u);
+  EXPECT_EQ(store.changed_since(15.0).size(), 2u);
+  EXPECT_EQ(store.changed_since(30.0).size(), 0u);  // strict >
+
+  // Touching an old record bumps it back into the delta.
+  store.update_replica(1, {9, 10.0, 40.0});
+  EXPECT_EQ(store.changed_since(35.0).size(), 1u);
+}
+
+TEST(MetadataStore, RecordBytes) {
+  PacketMetadata meta;
+  meta.replicas.push_back({1, 10.0, 1.0});
+  meta.replicas.push_back({2, 20.0, 2.0});
+  EXPECT_EQ(MetadataStore::record_bytes(meta),
+            kPacketRecordHeaderBytes + 2 * kReplicaEntryBytes);
+}
+
+TEST(MetadataStore, ForEachVisitsAll) {
+  MetadataStore store;
+  store.update_replica(1, {3, 1.0, 1.0});
+  store.update_replica(2, {3, 1.0, 1.0});
+  int seen = 0;
+  store.for_each([&](PacketId, const PacketMetadata&) { ++seen; });
+  EXPECT_EQ(seen, 2);
+  EXPECT_EQ(store.packet_count(), 2u);
+}
+
+}  // namespace
+}  // namespace rapid

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "mobility/dieselnet.h"
+#include "mobility/exponential_model.h"
+#include "mobility/powerlaw_model.h"
+#include "util/rng.h"
+
+namespace rapid {
+namespace {
+
+TEST(ExponentialModel, MeetingCountMatchesRate) {
+  ExponentialMobilityConfig config;
+  config.num_nodes = 10;
+  config.duration = 600;
+  config.pair_mean_intermeeting = 60;
+  Rng rng(1);
+  const MeetingSchedule s = generate_exponential_schedule(config, rng);
+  EXPECT_TRUE(s.is_sorted());
+  // 45 pairs * 10 expected meetings each = 450.
+  EXPECT_NEAR(static_cast<double>(s.size()), 450.0, 80.0);
+  for (const Meeting& m : s.meetings) {
+    EXPECT_GE(m.time, 0.0);
+    EXPECT_LT(m.time, config.duration);
+    EXPECT_GT(m.capacity, 0);
+  }
+}
+
+TEST(ExponentialModel, AllPairsEventuallyMeet) {
+  ExponentialMobilityConfig config;
+  config.num_nodes = 6;
+  config.duration = 3000;
+  config.pair_mean_intermeeting = 50;
+  Rng rng(2);
+  const MeetingSchedule s = generate_exponential_schedule(config, rng);
+  std::set<std::pair<NodeId, NodeId>> pairs;
+  for (const Meeting& m : s.meetings) pairs.insert({std::min(m.a, m.b), std::max(m.a, m.b)});
+  EXPECT_EQ(pairs.size(), 15u);
+}
+
+TEST(ExponentialModel, OpportunityMeanCalibrated) {
+  ExponentialMobilityConfig config;
+  config.num_nodes = 12;
+  config.duration = 2000;
+  config.pair_mean_intermeeting = 40;
+  config.mean_opportunity = 100_KB;
+  Rng rng(3);
+  const MeetingSchedule s = generate_exponential_schedule(config, rng);
+  ASSERT_GT(s.size(), 500u);
+  const double avg = static_cast<double>(s.total_capacity()) / static_cast<double>(s.size());
+  EXPECT_NEAR(avg, static_cast<double>(100_KB), static_cast<double>(12_KB));
+}
+
+TEST(ExponentialModel, BadConfigThrows) {
+  ExponentialMobilityConfig config;
+  config.num_nodes = 1;
+  Rng rng(1);
+  EXPECT_THROW(generate_exponential_schedule(config, rng), std::invalid_argument);
+  config.num_nodes = 5;
+  config.pair_mean_intermeeting = 0;
+  EXPECT_THROW(generate_exponential_schedule(config, rng), std::invalid_argument);
+}
+
+TEST(PowerlawModel, PopularNodesMeetMore) {
+  PowerlawMobilityConfig config;
+  config.num_nodes = 20;
+  config.duration = 900;
+  Rng rng(4);
+  const PowerlawSchedule ps = generate_powerlaw_schedule(config, rng);
+  EXPECT_TRUE(ps.schedule.is_sorted());
+
+  // Ranks are a permutation of 1..20.
+  std::vector<int> sorted = ps.popularity_rank;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i + 1);
+
+  // Meeting counts per node should correlate negatively with rank.
+  std::vector<int> count(20, 0);
+  for (const Meeting& m : ps.schedule.meetings) {
+    ++count[static_cast<std::size_t>(m.a)];
+    ++count[static_cast<std::size_t>(m.b)];
+  }
+  NodeId most_popular = 0, least_popular = 0;
+  for (NodeId n = 0; n < 20; ++n) {
+    if (ps.popularity_rank[static_cast<std::size_t>(n)] == 1) most_popular = n;
+    if (ps.popularity_rank[static_cast<std::size_t>(n)] == 20) least_popular = n;
+  }
+  EXPECT_GT(count[static_cast<std::size_t>(most_popular)],
+            2 * count[static_cast<std::size_t>(least_popular)]);
+}
+
+TEST(PowerlawModel, SkewZeroDegeneratesToUniform) {
+  PowerlawMobilityConfig config;
+  config.num_nodes = 8;
+  config.duration = 2000;
+  config.skew = 0.0;
+  config.base_mean = 50.0;
+  Rng rng(5);
+  const PowerlawSchedule ps = generate_powerlaw_schedule(config, rng);
+  // 28 pairs * 40 each = 1120 expected meetings.
+  EXPECT_NEAR(static_cast<double>(ps.schedule.size()), 1120.0, 160.0);
+}
+
+TEST(DieselNet, DailyStructure) {
+  DieselNetConfig config;  // full scale
+  Rng rng(6);
+  const DieselNetTrace trace = generate_dieselnet_trace(config, 10, rng);
+  ASSERT_EQ(trace.days.size(), 10u);
+  for (const DayTrace& day : trace.days) {
+    EXPECT_GE(static_cast<int>(day.active_buses.size()), config.min_buses_per_day);
+    EXPECT_LE(static_cast<int>(day.active_buses.size()), config.max_buses_per_day);
+    EXPECT_TRUE(day.schedule.is_sorted());
+    EXPECT_EQ(day.schedule.num_nodes, config.fleet_size);
+    // Meetings only among the day's active buses.
+    const std::set<NodeId> active(day.active_buses.begin(), day.active_buses.end());
+    for (const Meeting& m : day.schedule.meetings) {
+      EXPECT_TRUE(active.count(m.a));
+      EXPECT_TRUE(active.count(m.b));
+    }
+  }
+}
+
+TEST(DieselNet, CalibratedToTable3Scale) {
+  // Table 3: ~147.5 meetings and ~261 MB transferred per day on average.
+  DieselNetConfig config;
+  Rng rng(7);
+  const DieselNetTrace trace = generate_dieselnet_trace(config, 30, rng);
+  double meetings = 0, bytes = 0;
+  for (const DayTrace& day : trace.days) {
+    meetings += static_cast<double>(day.schedule.size());
+    bytes += static_cast<double>(day.schedule.total_capacity());
+  }
+  meetings /= 30.0;
+  bytes /= 30.0;
+  EXPECT_NEAR(meetings, 147.5, 45.0);
+  EXPECT_NEAR(bytes / (1024.0 * 1024.0), 261.0, 95.0);
+}
+
+TEST(DieselNet, SomePairsNeverMeetDirectly) {
+  // With hub visits disabled, the route structure leaves never-meeting
+  // pairs: that is what forces RAPID's multi-hop meeting-time estimation
+  // (§4.1.2).
+  DieselNetConfig config;
+  config.hub_rate = 0.0;
+  Rng rng(8);
+  const DieselNetTrace trace = generate_dieselnet_trace(config, 20, rng);
+  std::set<std::pair<NodeId, NodeId>> met;
+  for (const DayTrace& day : trace.days) {
+    for (const Meeting& m : day.schedule.meetings)
+      met.insert({std::min(m.a, m.b), std::max(m.a, m.b)});
+  }
+  const std::size_t all_pairs =
+      static_cast<std::size_t>(config.fleet_size) * (config.fleet_size - 1) / 2;
+  EXPECT_LT(met.size(), all_pairs * 3 / 4);
+  const auto routes = dieselnet_routes(config);
+  for (const auto& [a, b] : met) {
+    const int diff = std::abs(routes[static_cast<std::size_t>(a)] -
+                              routes[static_cast<std::size_t>(b)]);
+    const int ring = std::min(diff, config.num_routes - diff);
+    EXPECT_LE(ring, 1);  // only same-route or adjacent-route pairs meet
+  }
+}
+
+TEST(DieselNet, HubKeepsContactGraphConnected) {
+  // With the default hub rate, far-route pairs do meet occasionally, but far
+  // less often than same-route pairs (the frequency skew RAPID exploits).
+  DieselNetConfig config;
+  Rng rng(21);
+  const DieselNetTrace trace = generate_dieselnet_trace(config, 40, rng);
+  const auto routes = dieselnet_routes(config);
+  std::size_t same_meetings = 0, same_pairs = 0, far_meetings = 0, far_pairs = 0;
+  std::map<std::pair<NodeId, NodeId>, std::size_t> counts;
+  for (const DayTrace& day : trace.days)
+    for (const Meeting& m : day.schedule.meetings)
+      ++counts[{std::min(m.a, m.b), std::max(m.a, m.b)}];
+  for (const auto& [pair, count] : counts) {
+    const int diff = std::abs(routes[static_cast<std::size_t>(pair.first)] -
+                              routes[static_cast<std::size_t>(pair.second)]);
+    const int ring = std::min(diff, config.num_routes - diff);
+    if (ring == 0) {
+      same_meetings += count;
+      ++same_pairs;
+    } else if (ring > 1) {
+      far_meetings += count;
+      ++far_pairs;
+    }
+  }
+  ASSERT_GT(far_pairs, 0u);  // hub connectivity exists
+  ASSERT_GT(same_pairs, 0u);
+  const double same_rate = static_cast<double>(same_meetings) / static_cast<double>(same_pairs);
+  const double far_rate = static_cast<double>(far_meetings) / static_cast<double>(far_pairs);
+  EXPECT_GT(same_rate, 3.0 * far_rate);
+}
+
+TEST(DieselNet, DeterministicForSeed) {
+  DieselNetConfig config;
+  Rng a(9), b(9);
+  const DieselNetTrace t1 = generate_dieselnet_trace(config, 3, a);
+  const DieselNetTrace t2 = generate_dieselnet_trace(config, 3, b);
+  ASSERT_EQ(t1.days.size(), t2.days.size());
+  for (std::size_t d = 0; d < t1.days.size(); ++d) {
+    ASSERT_EQ(t1.days[d].schedule.size(), t2.days[d].schedule.size());
+    EXPECT_EQ(t1.days[d].active_buses, t2.days[d].active_buses);
+  }
+}
+
+TEST(DieselNet, PerturbationShavesCapacityAndDropsMeetings) {
+  DieselNetConfig config;
+  Rng rng(10);
+  const DieselNetTrace trace = generate_dieselnet_trace(config, 5, rng);
+  DeploymentPerturbation pert;  // stronger than default: tests the mechanism
+  pert.meeting_loss_prob = 0.02;
+  pert.capacity_shave_max = 0.18;
+  pert.handshake_bytes = 24_KB;
+  Rng prng(11);
+  std::size_t original = 0, perturbed = 0;
+  Bytes original_bytes = 0, perturbed_bytes = 0;
+  for (const DayTrace& day : trace.days) {
+    const MeetingSchedule p = perturb_schedule(day.schedule, pert, prng);
+    EXPECT_TRUE(p.is_sorted());
+    original += day.schedule.size();
+    perturbed += p.size();
+    original_bytes += day.schedule.total_capacity();
+    perturbed_bytes += p.total_capacity();
+    for (const Meeting& m : p.meetings) {
+      EXPECT_GE(m.time, 0.0);
+      EXPECT_LE(m.time, day.schedule.duration);
+    }
+  }
+  EXPECT_LT(perturbed, original);          // some meetings lost
+  EXPECT_GT(perturbed, original * 9 / 10); // but only a few percent
+  EXPECT_LT(perturbed_bytes, original_bytes);
+}
+
+TEST(DieselNet, BadConfigThrows) {
+  DieselNetConfig config;
+  Rng rng(1);
+  EXPECT_THROW(generate_dieselnet_trace(config, 0, rng), std::invalid_argument);
+  config.min_buses_per_day = 30;
+  config.max_buses_per_day = 20;
+  EXPECT_THROW(generate_dieselnet_trace(config, 1, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rapid

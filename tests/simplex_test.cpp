@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "opt/simplex.h"
+#include "util/rng.h"
+
+namespace rapid {
+namespace {
+
+TEST(Simplex, TextbookMaximization) {
+  // max 3x + 2y  s.t. x + y <= 4, x + 3y <= 6  -> x = 4, y = 0, obj 12.
+  LinearProgram lp;
+  const int x = lp.add_variable(3);
+  const int y = lp.add_variable(2);
+  lp.add_constraint({{x, 1}, {y, 1}}, Relation::kLe, 4);
+  lp.add_constraint({{x, 1}, {y, 3}}, Relation::kLe, 6);
+  const LpSolution s = solve_lp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 12.0, 1e-9);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 4.0, 1e-9);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(y)], 0.0, 1e-9);
+}
+
+TEST(Simplex, InteriorOptimum) {
+  // max x + y  s.t. 2x + y <= 10, x + 3y <= 15 -> x = 3, y = 4, obj 7.
+  LinearProgram lp;
+  const int x = lp.add_variable(1);
+  const int y = lp.add_variable(1);
+  lp.add_constraint({{x, 2}, {y, 1}}, Relation::kLe, 10);
+  lp.add_constraint({{x, 1}, {y, 3}}, Relation::kLe, 15);
+  const LpSolution s = solve_lp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 7.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 3.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 4.0, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // max x + 2y  s.t. x + y = 3, x <= 2 -> x = 0? no: y free up to 3.
+  // x + y = 3, maximize x + 2y -> y = 3, x = 0, obj 6.
+  LinearProgram lp;
+  const int x = lp.add_variable(1);
+  const int y = lp.add_variable(2);
+  lp.add_constraint({{x, 1}, {y, 1}}, Relation::kEq, 3);
+  lp.add_constraint({{x, 1}}, Relation::kLe, 2);
+  const LpSolution s = solve_lp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 6.0, 1e-9);
+}
+
+TEST(Simplex, GreaterEqualConstraints) {
+  // min x (as max -x) s.t. x >= 5 -> x = 5.
+  LinearProgram lp;
+  const int x = lp.add_variable(-1);
+  lp.add_constraint({{x, 1}}, Relation::kGe, 5);
+  const LpSolution s = solve_lp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 5.0, 1e-9);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  LinearProgram lp;
+  const int x = lp.add_variable(1);
+  lp.add_constraint({{x, 1}}, Relation::kLe, 1);
+  lp.add_constraint({{x, 1}}, Relation::kGe, 2);
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  LinearProgram lp;
+  const int x = lp.add_variable(1);
+  lp.add_constraint({{x, -1}}, Relation::kLe, 0);  // x >= 0 only
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalized) {
+  // x - y <= -1 with x, y >= 0: y >= x + 1. max x + y bounded by y <= 3.
+  LinearProgram lp;
+  const int x = lp.add_variable(1);
+  const int y = lp.add_variable(1);
+  lp.add_constraint({{x, 1}, {y, -1}}, Relation::kLe, -1);
+  lp.add_constraint({{y, 1}}, Relation::kLe, 3);
+  const LpSolution s = solve_lp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-9);  // x = 2, y = 3
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex (classic
+  // degeneracy); Bland's rule must still terminate.
+  LinearProgram lp;
+  const int x = lp.add_variable(1);
+  const int y = lp.add_variable(1);
+  lp.add_constraint({{x, 1}}, Relation::kLe, 1);
+  lp.add_constraint({{x, 1}, {y, 0}}, Relation::kLe, 1);
+  lp.add_constraint({{x, 1}, {y, 1}}, Relation::kLe, 2);
+  lp.add_constraint({{y, 1}}, Relation::kLe, 1);
+  const LpSolution s = solve_lp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, EmptyProgram) {
+  LinearProgram lp;
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kOptimal);
+}
+
+TEST(Simplex, MismatchedWidthsThrow) {
+  LinearProgram lp;
+  lp.add_variable(1);
+  lp.num_vars = 2;  // corrupt deliberately
+  EXPECT_THROW(solve_lp(lp), std::invalid_argument);
+}
+
+// Property test: LP optimum of random bounded transportation-like problems
+// must match a brute-force grid search over the (small, integral) domain.
+class SimplexRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomized, MatchesBruteForceOnBoundedBox) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  // max c0 x + c1 y s.t. a x + b y <= r, x <= 3, y <= 3 with positive coeffs.
+  const double c0 = rng.uniform(0.5, 2.0), c1 = rng.uniform(0.5, 2.0);
+  const double a = rng.uniform(0.5, 2.0), b = rng.uniform(0.5, 2.0);
+  const double r = rng.uniform(2.0, 6.0);
+  LinearProgram lp;
+  const int x = lp.add_variable(c0);
+  const int y = lp.add_variable(c1);
+  lp.add_constraint({{x, a}, {y, b}}, Relation::kLe, r);
+  lp.add_constraint({{x, 1}}, Relation::kLe, 3);
+  lp.add_constraint({{y, 1}}, Relation::kLe, 3);
+  const LpSolution s = solve_lp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+
+  // Dense grid search (the optimum is at a vertex, but the grid bounds it).
+  double best = 0;
+  for (double gx = 0; gx <= 3.0001; gx += 0.01) {
+    for (double gy = 0; gy <= 3.0001; gy += 0.01) {
+      if (a * gx + b * gy <= r + 1e-9) best = std::max(best, c0 * gx + c1 * gy);
+    }
+  }
+  EXPECT_GE(s.objective, best - 0.05);
+  EXPECT_LE(s.objective, best + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomized, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace rapid

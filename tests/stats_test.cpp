@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/distributions.h"
+#include "stats/fairness.h"
+#include "stats/moments.h"
+#include "stats/summary.h"
+#include "stats/ttest.h"
+#include "util/rng.h"
+
+namespace rapid {
+namespace {
+
+TEST(RunningMoments, BasicStatistics) {
+  RunningMoments m;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) m.add(v);
+  EXPECT_EQ(m.count(), 8u);
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  EXPECT_NEAR(m.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.min(), 2.0);
+  EXPECT_DOUBLE_EQ(m.max(), 9.0);
+}
+
+TEST(RunningMoments, MergeMatchesCombined) {
+  RunningMoments a, b, all;
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningMoments, EmptyIsSafe) {
+  RunningMoments m;
+  EXPECT_EQ(m.mean(), 0.0);
+  EXPECT_EQ(m.variance(), 0.0);
+}
+
+TEST(MovingAverage, PlainMeanWhenAlphaZero) {
+  MovingAverage avg;
+  avg.add(1);
+  avg.add(2);
+  avg.add(6);
+  EXPECT_DOUBLE_EQ(avg.value(), 3.0);
+}
+
+TEST(MovingAverage, ExponentialWeighting) {
+  MovingAverage avg(0.5);
+  avg.add(10);
+  avg.add(20);
+  EXPECT_DOUBLE_EQ(avg.value(), 15.0);
+  EXPECT_DOUBLE_EQ(MovingAverage(0.5).value_or(7.0), 7.0);
+}
+
+TEST(Percentile, NearestRankInterpolation) {
+  std::vector<double> data = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(data, 0), 1);
+  EXPECT_DOUBLE_EQ(percentile(data, 50), 3);
+  EXPECT_DOUBLE_EQ(percentile(data, 100), 5);
+  EXPECT_DOUBLE_EQ(percentile(data, 25), 2);
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+}
+
+TEST(Summary, ConfidenceIntervalCoversTrueMean) {
+  // Property: ~95% of 95% CIs over N(0,1) samples should contain 0.
+  Rng rng(99);
+  int covered = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> sample;
+    for (int i = 0; i < 12; ++i) sample.push_back(rng.normal(0.0, 1.0));
+    const Summary s = summarize(sample, 0.95);
+    if (s.lo() <= 0.0 && 0.0 <= s.hi()) ++covered;
+  }
+  EXPECT_NEAR(static_cast<double>(covered) / trials, 0.95, 0.05);
+}
+
+TEST(Summary, KnownTCriticalValues) {
+  // Textbook two-sided critical values.
+  EXPECT_NEAR(student_t_critical(10, 0.95), 2.228, 1e-3);
+  EXPECT_NEAR(student_t_critical(30, 0.95), 2.042, 1e-3);
+  EXPECT_NEAR(student_t_critical(5, 0.99), 4.032, 1e-3);
+}
+
+TEST(Summary, TCdfSymmetry) {
+  EXPECT_NEAR(student_t_cdf(0.0, 7), 0.5, 1e-12);
+  EXPECT_NEAR(student_t_cdf(1.5, 7) + student_t_cdf(-1.5, 7), 1.0, 1e-12);
+}
+
+TEST(IncompleteBeta, Endpoints) {
+  EXPECT_DOUBLE_EQ(incomplete_beta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2, 3, 1.0), 1.0);
+  // I_x(1,1) = x.
+  EXPECT_NEAR(incomplete_beta(1, 1, 0.37), 0.37, 1e-12);
+}
+
+TEST(PairedTTest, DetectsConsistentDifference) {
+  std::vector<double> a, b;
+  Rng rng(7);
+  for (int i = 0; i < 40; ++i) {
+    const double base = rng.uniform(10, 100);
+    a.push_back(base + rng.normal(5.0, 1.0));  // a consistently ~5 above b
+    b.push_back(base);
+  }
+  const auto result = paired_t_test(a, b);
+  ASSERT_TRUE(result.valid);
+  EXPECT_GT(result.mean_difference, 4.0);
+  EXPECT_LT(result.p_value, 0.0005);  // the paper's reported significance
+}
+
+TEST(PairedTTest, NoDifferenceIsInsignificant) {
+  std::vector<double> a, b;
+  Rng rng(8);
+  for (int i = 0; i < 40; ++i) {
+    const double base = rng.uniform(10, 100);
+    a.push_back(base + rng.normal(0.0, 3.0));
+    b.push_back(base + rng.normal(0.0, 3.0));
+  }
+  const auto result = paired_t_test(a, b);
+  ASSERT_TRUE(result.valid);
+  EXPECT_GT(result.p_value, 0.01);
+}
+
+TEST(PairedTTest, DegenerateCases) {
+  EXPECT_FALSE(paired_t_test({1.0}, {2.0}).valid);
+  EXPECT_THROW(paired_t_test({1.0, 2.0}, {1.0}), std::invalid_argument);
+  const auto equal = paired_t_test({1, 2, 3}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(equal.p_value, 1.0);
+}
+
+TEST(Fairness, JainIndexProperties) {
+  EXPECT_DOUBLE_EQ(jain_fairness_index({5, 5, 5, 5}), 1.0);
+  // One flow hogging everything: J = 1/n.
+  EXPECT_NEAR(jain_fairness_index({10, 0, 0, 0}), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(jain_fairness_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness_index({3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness_index({0, 0}), 1.0);
+}
+
+TEST(Fairness, ScaleInvariance) {
+  const std::vector<double> base = {1, 2, 3, 4};
+  std::vector<double> scaled;
+  for (double v : base) scaled.push_back(v * 17.0);
+  EXPECT_NEAR(jain_fairness_index(base), jain_fairness_index(scaled), 1e-12);
+}
+
+TEST(Distributions, ExponentialBasics) {
+  EXPECT_NEAR(exponential_cdf(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(exponential_cdf(-1.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(exponential_mean(0.5), 2.0);
+  EXPECT_TRUE(std::isinf(exponential_mean(0.0)));
+  EXPECT_THROW(exponential_cdf(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Distributions, MinOfExponentials) {
+  const double lambdas[] = {0.5, 1.5};
+  EXPECT_DOUBLE_EQ(min_exponentials_rate(lambdas, 2), 2.0);
+  EXPECT_DOUBLE_EQ(min_exponentials_mean(lambdas, 2), 0.5);
+  EXPECT_NEAR(min_exponentials_cdf(1.0, lambdas, 2), 1.0 - std::exp(-2.0), 1e-12);
+}
+
+TEST(Distributions, ErlangMatchesMonteCarlo) {
+  // Erlang(3, 0.5): mean 6; CDF at 6 compared against simulation.
+  Rng rng(5);
+  const int trials = 40000;
+  int within = 0;
+  for (int t = 0; t < trials; ++t) {
+    double total = 0;
+    for (int i = 0; i < 3; ++i) total += rng.exponential_mean(2.0);
+    within += total <= 6.0;
+  }
+  EXPECT_NEAR(erlang_cdf(6.0, 3, 0.5), static_cast<double>(within) / trials, 0.01);
+  EXPECT_DOUBLE_EQ(erlang_mean(3, 0.5), 6.0);
+}
+
+TEST(Distributions, RegularizedGammaEdges) {
+  EXPECT_DOUBLE_EQ(regularized_gamma_p(2.0, 0.0), 0.0);
+  // P(1, x) = 1 - e^-x.
+  EXPECT_NEAR(regularized_gamma_p(1.0, 2.0), 1.0 - std::exp(-2.0), 1e-10);
+  EXPECT_THROW(regularized_gamma_p(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(Distributions, RapidApproximationEq7And8) {
+  // Two replicas: n1 = 1 meeting at rate 1/10, n2 = 2 meetings at rate 1/20.
+  // Rate sum = 1/10 + 1/40 = 0.125; A = 8.
+  const ReplicaTerm terms[] = {{0.1, 1}, {0.05, 2}};
+  EXPECT_NEAR(rapid_expected_delay(terms, 2), 8.0, 1e-12);
+  EXPECT_NEAR(rapid_delivery_probability(8.0, terms, 2), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(rapid_delivery_probability(-1.0, terms, 2), 0.0);
+}
+
+TEST(Distributions, RapidApproximationSingleReplicaIsExactForN1) {
+  // With one replica and n = 1 the approximation is the true exponential.
+  const ReplicaTerm term[] = {{0.25, 1}};
+  EXPECT_DOUBLE_EQ(rapid_expected_delay(term, 1), 4.0);
+}
+
+TEST(Distributions, RapidZeroRateIsInfinite) {
+  const ReplicaTerm term[] = {{0.0, 1}};
+  EXPECT_TRUE(std::isinf(rapid_expected_delay(term, 1)));
+  EXPECT_DOUBLE_EQ(rapid_delivery_probability(5.0, term, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace rapid

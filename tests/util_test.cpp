@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/types.h"
+
+namespace rapid {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, SplitIndependentOfDrawOrder) {
+  Rng parent(7);
+  Rng s1 = parent.split("alpha");
+  Rng s2 = parent.split("beta");
+  // Splitting again with the same label yields the same stream regardless of
+  // what the siblings consumed.
+  s2.uniform();
+  s2.uniform();
+  Rng s1_again = parent.split("alpha");
+  EXPECT_EQ(s1.next_u64(), s1_again.next_u64());
+}
+
+TEST(Rng, SplitByIndexDiffers) {
+  Rng parent(7);
+  EXPECT_NE(parent.split("x", 0).next_u64(), parent.split("x", 1).next_u64());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 2;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntRejectsBadRange) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_int(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential_mean(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, ExponentialNonPositiveMeanIsInfinity) {
+  Rng rng(11);
+  EXPECT_TRUE(std::isinf(rng.exponential_mean(0.0)));
+  EXPECT_TRUE(std::isinf(rng.exponential_mean(-1.0)));
+}
+
+TEST(Rng, LognormalMeanCv) {
+  Rng rng(13);
+  double sum = 0, sum_sq = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.lognormal_mean_cv(100.0, 0.5);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 100.0, 2.5);
+  EXPECT_NEAR(std::sqrt(var) / mean, 0.5, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(19);
+  std::vector<double> w = {1.0, 3.0};
+  int ones = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) ones += rng.weighted_index(w) == 1;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.03);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5};
+  auto copy = v;
+  rng.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, v);
+}
+
+TEST(Types, ByteLiterals) {
+  EXPECT_EQ(1_KB, 1024);
+  EXPECT_EQ(2_MB, 2 * 1024 * 1024);
+  EXPECT_EQ(1_GB, 1024LL * 1024 * 1024);
+}
+
+TEST(Strings, SplitBasic) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, TrimAndStartsWith) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+}
+
+TEST(Strings, ParseNumbers) {
+  EXPECT_EQ(parse_int("42").value(), 42);
+  EXPECT_FALSE(parse_int("4x").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_DOUBLE_EQ(parse_double(" 2.5 ").value(), 2.5);
+  EXPECT_FALSE(parse_double("two").has_value());
+}
+
+TEST(Options, ParsesKeyValueFlags) {
+  const char* argv[] = {"prog", "--runs=3", "--mode=fast", "--verbose", "positional"};
+  Options options(5, const_cast<char**>(argv));
+  EXPECT_EQ(options.get_int("runs", 0), 3);
+  EXPECT_EQ(options.get_string("mode", "slow"), "fast");
+  EXPECT_TRUE(options.get_bool("verbose", false));
+  EXPECT_FALSE(options.has("missing"));
+  EXPECT_EQ(options.get_int("missing", 9), 9);
+}
+
+TEST(Table, PrintAndCsv) {
+  Table t({"x", "y"});
+  t.add_row(std::vector<double>{1.0, 2.5}, 1);
+  t.add_row(std::vector<std::string>{"a", "b,c"});
+  EXPECT_EQ(t.row_count(), 2u);
+
+  std::ostringstream human;
+  t.print(human);
+  EXPECT_NE(human.str().find("x"), std::string::npos);
+  EXPECT_NE(human.str().find("2.5"), std::string::npos);
+
+  std::ostringstream csv;
+  t.write_csv(csv);
+  EXPECT_NE(csv.str().find("\"b,c\""), std::string::npos);
+}
+
+TEST(Table, RejectsBadRows) {
+  Table t({"only"});
+  EXPECT_THROW(t.add_row(std::vector<std::string>{"a", "b"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rapid
