@@ -1,66 +1,6 @@
 // Fig 3: validation of the trace-driven simulator against the deployment.
-//
-// The paper compares 58 days of real RAPID measurements with simulations of
-// the same days and finds the simulator within 1% with 95% confidence. We
-// reproduce the comparison with a "deployment mode" run: the same day
-// replayed under the perturbations §5 attributes to the real system
-// (handshake costs, channel-shaved opportunities, lost meetings).
-#include <iostream>
+// Thin wrapper over the declarative entry "3" in the runner figure
+// catalog (src/runner/figures.cpp); kept so each figure has its own binary.
+#include "runner/figures.h"
 
-#include "bench_common.h"
-#include "mobility/dieselnet.h"
-#include "stats/summary.h"
-
-int main(int argc, char** argv) {
-  using namespace rapid;
-  using namespace rapid::bench;
-  Options options(argc, argv);
-  const int days = static_cast<int>(
-      options.get_int("days", options.get_bool("quick", false) ? 10 : 58));
-
-  ScenarioConfig config = make_trace_scenario();
-  config.days = days;
-  const Scenario scenario(config);
-
-  print_banner({"Fig 3", "Average delay per day: deployment vs simulation",
-                "day", "avg delay (min)"});
-
-  Table table({"day", "deployment (min)", "simulation (min)", "rel diff"});
-  std::vector<double> deployment_delays;
-  std::vector<double> simulation_delays;
-  std::vector<double> rel_diffs;
-  Rng perturb_rng(config.seed ^ 0xD1E5E1ULL);
-
-  for (int day = 0; day < days; ++day) {
-    Instance sim_inst = scenario.instance(day, 4.0);  // default load (§5.1)
-
-    // Deployment mode: perturbed schedule, same workload.
-    Instance dep_inst = sim_inst;
-    dep_inst.schedule = perturb_schedule(sim_inst.schedule, DeploymentPerturbation{},
-                                         perturb_rng);
-
-    RunSpec spec;
-    spec.protocol = ProtocolKind::kRapid;
-    const SimResult dep = run_instance(scenario, dep_inst, spec);
-    const SimResult sim = run_instance(scenario, sim_inst, spec);
-    if (dep.delivered == 0 || sim.delivered == 0) continue;
-
-    const double dep_min = dep.avg_delay / kSecondsPerMinute;
-    const double sim_min = sim.avg_delay / kSecondsPerMinute;
-    deployment_delays.push_back(dep_min);
-    simulation_delays.push_back(sim_min);
-    rel_diffs.push_back((sim_min - dep_min) / dep_min);
-    table.add_row({format_double(day, 0), format_double(dep_min, 1),
-                   format_double(sim_min, 1),
-                   format_double(100.0 * rel_diffs.back(), 1) + "%"});
-  }
-  table.print(std::cout);
-
-  const Summary diff = summarize(rel_diffs);
-  std::cout << "\nMean relative difference: " << format_double(100.0 * diff.mean, 2)
-            << "% (95% CI ±" << format_double(100.0 * diff.ci_half_width, 2) << "%)\n"
-            << "Paper: simulator within 1% of deployment with 95% confidence.\n\n";
-  const std::string csv = options.get_string("csv", "");
-  if (!csv.empty()) table.write_csv_file(csv);
-  return 0;
-}
+int main(int argc, char** argv) { return rapid::runner::run_figure_main("3", argc, argv); }

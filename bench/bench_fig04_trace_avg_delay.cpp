@@ -1,15 +1,6 @@
 // Fig 4 (Trace): average delay vs load; RAPID's metric = minimize avg delay.
-#include "bench_common.h"
+// Thin wrapper over the declarative entry "4" in the runner figure
+// catalog (src/runner/figures.cpp); kept so each figure has its own binary.
+#include "runner/figures.h"
 
-int main(int argc, char** argv) {
-  using namespace rapid;
-  using namespace rapid::bench;
-  Options options(argc, argv);
-  const Scenario scenario(trace_config(options));
-  run_protocol_sweep({"Fig 4", "(Trace) Average delay of delivered packets",
-                      "packets/hour/destination", "avg delay (min)"},
-                     scenario, trace_loads(options),
-                     paper_protocols(RoutingMetric::kAvgDelay), extract_avg_delay,
-                     1.0 / kSecondsPerMinute, options);
-  return 0;
-}
+int main(int argc, char** argv) { return rapid::runner::run_figure_main("4", argc, argv); }

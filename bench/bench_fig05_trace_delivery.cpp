@@ -1,15 +1,6 @@
 // Fig 5 (Trace): delivery rate vs load, under the avg-delay routing metric.
-#include "bench_common.h"
+// Thin wrapper over the declarative entry "5" in the runner figure
+// catalog (src/runner/figures.cpp); kept so each figure has its own binary.
+#include "runner/figures.h"
 
-int main(int argc, char** argv) {
-  using namespace rapid;
-  using namespace rapid::bench;
-  Options options(argc, argv);
-  const Scenario scenario(trace_config(options));
-  run_protocol_sweep({"Fig 5", "(Trace) Fraction of packets delivered",
-                      "packets/hour/destination", "% delivered"},
-                     scenario, trace_loads(options),
-                     paper_protocols(RoutingMetric::kAvgDelay), extract_delivery_rate, 1.0,
-                     options);
-  return 0;
-}
+int main(int argc, char** argv) { return rapid::runner::run_figure_main("5", argc, argv); }

@@ -1,15 +1,6 @@
 // Fig 6 (Trace): max delay vs load; RAPID's metric = minimize max delay (Eq. 3).
-#include "bench_common.h"
+// Thin wrapper over the declarative entry "6" in the runner figure
+// catalog (src/runner/figures.cpp); kept so each figure has its own binary.
+#include "runner/figures.h"
 
-int main(int argc, char** argv) {
-  using namespace rapid;
-  using namespace rapid::bench;
-  Options options(argc, argv);
-  const Scenario scenario(trace_config(options));
-  run_protocol_sweep({"Fig 6", "(Trace) Maximum delay of delivered packets",
-                      "packets/hour/destination", "max delay (min)"},
-                     scenario, trace_loads(options),
-                     paper_protocols(RoutingMetric::kMaxDelay), extract_max_delay,
-                     1.0 / kSecondsPerMinute, options);
-  return 0;
-}
+int main(int argc, char** argv) { return rapid::runner::run_figure_main("6", argc, argv); }

@@ -1,16 +1,6 @@
 // Fig 7 (Trace): packets delivered within the 2.7 h deadline vs load;
-// RAPID's metric = minimize missed deadlines (Eq. 2).
-#include "bench_common.h"
+// Thin wrapper over the declarative entry "7" in the runner figure
+// catalog (src/runner/figures.cpp); kept so each figure has its own binary.
+#include "runner/figures.h"
 
-int main(int argc, char** argv) {
-  using namespace rapid;
-  using namespace rapid::bench;
-  Options options(argc, argv);
-  const Scenario scenario(trace_config(options));
-  run_protocol_sweep({"Fig 7", "(Trace) Fraction delivered within deadline",
-                      "packets/hour/destination", "% within 2.7 h deadline"},
-                     scenario, trace_loads(options),
-                     paper_protocols(RoutingMetric::kMissedDeadlines), extract_deadline_rate,
-                     1.0, options);
-  return 0;
-}
+int main(int argc, char** argv) { return rapid::runner::run_figure_main("7", argc, argv); }

@@ -1,45 +1,6 @@
 // Fig 8: control-channel benefit — average delay as the total metadata
-// exchanged is capped at a fraction of the available bandwidth, for three
-// load levels. The paper finds performance improves as the cap is lifted.
-#include <iostream>
+// Thin wrapper over the declarative entry "8" in the runner figure
+// catalog (src/runner/figures.cpp); kept so each figure has its own binary.
+#include "runner/figures.h"
 
-#include "bench_common.h"
-
-int main(int argc, char** argv) {
-  using namespace rapid;
-  using namespace rapid::bench;
-  Options options(argc, argv);
-  const Scenario scenario(trace_config(options));
-
-  print_banner({"Fig 8", "Average delay vs metadata cap (fraction of bandwidth)",
-                "metadata cap", "avg delay (min) per load"});
-
-  const std::vector<double> caps = options.get_bool("quick", false)
-                                       ? std::vector<double>{0.0, 0.05, 0.35}
-                                       : std::vector<double>{0.0, 0.01, 0.02, 0.05,
-                                                             0.1, 0.2, 0.35};
-  const std::vector<double> loads = {6, 12, 20};
-
-  std::vector<std::string> columns = {"cap"};
-  for (double load : loads) columns.push_back("load " + format_double(load, 0));
-  Table table(columns);
-
-  for (double cap : caps) {
-    std::vector<std::string> row = {format_double(cap, 2)};
-    for (double load : loads) {
-      RunSpec spec;
-      spec.protocol = ProtocolKind::kRapid;
-      spec.metadata_cap_fraction = cap;
-      const Series series = sweep_load(scenario, {load}, spec);
-      const Summary s = summarize_cell(series.cells[0], extract_avg_delay);
-      row.push_back(format_double(s.mean / kSecondsPerMinute, 2));
-    }
-    table.add_row(row);
-  }
-  table.print(std::cout);
-  std::cout << "Paper: delay improves as the metadata restriction is removed; "
-               "full exchange beats no exchange by ~20%.\n\n";
-  const std::string csv = options.get_string("csv", "");
-  if (!csv.empty()) table.write_csv_file(csv);
-  return 0;
-}
+int main(int argc, char** argv) { return rapid::runner::run_figure_main("8", argc, argv); }

@@ -1,38 +1,6 @@
 // Fig 9: channel utilization, delivery rate, and metadata-to-data ratio as
-// load grows large. The paper's point: delivery drops although the channel
-// is under-utilized (bottleneck links), and metadata stays a few percent.
-#include <iostream>
+// Thin wrapper over the declarative entry "9" in the runner figure
+// catalog (src/runner/figures.cpp); kept so each figure has its own binary.
+#include "runner/figures.h"
 
-#include "bench_common.h"
-
-int main(int argc, char** argv) {
-  using namespace rapid;
-  using namespace rapid::bench;
-  Options options(argc, argv);
-  const Scenario scenario(trace_config(options));
-
-  print_banner({"Fig 9", "Channel utilization and metadata share vs load",
-                "packets/hour/destination", "percentages"});
-
-  const std::vector<double> loads = options.get_bool("quick", false)
-                                        ? std::vector<double>{10, 40, 75}
-                                        : std::vector<double>{5, 10, 20, 30, 45, 60, 75};
-  Table table({"load", "meta/data", "channel utilization", "delivery rate"});
-  for (double load : loads) {
-    RunSpec spec;
-    spec.protocol = ProtocolKind::kRapid;
-    const Series series = sweep_load(scenario, {load}, spec);
-    table.add_row({format_double(load, 0),
-                   format_double(summarize_cell(series.cells[0],
-                                                extract_metadata_over_data).mean, 4),
-                   format_double(summarize_cell(series.cells[0],
-                                                extract_channel_utilization).mean, 3),
-                   format_double(summarize_cell(series.cells[0],
-                                                extract_delivery_rate).mean, 3)});
-  }
-  table.print(std::cout);
-  std::cout << "Paper at load 75: delivery ~65%, utilization ~35%, metadata ~4% of data.\n\n";
-  const std::string csv = options.get_string("csv", "");
-  if (!csv.empty()) table.write_csv_file(csv);
-  return 0;
-}
+int main(int argc, char** argv) { return rapid::runner::run_figure_main("9", argc, argv); }

@@ -1,16 +1,6 @@
 // Fig 10: in-band vs instant global control channel — average delay.
-#include "bench_common.h"
+// Thin wrapper over the declarative entry "10" in the runner figure
+// catalog (src/runner/figures.cpp); kept so each figure has its own binary.
+#include "runner/figures.h"
 
-int main(int argc, char** argv) {
-  using namespace rapid;
-  using namespace rapid::bench;
-  Options options(argc, argv);
-  const Scenario scenario(trace_config(options));
-  run_protocol_sweep({"Fig 10", "(Trace) Avg delay: in-band vs instant global channel",
-                      "packets/hour/destination", "avg delay (min)"},
-                     scenario, trace_loads(options),
-                     {{ProtocolKind::kRapid, RoutingMetric::kAvgDelay},
-                      {ProtocolKind::kRapidGlobal, RoutingMetric::kAvgDelay}},
-                     extract_avg_delay, 1.0 / kSecondsPerMinute, options);
-  return 0;
-}
+int main(int argc, char** argv) { return rapid::runner::run_figure_main("10", argc, argv); }

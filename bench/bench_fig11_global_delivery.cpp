@@ -1,16 +1,6 @@
 // Fig 11: in-band vs instant global control channel — delivery rate.
-#include "bench_common.h"
+// Thin wrapper over the declarative entry "11" in the runner figure
+// catalog (src/runner/figures.cpp); kept so each figure has its own binary.
+#include "runner/figures.h"
 
-int main(int argc, char** argv) {
-  using namespace rapid;
-  using namespace rapid::bench;
-  Options options(argc, argv);
-  const Scenario scenario(trace_config(options));
-  run_protocol_sweep({"Fig 11", "(Trace) Delivery rate: in-band vs instant global channel",
-                      "packets/hour/destination", "% delivered"},
-                     scenario, trace_loads(options),
-                     {{ProtocolKind::kRapid, RoutingMetric::kAvgDelay},
-                      {ProtocolKind::kRapidGlobal, RoutingMetric::kAvgDelay}},
-                     extract_delivery_rate, 1.0, options);
-  return 0;
-}
+int main(int argc, char** argv) { return rapid::runner::run_figure_main("11", argc, argv); }

@@ -1,16 +1,6 @@
 // Fig 12: in-band vs instant global control channel — delivery within deadline.
-#include "bench_common.h"
+// Thin wrapper over the declarative entry "12" in the runner figure
+// catalog (src/runner/figures.cpp); kept so each figure has its own binary.
+#include "runner/figures.h"
 
-int main(int argc, char** argv) {
-  using namespace rapid;
-  using namespace rapid::bench;
-  Options options(argc, argv);
-  const Scenario scenario(trace_config(options));
-  run_protocol_sweep({"Fig 12", "(Trace) Deadline rate: in-band vs instant global channel",
-                      "packets/hour/destination", "% within 2.7 h deadline"},
-                     scenario, trace_loads(options),
-                     {{ProtocolKind::kRapid, RoutingMetric::kMissedDeadlines},
-                      {ProtocolKind::kRapidGlobal, RoutingMetric::kMissedDeadlines}},
-                     extract_deadline_rate, 1.0, options);
-  return 0;
-}
+int main(int argc, char** argv) { return rapid::runner::run_figure_main("12", argc, argv); }

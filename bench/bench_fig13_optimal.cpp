@@ -1,90 +1,6 @@
 // Fig 13: comparison with Optimal — average delay including undelivered
-// packets, at small loads, against the offline ILP (Appendix D) solved by
-// the in-house branch-and-bound simplex (the CPLEX substitution).
-//
-// The instance is deliberately small (the paper also restricts this
-// experiment to low loads because the solver's complexity grows with the
-// number of packets).
-#include <iostream>
+// Thin wrapper over the declarative entry "13" in the runner figure
+// catalog (src/runner/figures.cpp); kept so each figure has its own binary.
+#include "runner/figures.h"
 
-#include "bench_common.h"
-#include "dtn/workload.h"
-#include "mobility/exponential_model.h"
-#include "opt/optimal_router.h"
-#include "sim/engine.h"
-
-int main(int argc, char** argv) {
-  using namespace rapid;
-  using namespace rapid::bench;
-  Options options(argc, argv);
-  // Branch-and-bound cost grows quickly with the packet count — the paper
-  // notes the same for CPLEX; the default sweep keeps each instance exactly
-  // solvable in seconds. Pass --runs / edit loads for larger studies.
-  const int runs = static_cast<int>(
-      options.get_int("runs", options.get_bool("quick", false) ? 2 : 3));
-  const std::vector<double> loads = options.get_bool("quick", false)
-                                        ? std::vector<double>{1, 3}
-                                        : std::vector<double>{1, 2, 3};
-
-  print_banner({"Fig 13", "Average delay (with undelivered) vs Optimal, small loads",
-                "packets/hour/destination", "avg delay (min)"});
-
-  ExponentialMobilityConfig mobility;
-  mobility.num_nodes = 4;
-  mobility.duration = 1200;
-  mobility.pair_mean_intermeeting = 240;
-  mobility.mean_opportunity = 2_KB;  // unit-sized-ish opportunities force choices
-  mobility.opportunity_cv = 0.3;
-
-  ProtocolParams params;
-  params.rapid_prior_meeting_time = mobility.duration;
-  params.rapid_prior_opportunity = mobility.mean_opportunity;
-  params.rapid_delay_cap = 2.0 * mobility.duration;
-  params.prophet_aging_unit = 30;
-
-  Table table({"load", "Optimal", "RAPID (in-band)", "RAPID (global)", "MaxProp",
-               "RAPID/Optimal"});
-  for (double load : loads) {
-    RunningMoments optimal_m, rapid_m, global_m, maxprop_m;
-    for (int run = 0; run < runs; ++run) {
-      Rng rng(9001 + static_cast<std::uint64_t>(run));
-      const MeetingSchedule schedule = generate_exponential_schedule(mobility, rng);
-      WorkloadConfig wl;
-      wl.packets_per_period_per_pair = load / static_cast<double>(mobility.num_nodes - 1);
-      wl.load_period = kSecondsPerHour;
-      wl.duration = mobility.duration;
-      Rng wrng = rng.split("wl");
-      const PacketPool workload = generate_workload(wl, mobility.num_nodes, wrng);
-      if (workload.size() == 0) continue;
-
-      TimeExpandedOptions opt_options;
-      opt_options.ilp.max_nodes = 400;  // incumbent plans remain valid routes
-      const auto plan = solve_plan(schedule, workload, opt_options);
-      SimConfig sim;
-      const SimResult opt =
-          run_simulation(schedule, workload, make_optimal_factory(plan, -1), sim);
-      optimal_m.add(opt.avg_delay_with_undelivered);
-
-      for (auto [kind, sink] :
-           {std::pair{ProtocolKind::kRapid, &rapid_m},
-            std::pair{ProtocolKind::kRapidGlobal, &global_m},
-            std::pair{ProtocolKind::kMaxProp, &maxprop_m}}) {
-        const SimResult r = run_simulation(schedule, workload,
-                                           make_protocol_factory(kind, params, -1), sim);
-        sink->add(r.avg_delay_with_undelivered);
-      }
-    }
-    const double scale = 1.0 / kSecondsPerMinute;
-    table.add_row({format_double(load, 0), format_double(optimal_m.mean() * scale, 2),
-                   format_double(rapid_m.mean() * scale, 2),
-                   format_double(global_m.mean() * scale, 2),
-                   format_double(maxprop_m.mean() * scale, 2),
-                   format_double(rapid_m.mean() / std::max(1e-9, optimal_m.mean()), 2)});
-  }
-  table.print(std::cout);
-  std::cout << "Paper: RAPID in-band within 10% of Optimal at small loads; global "
-               "channel within 6%; MaxProp ~22% away.\n\n";
-  const std::string csv = options.get_string("csv", "");
-  if (!csv.empty()) table.write_csv_file(csv);
-  return 0;
-}
+int main(int argc, char** argv) { return rapid::runner::run_figure_main("13", argc, argv); }

@@ -1,18 +1,6 @@
 // Fig 14: component ablation — Random, Random+acks, RAPID-local, RAPID.
-#include "bench_common.h"
+// Thin wrapper over the declarative entry "14" in the runner figure
+// catalog (src/runner/figures.cpp); kept so each figure has its own binary.
+#include "runner/figures.h"
 
-int main(int argc, char** argv) {
-  using namespace rapid;
-  using namespace rapid::bench;
-  Options options(argc, argv);
-  const Scenario scenario(trace_config(options));
-  run_protocol_sweep({"Fig 14", "(Trace) RAPID components: value of acks and metadata",
-                      "packets/hour/destination", "avg delay (min)"},
-                     scenario, trace_loads(options),
-                     {{ProtocolKind::kRapid, RoutingMetric::kAvgDelay},
-                      {ProtocolKind::kRapidLocal, RoutingMetric::kAvgDelay},
-                      {ProtocolKind::kRandomAcks, RoutingMetric::kAvgDelay},
-                      {ProtocolKind::kRandom, RoutingMetric::kAvgDelay}},
-                     extract_avg_delay, 1.0 / kSecondsPerMinute, options);
-  return 0;
-}
+int main(int argc, char** argv) { return rapid::runner::run_figure_main("14", argc, argv); }

@@ -1,69 +1,6 @@
 // Fig 15: fairness — CDF of Jain's fairness index over the delays of packet
-// cohorts created in parallel, under resource contention.
-#include <algorithm>
-#include <iostream>
+// Thin wrapper over the declarative entry "15" in the runner figure
+// catalog (src/runner/figures.cpp); kept so each figure has its own binary.
+#include "runner/figures.h"
 
-#include "bench_common.h"
-#include "dtn/workload.h"
-#include "sim/engine.h"
-#include "stats/fairness.h"
-
-int main(int argc, char** argv) {
-  using namespace rapid;
-  using namespace rapid::bench;
-  Options options(argc, argv);
-  ScenarioConfig config = trace_config(options);
-  const Scenario scenario(config);
-
-  print_banner({"Fig 15", "CDF of Jain's fairness index over parallel packet cohorts",
-                "fairness index", "CDF"});
-
-  Table table({"cohort size", "P10", "P50", "P90", "share with index > 0.9"});
-  for (int cohort_size : {20, 30}) {
-    std::vector<double> indexes;
-    for (int day = 0; day < scenario.runs(); ++day) {
-      // Rebuild the day's workload with parallel cohorts on top of a high
-      // base load (the paper uses 60 packets/hour/node for contention).
-      Instance inst = scenario.instance(day, 0.0);
-      ParallelCohortConfig cohorts;
-      cohorts.base.packets_per_period_per_pair = 8.0;
-      cohorts.base.load_period = kSecondsPerHour;
-      cohorts.base.duration = inst.schedule.duration;
-      cohorts.base.deadline = scenario.config().deadline;
-      cohorts.cohort_size = cohort_size;
-      cohorts.first_cohort_at = 600.0;
-      cohorts.spacing = 1800.0;
-      Rng rng(scenario.config().seed ^ (0xFA1Bu + static_cast<std::uint64_t>(day)));
-      std::vector<std::vector<PacketId>> cohort_ids;
-      inst.workload =
-          generate_parallel_cohorts(cohorts, inst.active_nodes, rng, &cohort_ids);
-
-      RunSpec spec;
-      spec.protocol = ProtocolKind::kRapid;
-      const SimResult result = run_instance(scenario, inst, spec);
-      for (const auto& cohort : cohort_ids) {
-        std::vector<double> delays;
-        for (PacketId id : cohort) {
-          const double d = result.delay_of(inst.workload.get(id));
-          if (d != kTimeInfinity) delays.push_back(d);
-        }
-        if (delays.size() >= cohort.size() / 2) {
-          indexes.push_back(jain_fairness_index(delays));
-        }
-      }
-    }
-    if (indexes.empty()) continue;
-    const double high = static_cast<double>(std::count_if(
-                            indexes.begin(), indexes.end(), [](double v) { return v > 0.9; })) /
-                        static_cast<double>(indexes.size());
-    table.add_row({format_double(cohort_size, 0), format_double(percentile(indexes, 10), 3),
-                   format_double(percentile(indexes, 50), 3),
-                   format_double(percentile(indexes, 90), 3), format_double(high, 3)});
-  }
-  table.print(std::cout);
-  std::cout << "Paper: fairness index ~1 over 98% of the time even with 30 parallel "
-               "packets.\n\n";
-  const std::string csv = options.get_string("csv", "");
-  if (!csv.empty()) table.write_csv_file(csv);
-  return 0;
-}
+int main(int argc, char** argv) { return rapid::runner::run_figure_main("15", argc, argv); }

@@ -1,15 +1,6 @@
 // Fig 16 (Powerlaw): average delay vs load.
-#include "bench_common.h"
+// Thin wrapper over the declarative entry "16" in the runner figure
+// catalog (src/runner/figures.cpp); kept so each figure has its own binary.
+#include "runner/figures.h"
 
-int main(int argc, char** argv) {
-  using namespace rapid;
-  using namespace rapid::bench;
-  Options options(argc, argv);
-  const Scenario scenario(powerlaw_config(options));
-  run_protocol_sweep({"Fig 16", "(Powerlaw) Average delay", "packets/50s/destination",
-                      "avg delay (s)"},
-                     scenario, synthetic_loads(options),
-                     paper_protocols(RoutingMetric::kAvgDelay), extract_avg_delay, 1.0,
-                     options);
-  return 0;
-}
+int main(int argc, char** argv) { return rapid::runner::run_figure_main("16", argc, argv); }

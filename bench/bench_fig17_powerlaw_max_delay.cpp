@@ -1,15 +1,6 @@
 // Fig 17 (Powerlaw): maximum delay vs load.
-#include "bench_common.h"
+// Thin wrapper over the declarative entry "17" in the runner figure
+// catalog (src/runner/figures.cpp); kept so each figure has its own binary.
+#include "runner/figures.h"
 
-int main(int argc, char** argv) {
-  using namespace rapid;
-  using namespace rapid::bench;
-  Options options(argc, argv);
-  const Scenario scenario(powerlaw_config(options));
-  run_protocol_sweep({"Fig 17", "(Powerlaw) Max delay", "packets/50s/destination",
-                      "max delay (s)"},
-                     scenario, synthetic_loads(options),
-                     paper_protocols(RoutingMetric::kMaxDelay), extract_max_delay, 1.0,
-                     options);
-  return 0;
-}
+int main(int argc, char** argv) { return rapid::runner::run_figure_main("17", argc, argv); }

@@ -1,15 +1,6 @@
 // Fig 19 (Powerlaw): average delay vs available storage, load fixed at 20.
-#include "bench_common.h"
+// Thin wrapper over the declarative entry "19" in the runner figure
+// catalog (src/runner/figures.cpp); kept so each figure has its own binary.
+#include "runner/figures.h"
 
-int main(int argc, char** argv) {
-  using namespace rapid;
-  using namespace rapid::bench;
-  Options options(argc, argv);
-  const Scenario scenario(powerlaw_config(options));
-  run_buffer_sweep({"Fig 19", "(Powerlaw) Avg delay with constrained buffer",
-                    "storage (KB)", "avg delay (s)"},
-                   scenario, options.get_double("load", 20.0), synthetic_buffers(options),
-                   paper_protocols(RoutingMetric::kAvgDelay), extract_avg_delay, 1.0,
-                   options);
-  return 0;
-}
+int main(int argc, char** argv) { return rapid::runner::run_figure_main("19", argc, argv); }

@@ -1,15 +1,6 @@
 // Fig 20 (Powerlaw): max delay vs available storage, load fixed at 20.
-#include "bench_common.h"
+// Thin wrapper over the declarative entry "20" in the runner figure
+// catalog (src/runner/figures.cpp); kept so each figure has its own binary.
+#include "runner/figures.h"
 
-int main(int argc, char** argv) {
-  using namespace rapid;
-  using namespace rapid::bench;
-  Options options(argc, argv);
-  const Scenario scenario(powerlaw_config(options));
-  run_buffer_sweep({"Fig 20", "(Powerlaw) Max delay with constrained buffer",
-                    "storage (KB)", "max delay (s)"},
-                   scenario, options.get_double("load", 20.0), synthetic_buffers(options),
-                   paper_protocols(RoutingMetric::kMaxDelay), extract_max_delay, 1.0,
-                   options);
-  return 0;
-}
+int main(int argc, char** argv) { return rapid::runner::run_figure_main("20", argc, argv); }

@@ -1,15 +1,6 @@
 // Fig 21 (Powerlaw): delivery within deadline vs available storage.
-#include "bench_common.h"
+// Thin wrapper over the declarative entry "21" in the runner figure
+// catalog (src/runner/figures.cpp); kept so each figure has its own binary.
+#include "runner/figures.h"
 
-int main(int argc, char** argv) {
-  using namespace rapid;
-  using namespace rapid::bench;
-  Options options(argc, argv);
-  const Scenario scenario(powerlaw_config(options));
-  run_buffer_sweep({"Fig 21", "(Powerlaw) Delivery within deadline, constrained buffer",
-                    "storage (KB)", "% within 20 s deadline"},
-                   scenario, options.get_double("load", 20.0), synthetic_buffers(options),
-                   paper_protocols(RoutingMetric::kMissedDeadlines), extract_deadline_rate,
-                   1.0, options);
-  return 0;
-}
+int main(int argc, char** argv) { return rapid::runner::run_figure_main("21", argc, argv); }

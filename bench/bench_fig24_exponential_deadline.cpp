@@ -1,15 +1,6 @@
 // Fig 24 (Exponential): fraction delivered within the 20 s deadline vs load.
-#include "bench_common.h"
+// Thin wrapper over the declarative entry "24" in the runner figure
+// catalog (src/runner/figures.cpp); kept so each figure has its own binary.
+#include "runner/figures.h"
 
-int main(int argc, char** argv) {
-  using namespace rapid;
-  using namespace rapid::bench;
-  Options options(argc, argv);
-  const Scenario scenario(exponential_config(options));
-  run_protocol_sweep({"Fig 24", "(Exponential) Delivery within deadline",
-                      "packets/50s/destination", "% within 20 s deadline"},
-                     scenario, synthetic_loads(options),
-                     paper_protocols(RoutingMetric::kMissedDeadlines), extract_deadline_rate,
-                     1.0, options);
-  return 0;
-}
+int main(int argc, char** argv) { return rapid::runner::run_figure_main("24", argc, argv); }

@@ -1,50 +1,7 @@
 // Table 3: average daily statistics of the deployed system, reproduced on
 // the full-scale synthetic DieselNet (40 buses, 19 h days, default load of
 // 4 packets/hour per source-destination pair).
-#include <iostream>
+// Thin wrapper over the "table3" entry in the runner figure catalog.
+#include "runner/figures.h"
 
-#include "bench_common.h"
-
-int main(int argc, char** argv) {
-  using namespace rapid;
-  using namespace rapid::bench;
-  Options options(argc, argv);
-  ScenarioConfig config = make_full_trace_scenario();
-  config.days = static_cast<int>(options.get_int("days", options.get_bool("quick", false) ? 1 : 3));
-  const Scenario scenario(config);
-
-  print_banner({"Table 3", "Deployment: average daily statistics (full-scale trace)",
-                "statistic", "mean over days"});
-
-  RunningMoments buses, bytes_per_day, meetings, delivery, delay, meta_bw, meta_data;
-  for (int day = 0; day < scenario.runs(); ++day) {
-    const Instance inst = scenario.instance(day, 4.0);
-    RunSpec spec;
-    spec.protocol = ProtocolKind::kRapid;
-    const SimResult r = run_instance(scenario, inst, spec);
-    buses.add(static_cast<double>(inst.active_nodes.size()));
-    bytes_per_day.add(static_cast<double>(r.capacity_bytes) / (1024.0 * 1024.0));
-    meetings.add(static_cast<double>(r.meetings));
-    delivery.add(r.delivery_rate);
-    delay.add(r.avg_delay / kSecondsPerMinute);
-    meta_bw.add(r.metadata_over_capacity);
-    meta_data.add(r.metadata_over_data);
-  }
-
-  Table table({"statistic", "reproduced", "paper"});
-  table.add_row({"avg buses scheduled per day", format_double(buses.mean(), 1), "19"});
-  table.add_row({"avg capacity per day (MB)", format_double(bytes_per_day.mean(), 1),
-                 "261.4 (bytes transferred)"});
-  table.add_row({"avg meetings per day", format_double(meetings.mean(), 1), "147.5"});
-  table.add_row({"percentage delivered per day", format_double(100 * delivery.mean(), 1),
-                 "88"});
-  table.add_row({"avg packet delivery delay (min)", format_double(delay.mean(), 1),
-                 "91.7"});
-  table.add_row({"metadata / bandwidth", format_double(meta_bw.mean(), 4), "0.002"});
-  table.add_row({"metadata / data", format_double(meta_data.mean(), 4), "0.017"});
-  table.print(std::cout);
-  std::cout << std::endl;
-  const std::string csv = options.get_string("csv", "");
-  if (!csv.empty()) table.write_csv_file(csv);
-  return 0;
-}
+int main(int argc, char** argv) { return rapid::runner::run_figure_main("table3", argc, argv); }

@@ -1,0 +1,6 @@
+// Unified experiment CLI: runs any figure/table of the paper's evaluation
+// through the parallel runner. See `rapid_bench --help` / `--list`, and
+// EXPERIMENTS.md for the scenario catalog.
+#include "runner/figures.h"
+
+int main(int argc, char** argv) { return rapid::runner::rapid_bench_main(argc, argv); }

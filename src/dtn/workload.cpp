@@ -12,6 +12,8 @@ void check_config(const WorkloadConfig& config) {
   if (config.load_period <= 0) throw std::invalid_argument("workload: load_period <= 0");
   if (config.packets_per_period_per_pair < 0)
     throw std::invalid_argument("workload: negative load");
+  if (config.urgent_fraction < 0.0 || config.urgent_fraction > 1.0)
+    throw std::invalid_argument("workload: urgent_fraction out of [0,1]");
 }
 
 PacketPool finalize(std::vector<Packet> packets) {
@@ -36,6 +38,9 @@ PacketPool generate_workload(const WorkloadConfig& config,
         Rng stream = rng.split("workload-pair",
                                static_cast<std::uint64_t>(src) * 100003 +
                                    static_cast<std::uint64_t>(dst));
+        // Separate stream so mixed-deadline scenarios keep the exact arrival
+        // process of their base scenario.
+        Rng urgent_stream = stream.split("urgent");
         Time t = stream.exponential_mean(mean_gap);
         while (t < config.duration) {
           Packet p;
@@ -43,7 +48,10 @@ PacketPool generate_workload(const WorkloadConfig& config,
           p.dst = dst;
           p.size = config.packet_size;
           p.created = t;
-          p.deadline = config.deadline == kTimeInfinity ? kTimeInfinity : t + config.deadline;
+          Time relative = config.deadline;
+          if (config.urgent_fraction > 0 && urgent_stream.bernoulli(config.urgent_fraction))
+            relative = config.urgent_deadline;
+          p.deadline = relative == kTimeInfinity ? kTimeInfinity : t + relative;
           packets.push_back(p);
           t += stream.exponential_mean(mean_gap);
         }

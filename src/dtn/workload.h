@@ -19,6 +19,11 @@ struct WorkloadConfig {
   Time duration = 19 * kSecondsPerHour;
   // Relative deadline applied to every packet; infinity disables deadlines.
   Time deadline = kTimeInfinity;
+  // Mixed deadlines: with probability urgent_fraction a packet carries
+  // urgent_deadline instead. A fraction of 0 draws nothing, so existing
+  // workloads keep their exact random streams.
+  Time urgent_deadline = kTimeInfinity;
+  double urgent_fraction = 0.0;
 };
 
 // Generates a Poisson workload over the given active nodes: for every ordered

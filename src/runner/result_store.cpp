@@ -1,0 +1,64 @@
+#include "runner/result_store.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace rapid::runner {
+
+ResultStore::ResultStore(std::string x_label) : x_label_(std::move(x_label)) {}
+
+void ResultStore::add_series(std::string label, Series series) {
+  if (!series_.empty() && series.x != series_.front().series.x)
+    throw std::invalid_argument("ResultStore: series x axes differ");
+  series_.push_back({std::move(label), std::move(series)});
+}
+
+Table ResultStore::summary_table(MetricExtractor extract, double scale, int x_precision,
+                                 int precision) const {
+  std::vector<std::string> columns = {x_label_};
+  for (const Entry& entry : series_) columns.push_back(entry.label);
+  Table table(columns);
+  if (series_.empty()) return table;
+
+  const std::vector<double>& xs = series_.front().series.x;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::vector<std::string> row;
+    row.push_back(format_double(xs[i], x_precision));
+    for (const Entry& entry : series_) {
+      const std::vector<SimResult>& cell = entry.series.cells[i];
+      const Summary summary = summarize_cell(cell, extract);
+      if (summary.n == 0) {
+        row.push_back("n/a");
+      } else {
+        std::string text = format_double(summary.mean * scale, precision) + " (±" +
+                           format_double(summary.ci_half_width * scale, precision);
+        // Surface survivorship: some runs carried no signal for this metric.
+        if (summary.n < cell.size())
+          text += ", n=" + std::to_string(summary.n) + "/" + std::to_string(cell.size());
+        row.push_back(text + ")");
+      }
+    }
+    table.add_row(row);
+  }
+  return table;
+}
+
+Table ResultStore::raw_table(MetricExtractor extract, double scale) const {
+  Table table({"series", x_label_, "run", "value"});
+  for (const Entry& entry : series_) {
+    for (std::size_t i = 0; i < entry.series.x.size(); ++i) {
+      const std::vector<SimResult>& cell = entry.series.cells[i];
+      for (std::size_t run = 0; run < cell.size(); ++run) {
+        const double v = extract(cell[run]);
+        table.add_row({entry.label, format_double(entry.series.x[i], 3),
+                       format_double(static_cast<double>(run), 0),
+                       std::isfinite(v) ? format_double(v * scale, 6) : "n/a"});
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace rapid::runner

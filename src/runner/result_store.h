@@ -1,0 +1,46 @@
+// Result aggregation for the runner: collects the per-protocol Series of one
+// figure and renders them as the paper-style summary table (mean over runs
+// with a 95% CI half-width per cell) or as a raw per-run table, exportable as
+// CSV/JSON through util/csv.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "util/csv.h"
+
+namespace rapid::runner {
+
+class ResultStore {
+ public:
+  explicit ResultStore(std::string x_label);
+
+  // Series must share the same x axis; label is the column header
+  // (typically to_string(protocol)).
+  void add_series(std::string label, Series series);
+
+  std::size_t series_count() const { return series_.size(); }
+  const Series& series(std::size_t i) const { return series_[i].series; }
+  const std::string& label(std::size_t i) const { return series_[i].label; }
+
+  // One row per x value, one "mean (±ci)" column per series. Cells whose
+  // extracted values are all missing (e.g. avg delay with zero deliveries in
+  // every run) render as "n/a".
+  Table summary_table(MetricExtractor extract, double scale, int x_precision = 0,
+                      int precision = 2) const;
+
+  // One row per (series, x, run) with the raw extracted value; for plotting
+  // pipelines that want the full distribution rather than the summary.
+  Table raw_table(MetricExtractor extract, double scale) const;
+
+ private:
+  struct Entry {
+    std::string label;
+    Series series;
+  };
+  std::string x_label_;
+  std::vector<Entry> series_;
+};
+
+}  // namespace rapid::runner

@@ -1,0 +1,109 @@
+#include "runner/scenario_registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rapid::runner {
+namespace {
+
+void register_builtins(ScenarioRegistry& registry) {
+  registry.add({"trace", "Reduced-scale DieselNet trace (24 buses, 4 h days); default for Figs 4-15",
+                [] { return make_trace_scenario(); }});
+  registry.add({"trace-full", "Table-3-scale DieselNet (40 buses, 19 h days); validation scale",
+                [] { return make_full_trace_scenario(); }});
+  registry.add({"exponential", "Uniform exponential mobility, Table 4 synthetic defaults",
+                [] { return make_exponential_scenario(); }});
+  registry.add({"powerlaw", "Popularity-skewed mobility, Table 4 synthetic defaults",
+                [] { return make_powerlaw_scenario(); }});
+
+  // Extended scenarios beyond the paper's grid.
+  registry.add({"trace-large",
+                "Full 40-bus fleet on reduced-length days: larger contact graph, same runtime class",
+                [] {
+                  ScenarioConfig config = make_trace_scenario();
+                  config.dieselnet.fleet_size = 40;
+                  config.dieselnet.min_buses_per_day = 20;
+                  config.dieselnet.max_buses_per_day = 24;
+                  config.dieselnet.num_routes = 6;
+                  return config;
+                }});
+  registry.add({"trace-longday",
+                "Reduced fleet on doubled (8 h) days: long-horizon delay distributions",
+                [] {
+                  ScenarioConfig config = make_trace_scenario();
+                  config.dieselnet.day_duration = 8.0 * kSecondsPerHour;
+                  config.deadline = 5.4 * kSecondsPerHour;
+                  return config;
+                }});
+  registry.add({"trace-mixed-deadline",
+                "Trace scenario where 30% of packets carry an urgent 0.9 h deadline",
+                [] {
+                  ScenarioConfig config = make_trace_scenario();
+                  config.urgent_deadline = 0.9 * kSecondsPerHour;
+                  config.urgent_fraction = 0.3;
+                  return config;
+                }});
+  registry.add({"exponential-dense",
+                "Exponential mobility with a denser fleet (24 nodes) and doubled horizon",
+                [] {
+                  ScenarioConfig config = make_exponential_scenario();
+                  config.exponential.num_nodes = 24;
+                  config.exponential.duration = 900.0;
+                  return config;
+                }});
+  registry.add({"powerlaw-steep",
+                "Power-law mobility with steeper popularity skew (0.8 vs 0.5)",
+                [] {
+                  ScenarioConfig config = make_powerlaw_scenario();
+                  config.powerlaw.skew = 0.8;
+                  return config;
+                }});
+}
+
+}  // namespace
+
+ScenarioRegistry& ScenarioRegistry::global() {
+  static ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry;
+    register_builtins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void ScenarioRegistry::add(ScenarioEntry entry) {
+  if (entry.name.empty()) throw std::invalid_argument("ScenarioRegistry: empty name");
+  if (!entry.make) throw std::invalid_argument("ScenarioRegistry: no builder for " + entry.name);
+  if (find(entry.name) != nullptr)
+    throw std::invalid_argument("ScenarioRegistry: duplicate scenario " + entry.name);
+  entries_.push_back(std::move(entry));
+}
+
+const ScenarioEntry* ScenarioRegistry::find(const std::string& name) const {
+  for (const ScenarioEntry& entry : entries_)
+    if (entry.name == name) return &entry;
+  return nullptr;
+}
+
+ScenarioConfig ScenarioRegistry::make(const std::string& name) const {
+  const ScenarioEntry* entry = find(name);
+  if (entry == nullptr) {
+    std::string known;
+    for (const std::string& n : names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::out_of_range("unknown scenario '" + name + "' (known: " + known + ")");
+  }
+  return entry->make();
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const ScenarioEntry& entry : entries_) out.push_back(entry.name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace rapid::runner

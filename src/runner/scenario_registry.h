@@ -1,0 +1,40 @@
+// Named scenario registry: every evaluation scenario (the three §6.1 paper
+// scenarios plus extended ones) is registered under a string name with a
+// config builder, so benches, the rapid_bench CLI, and new experiments look
+// scenarios up instead of hardcoding parameters.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+
+namespace rapid::runner {
+
+struct ScenarioEntry {
+  std::string name;
+  std::string description;
+  std::function<ScenarioConfig()> make;
+};
+
+class ScenarioRegistry {
+ public:
+  // The process-wide registry, pre-populated with the builtin scenarios.
+  static ScenarioRegistry& global();
+
+  // Throws std::invalid_argument on a duplicate or empty name.
+  void add(ScenarioEntry entry);
+
+  const ScenarioEntry* find(const std::string& name) const;
+  // Throws std::out_of_range listing the known names when `name` is unknown.
+  ScenarioConfig make(const std::string& name) const;
+
+  std::vector<std::string> names() const;  // sorted
+  const std::vector<ScenarioEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<ScenarioEntry> entries_;
+};
+
+}  // namespace rapid::runner

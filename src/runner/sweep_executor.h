@@ -1,0 +1,46 @@
+// Parallel sweep execution: fans the (protocol × x-value × run) cells of a
+// sweep grid out across a work-stealing thread pool.
+//
+// Every cell derives all of its randomness from the scenario seed via
+// Rng::split (mobility, workload, and router state are rebuilt per cell), so
+// the grid is embarrassingly parallel and the results are bit-identical to a
+// serial sweep regardless of thread count or completion order — cells write
+// into pre-sized slots indexed by (spec, x, run).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "runner/thread_pool.h"
+#include "sim/experiment.h"
+
+namespace rapid::runner {
+
+class SweepExecutor {
+ public:
+  // threads == 1 executes serially on the calling thread (no pool);
+  // threads <= 0 uses ThreadPool::default_thread_count().
+  explicit SweepExecutor(int threads = 1);
+  ~SweepExecutor();
+
+  SweepExecutor(const SweepExecutor&) = delete;
+  SweepExecutor& operator=(const SweepExecutor&) = delete;
+
+  int threads() const;
+
+  // One Series per spec, same shape as sim/experiment.h's sweep_load.
+  std::vector<Series> load_sweep(const Scenario& scenario,
+                                 const std::vector<double>& loads,
+                                 const std::vector<RunSpec>& specs);
+
+  // Buffer sweep at a fixed load; x is the buffer size in KB, one Series per
+  // spec (each spec's buffer_override is replaced by the swept value).
+  std::vector<Series> buffer_sweep(const Scenario& scenario, double load,
+                                   const std::vector<Bytes>& buffers,
+                                   const std::vector<RunSpec>& specs);
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;  // null when threads == 1
+};
+
+}  // namespace rapid::runner

@@ -1,0 +1,118 @@
+#include "runner/thread_pool.h"
+
+#include <exception>
+#include <stdexcept>
+
+namespace rapid::runner {
+
+int ThreadPool::default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int count = threads <= 0 ? default_thread_count() : threads;
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    threads_.emplace_back([this, i] { worker_loop(static_cast<std::size_t>(i)); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (!task) throw std::invalid_argument("ThreadPool::submit: empty task");
+  std::lock_guard<std::mutex> state_lock(state_mutex_);
+  ++pending_;
+  const std::size_t target = next_worker_;
+  next_worker_ = (next_worker_ + 1) % workers_.size();
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    workers_[target]->tasks.push_back(std::move(task));
+  }
+  // queued_ is incremented only after the task is visible in a deque, so a
+  // worker that wins the queued_ > 0 wait is guaranteed to find a task.
+  ++queued_;
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+bool ThreadPool::try_acquire(std::size_t self, std::function<void()>& out) {
+  // Own queue first (front = LIFO locality), then steal from siblings' backs.
+  {
+    Worker& own = *workers_[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      out = std::move(own.tasks.front());
+      own.tasks.pop_front();
+      return true;
+    }
+  }
+  for (std::size_t offset = 1; offset < workers_.size(); ++offset) {
+    Worker& victim = *workers_[(self + offset) % workers_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      out = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(state_mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+      if (queued_ == 0) return;  // stop requested and nothing left to drain
+      --queued_;
+    }
+    // The decrement claimed exactly one task that is already in some deque;
+    // the scan can only lose transient races against other claimants.
+    std::function<void()> task;
+    while (!try_acquire(index, task)) std::this_thread::yield();
+    task();
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      --pending_;
+      if (pending_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  if (pool == nullptr || pool->thread_count() <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  for (std::size_t i = 0; i < n; ++i) {
+    pool->submit([&, i] {
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  pool->wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace rapid::runner

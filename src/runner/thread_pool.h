@@ -1,0 +1,64 @@
+// Work-stealing thread pool for the sweep executor.
+//
+// Each worker owns a deque of tasks; submissions are distributed round-robin
+// and an idle worker steals from the back of a sibling's deque, so uneven
+// cell costs (an ILP cell next to a Direct cell) keep every core busy.
+// Determinism is the caller's job: tasks write into pre-assigned slots, so
+// completion order never affects results.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rapid::runner {
+
+class ThreadPool {
+ public:
+  // threads <= 0 selects default_thread_count().
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+  // Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+  static int default_thread_count();
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  bool try_acquire(std::size_t self, std::function<void()>& out);
+  void worker_loop(std::size_t index);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex state_mutex_;
+  std::condition_variable work_cv_;   // wakes workers when tasks arrive / stop
+  std::condition_variable idle_cv_;   // wakes wait_idle when pending_ hits 0
+  std::size_t pending_ = 0;           // submitted but not yet finished
+  std::size_t queued_ = 0;            // submitted but not yet claimed by a worker
+  std::size_t next_worker_ = 0;       // round-robin submission cursor
+  bool stop_ = false;
+};
+
+// Runs body(i) for every i in [0, n). With a null pool (or a single worker)
+// the loop runs serially in index order on the calling thread. Exceptions
+// thrown by `body` are rethrown on the caller (first one wins).
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace rapid::runner

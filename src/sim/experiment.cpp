@@ -1,8 +1,11 @@
 #include "sim/experiment.h"
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "dtn/workload.h"
+#include "runner/sweep_executor.h"
 
 namespace rapid {
 
@@ -90,6 +93,8 @@ Instance Scenario::instance(int run, double load) const {
   WorkloadConfig wl;
   wl.packet_size = config_.packet_size;
   wl.deadline = config_.deadline;
+  wl.urgent_deadline = config_.urgent_deadline;
+  wl.urgent_fraction = config_.urgent_fraction;
 
   if (config_.mobility == MobilityKind::kTrace) {
     const DayTrace& day = trace_.days[static_cast<std::size_t>(run)];
@@ -158,49 +163,50 @@ SimResult run_instance(const Scenario& scenario, const Instance& instance,
 
 Series sweep_load(const Scenario& scenario, const std::vector<double>& loads,
                   const RunSpec& spec) {
-  Series series;
-  series.x = loads;
-  series.cells.resize(loads.size());
-  for (std::size_t i = 0; i < loads.size(); ++i) {
-    for (int run = 0; run < scenario.runs(); ++run) {
-      const Instance inst = scenario.instance(run, loads[i]);
-      series.cells[i].push_back(run_instance(scenario, inst, spec));
-    }
-  }
-  return series;
+  return runner::SweepExecutor(1).load_sweep(scenario, loads, {spec})[0];
 }
 
 Series sweep_buffer(const Scenario& scenario, double load, const std::vector<Bytes>& buffers,
                     const RunSpec& spec) {
-  Series series;
-  series.cells.resize(buffers.size());
-  for (std::size_t i = 0; i < buffers.size(); ++i) {
-    series.x.push_back(static_cast<double>(buffers[i]) / 1024.0);  // KB on the axis
-    RunSpec with_buffer = spec;
-    with_buffer.buffer_override = buffers[i];
-    for (int run = 0; run < scenario.runs(); ++run) {
-      const Instance inst = scenario.instance(run, load);
-      series.cells[i].push_back(run_instance(scenario, inst, with_buffer));
-    }
-  }
-  return series;
+  return runner::SweepExecutor(1).buffer_sweep(scenario, load, buffers, {spec})[0];
 }
 
-double extract_avg_delay(const SimResult& r) { return r.avg_delay; }
-double extract_avg_delay_with_undelivered(const SimResult& r) {
-  return r.avg_delay_with_undelivered;
+namespace {
+constexpr double kNoSignal = std::numeric_limits<double>::quiet_NaN();
 }
-double extract_max_delay(const SimResult& r) { return r.max_delay; }
-double extract_delivery_rate(const SimResult& r) { return r.delivery_rate; }
-double extract_deadline_rate(const SimResult& r) { return r.deadline_rate; }
-double extract_metadata_over_data(const SimResult& r) { return r.metadata_over_data; }
-double extract_metadata_over_capacity(const SimResult& r) { return r.metadata_over_capacity; }
-double extract_channel_utilization(const SimResult& r) { return r.channel_utilization; }
+
+double extract_avg_delay(const SimResult& r) {
+  return r.delivered > 0 ? r.avg_delay : kNoSignal;
+}
+double extract_avg_delay_with_undelivered(const SimResult& r) {
+  return r.total_packets > 0 ? r.avg_delay_with_undelivered : kNoSignal;
+}
+double extract_max_delay(const SimResult& r) {
+  return r.delivered > 0 ? r.max_delay : kNoSignal;
+}
+double extract_delivery_rate(const SimResult& r) {
+  return r.total_packets > 0 ? r.delivery_rate : kNoSignal;
+}
+double extract_deadline_rate(const SimResult& r) {
+  return r.total_packets > 0 ? r.deadline_rate : kNoSignal;
+}
+double extract_metadata_over_data(const SimResult& r) {
+  return r.data_bytes > 0 ? r.metadata_over_data : kNoSignal;
+}
+double extract_metadata_over_capacity(const SimResult& r) {
+  return r.capacity_bytes > 0 ? r.metadata_over_capacity : kNoSignal;
+}
+double extract_channel_utilization(const SimResult& r) {
+  return r.capacity_bytes > 0 ? r.channel_utilization : kNoSignal;
+}
 
 Summary summarize_cell(const std::vector<SimResult>& cell, MetricExtractor extract) {
   std::vector<double> values;
   values.reserve(cell.size());
-  for (const SimResult& r : cell) values.push_back(extract(r));
+  for (const SimResult& r : cell) {
+    const double v = extract(r);
+    if (std::isfinite(v)) values.push_back(v);
+  }
   return summarize(values);
 }
 

@@ -82,4 +82,76 @@ bool Table::write_csv_file(const std::string& path) const {
   return static_cast<bool>(f);
 }
 
+namespace {
+std::string json_escape(const std::string& field) {
+  std::string out = "\"";
+  for (char ch : field) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          std::ostringstream os;
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(static_cast<unsigned char>(ch));
+          out += os.str();
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+// A cell is emitted raw only when the whole field matches the JSON number
+// grammar ("4.25", "-3e2" yes; "+5", "0x1A", "nan", "4.25 (±0.3)" no).
+bool is_plain_number(const std::string& field) {
+  std::size_t i = 0;
+  const auto digit = [&](std::size_t at) {
+    return at < field.size() && field[at] >= '0' && field[at] <= '9';
+  };
+  if (i < field.size() && field[i] == '-') ++i;
+  if (!digit(i)) return false;
+  if (field[i] == '0' && digit(i + 1)) return false;  // no leading zeros
+  while (digit(i)) ++i;
+  if (i < field.size() && field[i] == '.') {
+    ++i;
+    if (!digit(i)) return false;
+    while (digit(i)) ++i;
+  }
+  if (i < field.size() && (field[i] == 'e' || field[i] == 'E')) {
+    ++i;
+    if (i < field.size() && (field[i] == '+' || field[i] == '-')) ++i;
+    if (!digit(i)) return false;
+    while (digit(i)) ++i;
+  }
+  return i == field.size();
+}
+}  // namespace
+
+void Table::write_json(std::ostream& os) const {
+  os << "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << "  {";
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c) os << ", ";
+      os << json_escape(columns_[c]) << ": ";
+      const std::string& cell = rows_[r][c];
+      os << (is_plain_number(cell) ? cell : json_escape(cell));
+    }
+    os << (r + 1 < rows_.size() ? "},\n" : "}\n");
+  }
+  os << "]\n";
+}
+
+bool Table::write_json_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_json(f);
+  return static_cast<bool>(f);
+}
+
 }  // namespace rapid

@@ -26,6 +26,11 @@ class Table {
   void write_csv(std::ostream& os) const;
   bool write_csv_file(const std::string& path) const;
 
+  // Writes a JSON array of row objects keyed by column name; cells that
+  // parse as finite numbers are emitted as JSON numbers, others as strings.
+  void write_json(std::ostream& os) const;
+  bool write_json_file(const std::string& path) const;
+
   std::size_t row_count() const { return rows_.size(); }
   const std::vector<std::string>& column_names() const { return columns_; }
   const std::vector<std::vector<std::string>>& rows() const { return rows_; }

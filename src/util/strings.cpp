@@ -57,7 +57,13 @@ Options::Options(int argc, char** argv) {
     arg.remove_prefix(2);
     std::size_t eq = arg.find('=');
     if (eq == std::string_view::npos) {
-      kv_.emplace_back(std::string(arg), "true");
+      // "--key value" form: consume the next token unless it is a flag.
+      if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+        kv_.emplace_back(std::string(arg), std::string(argv[i + 1]));
+        ++i;
+      } else {
+        kv_.emplace_back(std::string(arg), "true");
+      }
     } else {
       kv_.emplace_back(std::string(arg.substr(0, eq)), std::string(arg.substr(eq + 1)));
     }
@@ -90,9 +96,21 @@ std::string Options::get_string(std::string_view key, std::string_view fallback)
   return std::string(fallback);
 }
 
+void Options::set(std::string key, std::string value) {
+  for (auto& [k, v] : kv_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  kv_.emplace_back(std::move(key), std::move(value));
+}
+
 bool Options::get_bool(std::string_view key, bool fallback) const {
+  // A present flag counts as true unless explicitly falsy, so a bare flag
+  // that swallowed a trailing positional token still reads as set.
   for (const auto& [k, v] : kv_)
-    if (k == key) return v == "true" || v == "1" || v == "yes";
+    if (k == key) return !(v.empty() || v == "false" || v == "0" || v == "no" || v == "off");
   return fallback;
 }
 

@@ -21,6 +21,10 @@ class Options {
  public:
   Options(int argc, char** argv);
 
+  // Sets or overrides a key; used by drivers that re-run figures with
+  // derived values (e.g. per-figure export paths under --all).
+  void set(std::string key, std::string value);
+
   double get_double(std::string_view key, double fallback) const;
   std::int64_t get_int(std::string_view key, std::int64_t fallback) const;
   std::string get_string(std::string_view key, std::string_view fallback) const;

@@ -117,12 +117,22 @@ TEST(Experiment, SweepBufferOverridesCapacity) {
 
 TEST(Experiment, SummarizeCellAggregates) {
   SimResult a;
+  a.delivered = 1;
   a.avg_delay = 10;
   SimResult b;
+  b.delivered = 1;
   b.avg_delay = 20;
   const Summary s = summarize_cell({a, b}, extract_avg_delay);
   EXPECT_EQ(s.n, 2u);
   EXPECT_DOUBLE_EQ(s.mean, 15.0);
+
+  // Runs with no deliveries carry no avg-delay signal and are skipped
+  // instead of dragging the mean toward zero.
+  SimResult starved;
+  starved.total_packets = 3;
+  const Summary guarded = summarize_cell({a, b, starved}, extract_avg_delay);
+  EXPECT_EQ(guarded.n, 2u);
+  EXPECT_DOUBLE_EQ(guarded.mean, 15.0);
 }
 
 TEST(Experiment, ProtocolParamsFollowScenario) {
