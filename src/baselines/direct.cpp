@@ -8,9 +8,9 @@ DirectRouter::DirectRouter(NodeId self, Bytes buffer_capacity, const SimContext*
     : Router(self, buffer_capacity, ctx) {}
 
 std::optional<PacketId> DirectRouter::next_transfer(const ContactContext& contact,
-                                                    Router& peer) {
-  if (!plan_built_) {
-    plan_built_ = true;
+                                                    const PeerView& peer) {
+  if (!plan_current(peer.self())) {
+    mark_plan_built(peer.self());
     order_.clear();
     cursor_ = 0;
     buffer().for_each([&](PacketId id, Bytes /*size*/) {
@@ -23,16 +23,11 @@ std::optional<PacketId> DirectRouter::next_transfer(const ContactContext& contac
   while (cursor_ < order_.size()) {
     const PacketId id = order_[cursor_];
     ++cursor_;
-    if (!buffer().contains(id) || peer.has_received(id) || contact_skipped(id)) continue;
+    if (!buffer().contains(id) || peer.has_received(id) || contact_skipped(id, peer.self())) continue;
     if (ctx().packet(id).size > contact.remaining) continue;
     return id;
   }
   return std::nullopt;
-}
-
-void DirectRouter::contact_end(Router& peer, Time now) {
-  Router::contact_end(peer, now);
-  plan_built_ = false;
 }
 
 PacketId DirectRouter::choose_drop_victim(const Packet& /*incoming*/, Time /*now*/) {

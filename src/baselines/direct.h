@@ -13,12 +13,10 @@ class DirectRouter : public Router {
  public:
   DirectRouter(NodeId self, Bytes buffer_capacity, const SimContext* ctx);
 
-  std::optional<PacketId> next_transfer(const ContactContext& contact, Router& peer) override;
-  void contact_end(Router& peer, Time now) override;
+  std::optional<PacketId> next_transfer(const ContactContext& contact, const PeerView& peer) override;
   PacketId choose_drop_victim(const Packet& incoming, Time now) override;
 
  private:
-  bool plan_built_ = false;
   std::vector<PacketId> order_;
   std::size_t cursor_ = 0;
 };

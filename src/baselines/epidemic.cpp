@@ -19,15 +19,14 @@ void EpidemicRouter::on_stored(const Packet& p, NodeId /*from*/, std::int64_t /*
   arrival_[p.id] = arrival_seq_++;
 }
 
-Bytes EpidemicRouter::contact_begin(Router& peer, Time now, Bytes meta_budget) {
+Bytes EpidemicRouter::contact_begin(const PeerView& peer, Time now, Bytes meta_budget) {
   Router::contact_begin(peer, now, meta_budget);
-  plan_built_ = false;
   if (config_.flood_acks) return std::min(exchange_acks(peer, now), meta_budget);
   return 0;
 }
 
-void EpidemicRouter::build_plan(Router& peer) {
-  plan_built_ = true;
+void EpidemicRouter::build_plan(const PeerView& peer) {
+  mark_plan_built(peer.self());
   order_.clear();
   cursor_ = 0;
   std::vector<PacketId> direct;
@@ -45,15 +44,15 @@ void EpidemicRouter::build_plan(Router& peer) {
 }
 
 std::optional<PacketId> EpidemicRouter::next_transfer(const ContactContext& contact,
-                                                      Router& peer) {
-  if (!plan_built_) build_plan(peer);
+                                                      const PeerView& peer) {
+  if (!plan_current(peer.self())) build_plan(peer);
   while (cursor_ < order_.size()) {
     const PacketId id = order_[cursor_];
     ++cursor_;
     if (!buffer().contains(id)) continue;
     const Packet& p = ctx().packet(id);
     if (p.dst == peer.self()) {
-      if (peer.has_received(id) || contact_skipped(id)) continue;
+      if (peer.has_received(id) || contact_skipped(id, peer.self())) continue;
     } else if (!peer_wants(peer, p)) {
       continue;
     }
@@ -63,17 +62,12 @@ std::optional<PacketId> EpidemicRouter::next_transfer(const ContactContext& cont
   return std::nullopt;
 }
 
-void EpidemicRouter::on_transfer_success(const Packet& p, Router& /*peer*/,
+void EpidemicRouter::on_transfer_success(const Packet& p, const PeerView& /*peer*/,
                                          ReceiveOutcome outcome, Time now) {
   if (config_.flood_acks && (outcome == ReceiveOutcome::kDelivered ||
                              outcome == ReceiveOutcome::kDuplicateDelivery)) {
     learn_ack(p.id, now);
   }
-}
-
-void EpidemicRouter::contact_end(Router& peer, Time now) {
-  Router::contact_end(peer, now);
-  plan_built_ = false;
 }
 
 PacketId EpidemicRouter::choose_drop_victim(const Packet& /*incoming*/, Time /*now*/) {

@@ -21,11 +21,10 @@ class EpidemicRouter : public Router {
                  const EpidemicConfig& config);
 
   bool on_generate(const Packet& p) override;
-  Bytes contact_begin(Router& peer, Time now, Bytes meta_budget) override;
-  std::optional<PacketId> next_transfer(const ContactContext& contact, Router& peer) override;
-  void on_transfer_success(const Packet& p, Router& peer, ReceiveOutcome outcome,
+  Bytes contact_begin(const PeerView& peer, Time now, Bytes meta_budget) override;
+  std::optional<PacketId> next_transfer(const ContactContext& contact, const PeerView& peer) override;
+  void on_transfer_success(const Packet& p, const PeerView& peer, ReceiveOutcome outcome,
                            Time now) override;
-  void contact_end(Router& peer, Time now) override;
   PacketId choose_drop_victim(const Packet& incoming, Time now) override;
 
  protected:
@@ -36,11 +35,10 @@ class EpidemicRouter : public Router {
   std::uint64_t arrival_seq_ = 0;
   std::unordered_map<PacketId, std::uint64_t> arrival_;  // FIFO order for drops
 
-  bool plan_built_ = false;
   std::vector<PacketId> order_;
   std::size_t cursor_ = 0;
 
-  void build_plan(Router& peer);
+  void build_plan(const PeerView& peer);
 };
 
 RouterFactory make_epidemic_factory(const EpidemicConfig& config, Bytes buffer_capacity);

@@ -55,9 +55,8 @@ double MaxPropRouter::meeting_likelihood(NodeId peer) const {
   return f_[static_cast<std::size_t>(self())][static_cast<std::size_t>(peer)];
 }
 
-Bytes MaxPropRouter::contact_begin(Router& peer, Time now, Bytes meta_budget) {
+Bytes MaxPropRouter::contact_begin(const PeerView& peer, Time now, Bytes meta_budget) {
   Router::contact_begin(peer, now, meta_budget);
-  plan_built_ = false;
 
   // Incremental averaging: bump the peer's likelihood, re-normalize.
   f_[static_cast<std::size_t>(self())][static_cast<std::size_t>(peer.self())] += 1.0;
@@ -66,7 +65,7 @@ Bytes MaxPropRouter::contact_begin(Router& peer, Time now, Bytes meta_budget) {
   costs_dirty_ = true;
 
   Bytes used = 0;
-  auto* mp = dynamic_cast<MaxPropRouter*>(&peer);
+  auto* mp = peer.as<MaxPropRouter>();
   if (mp != nullptr) {
     // Ship every vector the peer has staler knowledge of (route messages).
     for (std::size_t u = 0; u < f_.size(); ++u) {
@@ -156,8 +155,8 @@ std::vector<PacketId> MaxPropRouter::priority_order(bool /*for_transmission*/) c
   return out;
 }
 
-void MaxPropRouter::build_plan(Router& peer) {
-  plan_built_ = true;
+void MaxPropRouter::build_plan(const PeerView& peer) {
+  mark_plan_built(peer.self());
   direct_order_.clear();
   direct_cursor_ = 0;
   send_order_.clear();
@@ -172,12 +171,14 @@ void MaxPropRouter::build_plan(Router& peer) {
 }
 
 std::optional<PacketId> MaxPropRouter::next_transfer(const ContactContext& contact,
-                                                     Router& peer) {
-  if (!plan_built_) build_plan(peer);
+                                                     const PeerView& peer) {
+  if (!plan_current(peer.self())) build_plan(peer);
   while (direct_cursor_ < direct_order_.size()) {
     const PacketId id = direct_order_[direct_cursor_];
     ++direct_cursor_;
-    if (!buffer().contains(id) || peer.has_received(id) || contact_skipped(id)) continue;
+    if (!buffer().contains(id) || peer.has_received(id) ||
+        contact_skipped(id, peer.self()))
+      continue;
     if (ctx().packet(id).size > contact.remaining) continue;
     return id;
   }
@@ -193,19 +194,14 @@ std::optional<PacketId> MaxPropRouter::next_transfer(const ContactContext& conta
   return std::nullopt;
 }
 
-std::int64_t MaxPropRouter::transfer_aux(const Packet& p, Router& /*peer*/) {
+std::int64_t MaxPropRouter::transfer_aux(const Packet& p, const PeerView& /*peer*/) {
   return hop_count(p.id) + 1;
 }
 
-void MaxPropRouter::on_transfer_success(const Packet& p, Router& /*peer*/,
+void MaxPropRouter::on_transfer_success(const Packet& p, const PeerView& /*peer*/,
                                         ReceiveOutcome outcome, Time now) {
   if (outcome == ReceiveOutcome::kDelivered || outcome == ReceiveOutcome::kDuplicateDelivery)
     learn_ack(p.id, now);
-}
-
-void MaxPropRouter::contact_end(Router& peer, Time now) {
-  Router::contact_end(peer, now);
-  plan_built_ = false;
 }
 
 PacketId MaxPropRouter::choose_drop_victim(const Packet& /*incoming*/, Time /*now*/) {

@@ -35,12 +35,12 @@ class MaxPropRouter : public Router {
 
   bool on_generate(const Packet& p) override;
   void observe_opportunity(Bytes capacity, NodeId peer, Time now) override;
-  Bytes contact_begin(Router& peer, Time now, Bytes meta_budget) override;
-  std::optional<PacketId> next_transfer(const ContactContext& contact, Router& peer) override;
-  std::int64_t transfer_aux(const Packet& p, Router& peer) override;
-  void on_transfer_success(const Packet& p, Router& peer, ReceiveOutcome outcome,
+  Bytes contact_begin(const PeerView& peer, Time now, Bytes meta_budget) override;
+  std::optional<PacketId> next_transfer(const ContactContext& contact,
+                                        const PeerView& peer) override;
+  std::int64_t transfer_aux(const Packet& p, const PeerView& peer) override;
+  void on_transfer_success(const Packet& p, const PeerView& peer, ReceiveOutcome outcome,
                            Time now) override;
-  void contact_end(Router& peer, Time now) override;
   PacketId choose_drop_victim(const Packet& incoming, Time now) override;
 
   // Cheapest (1 - f) path cost from this node to `dst` under current vectors.
@@ -65,7 +65,6 @@ class MaxPropRouter : public Router {
   mutable bool costs_dirty_ = true;
   mutable std::vector<double> cost_cache_;
 
-  bool plan_built_ = false;
   std::vector<PacketId> direct_order_;
   std::size_t direct_cursor_ = 0;
   std::vector<PacketId> send_order_;
@@ -74,7 +73,7 @@ class MaxPropRouter : public Router {
   void normalize_own();
   void recompute_costs() const;
   Bytes head_start_bytes() const;
-  void build_plan(Router& peer);
+  void build_plan(const PeerView& peer);
   // Ordered buffer view: head-start section (hopcount asc) then cost asc.
   std::vector<PacketId> priority_order(bool for_transmission) const;
 };

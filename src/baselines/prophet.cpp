@@ -26,9 +26,8 @@ double ProphetRouter::predictability(NodeId dst, Time now) const {
   return p_[static_cast<std::size_t>(dst)];
 }
 
-Bytes ProphetRouter::contact_begin(Router& peer, Time now, Bytes meta_budget) {
+Bytes ProphetRouter::contact_begin(const PeerView& peer, Time now, Bytes meta_budget) {
   Router::contact_begin(peer, now, meta_budget);
-  plan_built_ = false;
   age_to(now);
 
   // Direct-encounter update.
@@ -37,7 +36,7 @@ Bytes ProphetRouter::contact_begin(Router& peer, Time now, Bytes meta_budget) {
 
   // Transitive update from the peer's vector (its contact_begin may not have
   // run yet this meeting, but its vector is aged on read).
-  auto* prophet_peer = dynamic_cast<ProphetRouter*>(&peer);
+  auto* prophet_peer = peer.as<ProphetRouter>();
   if (prophet_peer == nullptr) return 0;
   const double p_ab = mine;
   for (NodeId d = 0; d < ctx().num_nodes; ++d) {
@@ -52,13 +51,13 @@ Bytes ProphetRouter::contact_begin(Router& peer, Time now, Bytes meta_budget) {
   return std::min(cost, meta_budget);
 }
 
-void ProphetRouter::build_plan(Router& peer, Time now) {
-  plan_built_ = true;
+void ProphetRouter::build_plan(const PeerView& peer, Time now) {
+  mark_plan_built(peer.self());
   direct_order_.clear();
   direct_cursor_ = 0;
   forward_order_.clear();
   forward_cursor_ = 0;
-  auto* prophet_peer = dynamic_cast<ProphetRouter*>(&peer);
+  auto* prophet_peer = peer.as<ProphetRouter>();
   buffer().for_each([&](PacketId id, Bytes /*size*/) {
     const Packet& p = ctx().packet(id);
     if (p.dst == peer.self()) {
@@ -78,12 +77,12 @@ void ProphetRouter::build_plan(Router& peer, Time now) {
 }
 
 std::optional<PacketId> ProphetRouter::next_transfer(const ContactContext& contact,
-                                                     Router& peer) {
-  if (!plan_built_) build_plan(peer, contact.now);
+                                                     const PeerView& peer) {
+  if (!plan_current(peer.self())) build_plan(peer, contact.now);
   while (direct_cursor_ < direct_order_.size()) {
     const PacketId id = direct_order_[direct_cursor_];
     ++direct_cursor_;
-    if (!buffer().contains(id) || peer.has_received(id) || contact_skipped(id)) continue;
+    if (!buffer().contains(id) || peer.has_received(id) || contact_skipped(id, peer.self())) continue;
     if (ctx().packet(id).size > contact.remaining) continue;
     return id;
   }
@@ -97,11 +96,6 @@ std::optional<PacketId> ProphetRouter::next_transfer(const ContactContext& conta
     return id;
   }
   return std::nullopt;
-}
-
-void ProphetRouter::contact_end(Router& peer, Time now) {
-  Router::contact_end(peer, now);
-  plan_built_ = false;
 }
 
 PacketId ProphetRouter::choose_drop_victim(const Packet& /*incoming*/, Time now) {

@@ -31,9 +31,8 @@ class ProphetRouter : public Router {
   ProphetRouter(NodeId self, Bytes buffer_capacity, const SimContext* ctx,
                 const ProphetConfig& config);
 
-  Bytes contact_begin(Router& peer, Time now, Bytes meta_budget) override;
-  std::optional<PacketId> next_transfer(const ContactContext& contact, Router& peer) override;
-  void contact_end(Router& peer, Time now) override;
+  Bytes contact_begin(const PeerView& peer, Time now, Bytes meta_budget) override;
+  std::optional<PacketId> next_transfer(const ContactContext& contact, const PeerView& peer) override;
   PacketId choose_drop_victim(const Packet& incoming, Time now) override;
 
   // Aged predictability towards `dst` as of `now`.
@@ -44,14 +43,13 @@ class ProphetRouter : public Router {
   mutable std::vector<double> p_;   // predictabilities, aged lazily
   mutable Time last_aged_ = 0;
 
-  bool plan_built_ = false;
   std::vector<PacketId> direct_order_;
   std::size_t direct_cursor_ = 0;
   std::vector<std::pair<double, PacketId>> forward_order_;  // peer predictability desc
   std::size_t forward_cursor_ = 0;
 
   void age_to(Time now) const;
-  void build_plan(Router& peer, Time now);
+  void build_plan(const PeerView& peer, Time now);
 };
 
 RouterFactory make_prophet_factory(const ProphetConfig& config, Bytes buffer_capacity);

@@ -8,9 +8,8 @@ RandomRouter::RandomRouter(NodeId self, Bytes buffer_capacity, const SimContext*
                            const RandomConfig& config)
     : Router(self, buffer_capacity, ctx), config_(config) {}
 
-Bytes RandomRouter::contact_begin(Router& peer, Time now, Bytes meta_budget) {
+Bytes RandomRouter::contact_begin(const PeerView& peer, Time now, Bytes meta_budget) {
   Router::contact_begin(peer, now, meta_budget);
-  plan_built_ = false;
   if (config_.flood_acks) {
     // Ack flooding is this variant's only control traffic; cap at budget.
     const Bytes used = exchange_acks(peer, now);
@@ -19,8 +18,8 @@ Bytes RandomRouter::contact_begin(Router& peer, Time now, Bytes meta_budget) {
   return 0;
 }
 
-void RandomRouter::build_plan(Router& peer) {
-  plan_built_ = true;
+void RandomRouter::build_plan(const PeerView& peer) {
+  mark_plan_built(peer.self());
   direct_order_.clear();
   direct_cursor_ = 0;
   shuffled_.clear();
@@ -41,12 +40,12 @@ void RandomRouter::build_plan(Router& peer) {
 }
 
 std::optional<PacketId> RandomRouter::next_transfer(const ContactContext& contact,
-                                                    Router& peer) {
-  if (!plan_built_) build_plan(peer);
+                                                    const PeerView& peer) {
+  if (!plan_current(peer.self())) build_plan(peer);
   while (direct_cursor_ < direct_order_.size()) {
     const PacketId id = direct_order_[direct_cursor_];
     ++direct_cursor_;
-    if (!buffer().contains(id) || peer.has_received(id) || contact_skipped(id)) continue;
+    if (!buffer().contains(id) || peer.has_received(id) || contact_skipped(id, peer.self())) continue;
     if (ctx().packet(id).size > contact.remaining) continue;
     return id;
   }
@@ -62,17 +61,12 @@ std::optional<PacketId> RandomRouter::next_transfer(const ContactContext& contac
   return std::nullopt;
 }
 
-void RandomRouter::on_transfer_success(const Packet& p, Router& /*peer*/,
+void RandomRouter::on_transfer_success(const Packet& p, const PeerView& /*peer*/,
                                        ReceiveOutcome outcome, Time now) {
   if (config_.flood_acks && (outcome == ReceiveOutcome::kDelivered ||
                              outcome == ReceiveOutcome::kDuplicateDelivery)) {
     learn_ack(p.id, now);
   }
-}
-
-void RandomRouter::contact_end(Router& peer, Time now) {
-  Router::contact_end(peer, now);
-  plan_built_ = false;
 }
 
 PacketId RandomRouter::choose_drop_victim(const Packet& /*incoming*/, Time /*now*/) {

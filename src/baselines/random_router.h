@@ -23,22 +23,20 @@ class RandomRouter : public Router {
   RandomRouter(NodeId self, Bytes buffer_capacity, const SimContext* ctx,
                const RandomConfig& config);
 
-  Bytes contact_begin(Router& peer, Time now, Bytes meta_budget) override;
-  std::optional<PacketId> next_transfer(const ContactContext& contact, Router& peer) override;
-  void on_transfer_success(const Packet& p, Router& peer, ReceiveOutcome outcome,
+  Bytes contact_begin(const PeerView& peer, Time now, Bytes meta_budget) override;
+  std::optional<PacketId> next_transfer(const ContactContext& contact, const PeerView& peer) override;
+  void on_transfer_success(const Packet& p, const PeerView& peer, ReceiveOutcome outcome,
                            Time now) override;
-  void contact_end(Router& peer, Time now) override;
   PacketId choose_drop_victim(const Packet& incoming, Time now) override;
 
  private:
   RandomConfig config_;
-  bool plan_built_ = false;
   std::vector<PacketId> direct_order_;
   std::size_t direct_cursor_ = 0;
   std::vector<PacketId> shuffled_;
   std::size_t shuffle_cursor_ = 0;
 
-  void build_plan(Router& peer);
+  void build_plan(const PeerView& peer);
 };
 
 RouterFactory make_random_factory(const RandomConfig& config, Bytes buffer_capacity);

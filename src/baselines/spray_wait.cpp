@@ -30,14 +30,8 @@ void SprayWaitRouter::on_stored(const Packet& p, NodeId /*from*/, std::int64_t a
 void SprayWaitRouter::on_dropped(const Packet& p, Time /*now*/) { copies_.erase(p.id); }
 void SprayWaitRouter::on_acked(const Packet& p, Time /*now*/) { copies_.erase(p.id); }
 
-Bytes SprayWaitRouter::contact_begin(Router& peer, Time now, Bytes meta_budget) {
-  Router::contact_begin(peer, now, meta_budget);
-  plan_built_ = false;
-  return 0;
-}
-
-void SprayWaitRouter::build_plan(Router& peer) {
-  plan_built_ = true;
+void SprayWaitRouter::build_plan(const PeerView& peer) {
+  mark_plan_built(peer.self());
   direct_order_.clear();
   direct_cursor_ = 0;
   spray_order_.clear();
@@ -58,12 +52,12 @@ void SprayWaitRouter::build_plan(Router& peer) {
 }
 
 std::optional<PacketId> SprayWaitRouter::next_transfer(const ContactContext& contact,
-                                                       Router& peer) {
-  if (!plan_built_) build_plan(peer);
+                                                       const PeerView& peer) {
+  if (!plan_current(peer.self())) build_plan(peer);
   while (direct_cursor_ < direct_order_.size()) {
     const PacketId id = direct_order_[direct_cursor_];
     ++direct_cursor_;
-    if (!buffer().contains(id) || peer.has_received(id) || contact_skipped(id)) continue;
+    if (!buffer().contains(id) || peer.has_received(id) || contact_skipped(id, peer.self())) continue;
     if (ctx().packet(id).size > contact.remaining) continue;
     return id;
   }
@@ -79,23 +73,18 @@ std::optional<PacketId> SprayWaitRouter::next_transfer(const ContactContext& con
   return std::nullopt;
 }
 
-std::int64_t SprayWaitRouter::transfer_aux(const Packet& p, Router& /*peer*/) {
+std::int64_t SprayWaitRouter::transfer_aux(const Packet& p, const PeerView& /*peer*/) {
   // Binary spray: hand over half the copies.
   return copies_of(p.id) / 2;
 }
 
-void SprayWaitRouter::on_transfer_success(const Packet& p, Router& /*peer*/,
+void SprayWaitRouter::on_transfer_success(const Packet& p, const PeerView& /*peer*/,
                                           ReceiveOutcome outcome, Time /*now*/) {
   if (outcome != ReceiveOutcome::kStored) return;
   auto it = copies_.find(p.id);
   if (it == copies_.end()) return;
   it->second -= it->second / 2;  // keep the ceiling half
   if (it->second < 1) it->second = 1;
-}
-
-void SprayWaitRouter::contact_end(Router& peer, Time now) {
-  Router::contact_end(peer, now);
-  plan_built_ = false;
 }
 
 PacketId SprayWaitRouter::choose_drop_victim(const Packet& /*incoming*/, Time /*now*/) {

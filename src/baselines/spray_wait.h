@@ -23,12 +23,10 @@ class SprayWaitRouter : public Router {
                   const SprayWaitConfig& config);
 
   bool on_generate(const Packet& p) override;
-  Bytes contact_begin(Router& peer, Time now, Bytes meta_budget) override;
-  std::optional<PacketId> next_transfer(const ContactContext& contact, Router& peer) override;
-  std::int64_t transfer_aux(const Packet& p, Router& peer) override;
-  void on_transfer_success(const Packet& p, Router& peer, ReceiveOutcome outcome,
+  std::optional<PacketId> next_transfer(const ContactContext& contact, const PeerView& peer) override;
+  std::int64_t transfer_aux(const Packet& p, const PeerView& peer) override;
+  void on_transfer_success(const Packet& p, const PeerView& peer, ReceiveOutcome outcome,
                            Time now) override;
-  void contact_end(Router& peer, Time now) override;
   PacketId choose_drop_victim(const Packet& incoming, Time now) override;
 
   int copies_of(PacketId id) const;
@@ -42,13 +40,12 @@ class SprayWaitRouter : public Router {
   SprayWaitConfig config_;
   std::unordered_map<PacketId, int> copies_;
 
-  bool plan_built_ = false;
   std::vector<PacketId> direct_order_;
   std::size_t direct_cursor_ = 0;
   std::vector<PacketId> spray_order_;
   std::size_t spray_cursor_ = 0;
 
-  void build_plan(Router& peer);
+  void build_plan(const PeerView& peer);
 };
 
 RouterFactory make_spray_wait_factory(const SprayWaitConfig& config, Bytes buffer_capacity);

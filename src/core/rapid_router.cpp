@@ -95,7 +95,7 @@ double RapidRouter::replica_rate(const Packet& p) const {
   double rate = 0;
   if (config_.control == ControlChannelMode::kGlobalOracle) {
     for (NodeId holder : global_->holders(p.id)) {
-      const Router* r = (*ctx().routers)[static_cast<std::size_t>(holder)];
+      const Router* r = ctx().oracle->at(holder);
       const auto* rr = dynamic_cast<const RapidRouter*>(r);
       if (rr == nullptr) continue;
       const double d = rr->self_direct_delay(p);
@@ -125,8 +125,8 @@ double RapidRouter::utility_of(const Packet& p, Time now) const {
                         config_.utility);
 }
 
-double RapidRouter::marginal_for(const Packet& p, RapidRouter* rapid_peer, Router& peer,
-                                 Time now) const {
+double RapidRouter::marginal_for(const Packet& p, RapidRouter* rapid_peer,
+                                 const PeerView& peer, Time now) const {
   double d_new = kTimeInfinity;
   if (rapid_peer != nullptr) {
     d_new = rapid_peer->direct_delay_if_stored(p);
@@ -176,7 +176,9 @@ void RapidRouter::on_delivered_here(const Packet& p, Time now) {
   if (config_.control != ControlChannelMode::kGlobalOracle) return;
   // Instant global acknowledgment: every node purges its copy immediately.
   global_->mark_delivered(p.id);
-  for (Router* r : *ctx().routers) {
+  const RouterOracle& oracle = *ctx().oracle;
+  for (NodeId n = 0; n < oracle.size(); ++n) {
+    Router* r = oracle.at(n);
     if (r == nullptr || r == this) continue;
     if (auto* rr = dynamic_cast<RapidRouter*>(r)) rr->learn_ack(p.id, now);
   }
@@ -194,23 +196,24 @@ void RapidRouter::observe_opportunity(Bytes capacity, NodeId peer, Time now) {
 }
 
 void RapidRouter::broadcast_own_row(Time now) {
-  for (Router* r : *ctx().routers) {
+  const RouterOracle& oracle = *ctx().oracle;
+  for (NodeId n = 0; n < oracle.size(); ++n) {
+    Router* r = oracle.at(n);
     if (r == nullptr || r == this) continue;
     if (auto* rr = dynamic_cast<RapidRouter*>(r))
       rr->matrix_.merge_row(self(), matrix_.own_row(), now);
   }
 }
 
-Bytes RapidRouter::contact_begin(Router& peer, Time now, Bytes meta_budget) {
-  Router::contact_begin(peer, now, meta_budget);
-  contact_active_ = false;  // plan is rebuilt lazily on first next_transfer
+Bytes RapidRouter::contact_begin(const PeerView& peer, Time now, Bytes meta_budget) {
+  Router::contact_begin(peer, now, meta_budget);  // plan rebuilt lazily
   matrix_.observe_meeting(peer.self(), now);
 
   if (config_.control == ControlChannelMode::kGlobalOracle) {
     broadcast_own_row(now);
     return 0;  // the global channel is out of band
   }
-  auto* rapid_peer = dynamic_cast<RapidRouter*>(&peer);
+  auto* rapid_peer = peer.as<RapidRouter>();
   if (rapid_peer == nullptr) return 0;
   return exchange_metadata(*rapid_peer, now, meta_budget);
 }
@@ -301,13 +304,13 @@ Bytes RapidRouter::exchange_metadata(RapidRouter& peer, Time now, Bytes budget) 
   return finish();
 }
 
-void RapidRouter::build_contact_plan(const ContactContext& contact, Router& peer) {
-  contact_active_ = true;
+void RapidRouter::build_contact_plan(const ContactContext& contact, const PeerView& peer) {
+  mark_plan_built(peer.self());
   direct_order_.clear();
   direct_cursor_ = 0;
   replication_order_.clear();
   replication_cursor_ = 0;
-  auto* rapid_peer = dynamic_cast<RapidRouter*>(&peer);
+  auto* rapid_peer = peer.as<RapidRouter>();
   const Time now = contact.now;
 
   // Step 2 — direct delivery, "in decreasing order of their utility":
@@ -372,8 +375,8 @@ void RapidRouter::build_contact_plan(const ContactContext& contact, Router& peer
 }
 
 std::optional<PacketId> RapidRouter::next_transfer(const ContactContext& contact,
-                                                   Router& peer) {
-  if (!contact_active_) build_contact_plan(contact, peer);
+                                                   const PeerView& peer) {
+  if (!plan_current(peer.self())) build_contact_plan(contact, peer);
 
   // Direct delivery first.
   while (direct_cursor_ < direct_order_.size()) {
@@ -381,7 +384,7 @@ std::optional<PacketId> RapidRouter::next_transfer(const ContactContext& contact
     ++direct_cursor_;
     if (!buffer().contains(id)) continue;
     const Packet& p = ctx().packet(id);
-    if (peer.has_received(id) || contact_skipped(id)) continue;
+    if (peer.has_received(id) || contact_skipped(id, peer.self())) continue;
     if (p.size > contact.remaining) continue;
     return id;
   }
@@ -399,8 +402,8 @@ std::optional<PacketId> RapidRouter::next_transfer(const ContactContext& contact
   return std::nullopt;
 }
 
-void RapidRouter::on_transfer_success(const Packet& p, Router& peer, ReceiveOutcome outcome,
-                                      Time now) {
+void RapidRouter::on_transfer_success(const Packet& p, const PeerView& peer,
+                                      ReceiveOutcome outcome, Time now) {
   if (outcome == ReceiveOutcome::kDelivered || outcome == ReceiveOutcome::kDuplicateDelivery) {
     if (config_.control != ControlChannelMode::kGlobalOracle) {
       // We are talking to the destination: learn the ack right away.
@@ -409,7 +412,7 @@ void RapidRouter::on_transfer_success(const Packet& p, Router& peer, ReceiveOutc
     return;
   }
   if (outcome != ReceiveOutcome::kStored) return;
-  auto* rapid_peer = dynamic_cast<RapidRouter*>(&peer);
+  auto* rapid_peer = peer.as<RapidRouter>();
   if (rapid_peer != nullptr && config_.control != ControlChannelMode::kGlobalOracle) {
     // Track the new replica and hand the packet's known replica list to the
     // receiver (it travels with the packet; full in-band mode only). Refresh
@@ -426,9 +429,8 @@ void RapidRouter::on_transfer_success(const Packet& p, Router& peer, ReceiveOutc
   }
 }
 
-void RapidRouter::contact_end(Router& peer, Time now) {
+void RapidRouter::contact_end(const PeerView& peer, Time now) {
   Router::contact_end(peer, now);
-  contact_active_ = false;
   direct_order_.clear();
   replication_order_.clear();
 }

@@ -62,11 +62,12 @@ class RapidRouter : public Router {
   // --- Router interface -----------------------------------------------------
   bool on_generate(const Packet& p) override;
   void observe_opportunity(Bytes capacity, NodeId peer, Time now) override;
-  Bytes contact_begin(Router& peer, Time now, Bytes meta_budget) override;
-  std::optional<PacketId> next_transfer(const ContactContext& contact, Router& peer) override;
-  void on_transfer_success(const Packet& p, Router& peer, ReceiveOutcome outcome,
+  Bytes contact_begin(const PeerView& peer, Time now, Bytes meta_budget) override;
+  std::optional<PacketId> next_transfer(const ContactContext& contact,
+                                        const PeerView& peer) override;
+  void on_transfer_success(const Packet& p, const PeerView& peer, ReceiveOutcome outcome,
                            Time now) override;
-  void contact_end(Router& peer, Time now) override;
+  void contact_end(const PeerView& peer, Time now) override;
   PacketId choose_drop_victim(const Packet& incoming, Time now) override;
 
   // --- Inference (exposed for tests and for peers during a contact) ---------
@@ -116,8 +117,10 @@ class RapidRouter : public Router {
   std::unordered_map<NodeId, std::vector<QueueEntry>> dest_queue_;
 
   // Per-contact cached orderings (the candidate set is stable within a
-  // contact; see DESIGN.md on work conservation).
-  bool contact_active_ = false;
+  // contact; see DESIGN.md on work conservation). Validity is tracked by the
+  // base Router's plan-cache helpers, keyed by the peer the plan was built
+  // for, so interleaved concurrent sessions rebuild instead of reusing
+  // another peer's ordering.
   std::vector<PacketId> direct_order_;
   std::size_t direct_cursor_ = 0;
   std::vector<Candidate> replication_order_;
@@ -128,8 +131,9 @@ class RapidRouter : public Router {
   Bytes queue_bytes_ahead(const Packet& p, bool include_self_copy) const;
 
   Bytes exchange_metadata(RapidRouter& peer, Time now, Bytes budget);
-  void build_contact_plan(const ContactContext& contact, Router& peer);
-  double marginal_for(const Packet& p, RapidRouter* rapid_peer, Router& peer, Time now) const;
+  void build_contact_plan(const ContactContext& contact, const PeerView& peer);
+  double marginal_for(const Packet& p, RapidRouter* rapid_peer, const PeerView& peer,
+                      Time now) const;
   double utility_of(const Packet& p, Time now) const;
   void broadcast_own_row(Time now);
 };

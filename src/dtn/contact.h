@@ -1,35 +1,7 @@
-// Runs the symmetric contact protocol of §3.4 over one transfer opportunity:
-// metadata exchange, then alternating transfers from both sides until the
-// opportunity is exhausted or neither side has anything left to send
-// ("Termination: end transfer when out of radio range or all packets
-// replicated").
+// Legacy entry point for one transfer opportunity. run_contact() is a thin
+// full-drain wrapper (open / transfer / close) over the ContactSession state
+// machine — see dtn/contact_session.h for the session API, interruption
+// semantics, and asymmetric-bandwidth link policies.
 #pragma once
 
-#include "dtn/metrics.h"
-#include "dtn/packet.h"
-#include "dtn/router.h"
-#include "dtn/schedule.h"
-
-namespace rapid {
-
-struct ContactConfig {
-  // Cap on metadata as a fraction of the opportunity size (Fig 8 sweeps
-  // this); negative = unlimited ("as much bandwidth ... as it requires").
-  double metadata_cap_fraction = -1.0;
-  // When false the control channel is free (models the instant global
-  // channel of §6.2.3, whose cost is out of band).
-  bool charge_metadata = true;
-};
-
-struct ContactStats {
-  Bytes metadata_bytes = 0;
-  Bytes data_bytes = 0;
-  int transfers = 0;
-  int deliveries = 0;
-};
-
-ContactStats run_contact(Router& x, Router& y, const Meeting& meeting, int meeting_index,
-                         const ContactConfig& config, const PacketPool& pool,
-                         MetricsCollector& metrics);
-
-}  // namespace rapid
+#include "dtn/contact_session.h"

@@ -1,0 +1,258 @@
+#include "dtn/contact_session.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace rapid {
+
+namespace {
+constexpr Bytes kNoLimit = std::numeric_limits<Bytes>::max();
+}
+
+ContactSession::ContactSession(Router& a, Router& b, const Meeting& meeting,
+                               int meeting_index, const ContactConfig& config,
+                               const PacketPool& pool, MetricsCollector& metrics)
+    : a_(a),
+      b_(b),
+      meeting_(meeting),
+      meeting_index_(meeting_index),
+      config_(config),
+      pool_(pool),
+      metrics_(metrics) {}
+
+Bytes& ContactSession::send_budget(bool from_a) {
+  if (!config_.link.asymmetric()) return budget_ab_;  // shared pool
+  return from_a ? budget_ab_ : budget_ba_;
+}
+
+void ContactSession::open() {
+  if (state_ != SessionState::kIdle)
+    throw std::logic_error("ContactSession::open: session already opened");
+  state_ = SessionState::kOpen;
+
+  a_.observe_opportunity(meeting_.capacity, b_.self(), meeting_.time);
+  b_.observe_opportunity(meeting_.capacity, a_.self(), meeting_.time);
+
+  // Link-policy draw, keyed by meeting index so the outcome is independent of
+  // sweep execution order and thread count.
+  Bytes effective_capacity = -1;  // negative = no cut
+  if (config_.link.interruption_rate > 0.0) {
+    Rng rng = Rng(config_.link.seed)
+                  .split("interrupt", static_cast<std::uint64_t>(meeting_index_));
+    if (rng.bernoulli(config_.link.interruption_rate)) {
+      const double completion =
+          rng.uniform(config_.link.min_completion, config_.link.max_completion);
+      effective_capacity =
+          static_cast<Bytes>(completion * static_cast<double>(meeting_.capacity));
+    }
+  }
+
+  // --- Step 1: metadata exchange -------------------------------------------
+  Bytes used_a = 0;
+  Bytes used_b = 0;
+  if (!config_.link.asymmetric()) {
+    budget_ab_ = meeting_.capacity;
+    Bytes meta_budget = budget_ab_;
+    if (config_.metadata_cap_fraction >= 0) {
+      meta_budget = std::min<Bytes>(
+          budget_ab_, static_cast<Bytes>(config_.metadata_cap_fraction *
+                                         static_cast<double>(meeting_.capacity)));
+    }
+    used_a = std::min(a_.contact_begin(b_, meeting_.time, meta_budget), meta_budget);
+    used_b = std::min(b_.contact_begin(a_, meeting_.time, meta_budget - used_a),
+                      meta_budget - used_a);
+    if (config_.charge_metadata) budget_ab_ -= used_a + used_b;
+  } else {
+    // Directional budgets: each side's metadata rides its own uplink.
+    budget_ab_ = static_cast<Bytes>(config_.link.forward_fraction *
+                                    static_cast<double>(meeting_.capacity));
+    budget_ba_ = meeting_.capacity - budget_ab_;
+    const auto dir_meta_budget = [&](Bytes dir_budget) {
+      if (config_.metadata_cap_fraction < 0) return dir_budget;
+      return std::min<Bytes>(dir_budget,
+                             static_cast<Bytes>(config_.metadata_cap_fraction *
+                                                static_cast<double>(dir_budget)));
+    };
+    const Bytes meta_a = dir_meta_budget(budget_ab_);
+    const Bytes meta_b = dir_meta_budget(budget_ba_);
+    used_a = std::min(a_.contact_begin(b_, meeting_.time, meta_a), meta_a);
+    used_b = std::min(b_.contact_begin(a_, meeting_.time, meta_b), meta_b);
+    if (config_.charge_metadata) {
+      budget_ab_ -= used_a;
+      budget_ba_ -= used_b;
+    }
+  }
+  stats_.metadata_bytes = used_a + used_b;
+  metrics_.record_metadata(stats_.metadata_bytes);
+
+  if (effective_capacity >= 0) {
+    const Bytes charged_meta = config_.charge_metadata ? stats_.metadata_bytes : 0;
+    data_cutoff_ = std::max<Bytes>(0, effective_capacity - charged_meta);
+  }
+}
+
+bool ContactSession::exhausted() const {
+  if (state_ != SessionState::kOpen) return true;
+  if (a_done_ && b_done_) return true;
+  if (data_cutoff_ >= 0 && data_moved_ >= data_cutoff_) return false;  // cut pending
+  if (!config_.link.asymmetric()) return budget_ab_ <= 0;
+  return budget_ab_ <= 0 && budget_ba_ <= 0;
+}
+
+void ContactSession::charge_partial(const Packet& /*p*/, Bytes bytes) {
+  stats_.data_bytes += bytes;
+  stats_.partial_bytes += bytes;
+  ++stats_.partial_transfers;
+  metrics_.record_partial_transfer(bytes);
+}
+
+void ContactSession::perform_transfer(bool from_a, const Packet& p) {
+  Router& snd = sender(from_a);
+  Router& rcv = receiver(from_a);
+  const std::int64_t aux = snd.transfer_aux(p, rcv);
+  // The copy crosses the air: the bytes are spent whatever the outcome.
+  send_budget(from_a) -= p.size;
+  data_moved_ += p.size;
+  stats_.data_bytes += p.size;
+  metrics_.record_data_transfer(p.size);
+  ++stats_.transfers;
+
+  const ReceiveOutcome outcome = rcv.receive_copy(p, snd, aux, meeting_.time);
+  switch (outcome) {
+    case ReceiveOutcome::kDelivered:
+      metrics_.record_delivery(p.id, meeting_.time);
+      ++stats_.deliveries;
+      snd.on_transfer_success(p, rcv, outcome, meeting_.time);
+      break;
+    case ReceiveOutcome::kDuplicateDelivery:
+    case ReceiveOutcome::kStored:
+      snd.on_transfer_success(p, rcv, outcome, meeting_.time);
+      break;
+    case ReceiveOutcome::kDuplicate:
+    case ReceiveOutcome::kRejected:
+      // Make sure the sender cannot spin on the same packet.
+      snd.on_transfer_failed(p, rcv, meeting_.time);
+      break;
+  }
+}
+
+Bytes ContactSession::transfer(Bytes max_bytes) {
+  if (state_ != SessionState::kOpen) return 0;
+  const Bytes slice = max_bytes < 0 ? kNoLimit : max_bytes;
+  Bytes moved = 0;
+
+  while (true) {
+    // The link policy's cut, checked first so a cutoff of zero (metadata ate
+    // the surviving capacity) still tears the link down.
+    if (data_cutoff_ >= 0 && data_moved_ >= data_cutoff_) {
+      stats_.interrupted = true;
+      end_hooks();
+      return moved;
+    }
+    if (a_done_ && b_done_) return moved;
+    if (!config_.link.asymmetric()) {
+      if (budget_ab_ <= 0) return moved;
+    } else if (budget_ab_ <= 0 && budget_ba_ <= 0) {
+      return moved;
+    }
+
+    // Obtain an offer: resume the parked one, else run the alternation.
+    bool from_a;
+    PacketId pid;
+    if (pending_.valid) {
+      from_a = pending_.from_a;
+      pid = pending_.id;
+      // The world may have moved between slices (a concurrent session evicted
+      // the copy, an ack purged it, another contact delivered or relayed it):
+      // a stale parked offer is dropped, not sent.
+      if (!sender(from_a).buffer().contains(pid) || sender(from_a).knows_ack(pid) ||
+          receiver(from_a).has_received(pid) || receiver(from_a).buffer().contains(pid)) {
+        pending_.valid = false;
+        continue;
+      }
+    } else {
+      from_a = a_turn_ ? !a_done_ : b_done_;
+      a_turn_ = !a_turn_;
+      ContactContext ctx{receiver(from_a).self(), meeting_.time, send_budget(from_a),
+                         meeting_index_};
+      const std::optional<PacketId> offer =
+          sender(from_a).next_transfer(ctx, receiver(from_a));
+      if (!offer.has_value()) {
+        (from_a ? a_done_ : b_done_) = true;
+        continue;
+      }
+      pid = *offer;
+    }
+
+    const Packet& p = pool_.get(pid);
+    if (p.size > send_budget(from_a)) {
+      // The protocol offered something that no longer fits; this side is done.
+      pending_.valid = false;
+      (from_a ? a_done_ : b_done_) = true;
+      continue;
+    }
+    if (data_cutoff_ >= 0 && data_moved_ + p.size > data_cutoff_) {
+      // The link dies while this copy is in the air: charge the bytes it
+      // burned, discard the incomplete copy, and end the contact.
+      const Bytes burned = data_cutoff_ - data_moved_;
+      pending_.valid = false;
+      charge_partial(p, burned);
+      moved += burned;
+      data_moved_ += burned;
+      stats_.interrupted = true;
+      end_hooks();
+      return moved;
+    }
+    if (moved > 0 && moved + p.size > slice) {
+      // Park the offer for the next slice; the protocol is not re-asked, so
+      // its per-contact cursors see exactly one next_transfer per copy. A
+      // slice smaller than one packet still moves that packet: copies are
+      // atomic on the air, so the slice is a soft boundary.
+      pending_ = PendingOffer{true, from_a, pid};
+      return moved;
+    }
+    pending_.valid = false;
+    perform_transfer(from_a, p);
+    moved += p.size;
+  }
+}
+
+void ContactSession::interrupt(Bytes in_flight) {
+  if (state_ != SessionState::kOpen) return;
+  if (pending_.valid && in_flight > 0) {
+    const Packet& p = pool_.get(pending_.id);
+    const Bytes burned =
+        std::min({in_flight, p.size - 1, send_budget(pending_.from_a)});
+    if (burned > 0) {
+      charge_partial(p, burned);
+      data_moved_ += burned;
+    }
+  }
+  pending_.valid = false;
+  stats_.interrupted = true;
+  end_hooks();
+}
+
+void ContactSession::close() {
+  if (state_ != SessionState::kOpen) return;
+  end_hooks();
+}
+
+void ContactSession::end_hooks() {
+  a_.contact_end(b_, meeting_.time);
+  b_.contact_end(a_, meeting_.time);
+  state_ = SessionState::kClosed;
+}
+
+ContactStats run_contact(Router& x, Router& y, const Meeting& meeting, int meeting_index,
+                         const ContactConfig& config, const PacketPool& pool,
+                         MetricsCollector& metrics) {
+  ContactSession session(x, y, meeting, meeting_index, config, pool, metrics);
+  session.open();
+  session.transfer();
+  session.close();
+  return session.stats();
+}
+
+}  // namespace rapid

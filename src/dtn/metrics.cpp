@@ -23,6 +23,8 @@ void MetricsCollector::begin(const PacketPool& pool, const MeetingSchedule& sche
   meetings_ = schedule.size();
   drops_ = 0;
   ack_purges_ = 0;
+  partial_transfers_ = 0;
+  partial_bytes_ = 0;
 }
 
 void MetricsCollector::record_delivery(PacketId id, Time when) {
@@ -53,6 +55,8 @@ SimResult MetricsCollector::finalize(const PacketPool& pool, Time end_time) cons
   r.meetings = meetings_;
   r.drops = drops_;
   r.ack_purges = ack_purges_;
+  r.partial_transfers = partial_transfers_;
+  r.partial_bytes = partial_bytes_;
 
   double delay_sum = 0;
   double delay_sum_all = 0;

@@ -34,6 +34,11 @@ struct SimResult {
   std::size_t ack_purges = 0;
   std::size_t meetings = 0;
 
+  // Interrupted-contact accounting: copies cut mid-air are discarded by the
+  // receiver but their bytes are charged (and included in data_bytes).
+  std::size_t partial_transfers = 0;
+  Bytes partial_bytes = 0;
+
   // delivery_time[id] = absolute delivery time, or kTimeInfinity.
   std::vector<Time> delivery_time;
 
@@ -49,6 +54,12 @@ class MetricsCollector {
   void record_delivery(PacketId id, Time when);
   void record_data_transfer(Bytes bytes) { data_bytes_ += bytes; }
   void record_metadata(Bytes bytes) { metadata_bytes_ += bytes; }
+  // A copy cut mid-air: charged to the channel, never received.
+  void record_partial_transfer(Bytes bytes) {
+    data_bytes_ += bytes;
+    partial_bytes_ += bytes;
+    ++partial_transfers_;
+  }
   void record_drop(NodeId node);
   void record_ack_purge(NodeId node);
 
@@ -67,6 +78,8 @@ class MetricsCollector {
   std::size_t meetings_ = 0;
   std::size_t drops_ = 0;
   std::size_t ack_purges_ = 0;
+  std::size_t partial_transfers_ = 0;
+  Bytes partial_bytes_ = 0;
 };
 
 }  // namespace rapid

@@ -17,19 +17,20 @@ bool Router::on_generate(const Packet& p) {
 
 void Router::observe_opportunity(Bytes /*capacity*/, NodeId /*peer*/, Time /*now*/) {}
 
-Bytes Router::contact_begin(Router& /*peer*/, Time /*now*/, Bytes /*meta_budget*/) {
-  skip_.clear();
+Bytes Router::contact_begin(const PeerView& peer, Time /*now*/, Bytes /*meta_budget*/) {
+  skip_[peer.self()].clear();
+  invalidate_plan();
   return 0;
 }
 
-void Router::on_transfer_success(const Packet& /*p*/, Router& /*peer*/,
+void Router::on_transfer_success(const Packet& /*p*/, const PeerView& /*peer*/,
                                  ReceiveOutcome /*outcome*/, Time /*now*/) {}
 
-void Router::on_transfer_failed(const Packet& p, Router& /*peer*/, Time /*now*/) {
-  skip_.insert(p.id);
+void Router::on_transfer_failed(const Packet& p, const PeerView& peer, Time /*now*/) {
+  skip_[peer.self()].insert(p.id);
 }
 
-ReceiveOutcome Router::receive_copy(const Packet& p, Router& from, std::int64_t aux,
+ReceiveOutcome Router::receive_copy(const Packet& p, const PeerView& from, std::int64_t aux,
                                     Time now) {
   if (p.dst == self_) {
     if (!received_.insert(p.id).second) return ReceiveOutcome::kDuplicateDelivery;
@@ -46,13 +47,21 @@ ReceiveOutcome Router::receive_copy(const Packet& p, Router& from, std::int64_t 
   return ReceiveOutcome::kStored;
 }
 
-void Router::contact_end(Router& /*peer*/, Time /*now*/) { skip_.clear(); }
+void Router::contact_end(const PeerView& peer, Time /*now*/) {
+  skip_.erase(peer.self());
+  invalidate_plan();
+}
 
-std::int64_t Router::transfer_aux(const Packet& /*p*/, Router& /*peer*/) { return 0; }
+std::int64_t Router::transfer_aux(const Packet& /*p*/, const PeerView& /*peer*/) { return 0; }
 
-bool Router::peer_wants(const Router& peer, const Packet& p) const {
-  if (skip_.count(p.id) != 0) return false;
-  if (peer.buffer().contains(p.id)) return false;
+bool Router::contact_skipped(PacketId id, NodeId peer) const {
+  const auto it = skip_.find(peer);
+  return it != skip_.end() && it->second.count(id) != 0;
+}
+
+bool Router::peer_wants(const PeerView& peer, const Packet& p) const {
+  if (contact_skipped(p.id, peer.self())) return false;
+  if (peer.has_packet(p.id)) return false;
   if (peer.has_received(p.id)) return false;
   if (knows_ack(p.id) || peer.knows_ack(p.id)) return false;
   return true;
@@ -67,7 +76,7 @@ void Router::learn_ack(PacketId id, Time when) {
   on_acked(ctx_->pool->get(id), when);
 }
 
-Bytes Router::exchange_acks(Router& peer, Time now) {
+Bytes Router::exchange_acks(const PeerView& peer, Time now) {
   // Delta exchange: each side sends the entries the other lacks; 8 bytes per
   // packet id on the wire.
   std::vector<PacketId> to_peer;
@@ -75,7 +84,7 @@ Bytes Router::exchange_acks(Router& peer, Time now) {
     if (!peer.knows_ack(id)) to_peer.push_back(id);
   }
   std::vector<PacketId> to_self;
-  for (const auto& [id, when] : peer.acked_) {
+  for (const auto& [id, when] : peer.acks()) {
     if (!knows_ack(id)) to_self.push_back(id);
   }
   for (PacketId id : to_peer) peer.learn_ack(id, now);

@@ -1,7 +1,10 @@
 // The routing-protocol contract.
 //
-// The engine owns one Router per node. At a meeting it runs the symmetric
-// contact protocol:
+// The engine owns one Router per node. Contacts run through a ContactSession
+// (dtn/contact_session.h): sessions open, transfer in byte-budget slices, and
+// close, so a contact can be interrupted mid-transfer, carry asymmetric
+// per-direction budgets, and coexist with other sessions on the same node.
+// Within a session the protocol hooks fire in the classic order:
 //
 //   1. contact_begin on both sides — metadata / ack exchange, charged against
 //      the transfer opportunity;
@@ -12,9 +15,12 @@
 //      protocol for drop victims;
 //   4. contact_end on both sides.
 //
-// Routers may inspect the peer object during a contact (buffer membership,
-// queue state); this models the metadata both radios exchange at link-up and
-// is the standard device in DTN simulators.
+// Routers never touch the peer Router directly. They see a PeerView: the
+// narrow projection of what the two radios actually learn about each other at
+// link-up (identity, packet possession, delivery acknowledgments), plus a
+// typed channel for richer same-protocol metadata exchange. This formalizes
+// the metadata channel that DTN simulators traditionally model with mutable
+// cross-references.
 #pragma once
 
 #include <cstdint>
@@ -35,14 +41,33 @@ namespace rapid {
 class Router;
 class MetricsCollector;
 
+// Global-knowledge escape hatch. Regular protocols must not reach other
+// nodes' routers — everything they may know about a peer travels through the
+// PeerView of an open session. The oracle exists for the instant-global-
+// control-channel modes of §6.2.3 (and for tests), which by definition see
+// the true global state out of band.
+class RouterOracle {
+ public:
+  RouterOracle() = default;
+
+  void reset(int num_nodes) { routers_.assign(static_cast<std::size_t>(num_nodes), nullptr); }
+  void set(NodeId node, Router* router) { routers_[static_cast<std::size_t>(node)] = router; }
+
+  // May be null while the engine is still constructing routers.
+  Router* at(NodeId node) const { return routers_[static_cast<std::size_t>(node)]; }
+  int size() const { return static_cast<int>(routers_.size()); }
+
+ private:
+  std::vector<Router*> routers_;
+};
+
 // Engine services visible to routers. Deliberately narrow: no access to the
 // future schedule (only the offline Optimal router is constructed with it).
 struct SimContext {
   const PacketPool* pool = nullptr;
   MetricsCollector* metrics = nullptr;
-  // All routers, indexed by node; used only by oracle modes (instant global
-  // control channel) and by tests.
-  std::vector<Router*>* routers = nullptr;
+  // See RouterOracle: only global-channel/oracle modes (and tests) may use it.
+  const RouterOracle* oracle = nullptr;
   int num_nodes = 0;
 
   const Packet& packet(PacketId id) const { return pool->get(id); }
@@ -51,7 +76,7 @@ struct SimContext {
 struct ContactContext {
   NodeId peer = kNoNode;
   Time now = 0;
-  Bytes remaining = 0;     // bytes left in this transfer opportunity
+  Bytes remaining = 0;     // bytes left in this side's transfer budget
   int meeting_index = -1;  // position of this meeting in the schedule
 };
 
@@ -61,6 +86,44 @@ enum class ReceiveOutcome {
   kStored,             // accepted into the buffer
   kDuplicate,          // already buffered (sender should have known)
   kRejected,           // no room even after eviction policy ran
+};
+
+// What one side of a contact may see of — and say to — the other. PeerView is
+// a handle with shallow const: a `const PeerView&` still carries the metadata
+// channel, because the channel is part of what the link-up handshake IS. The
+// sanctioned operations are:
+//   * identity and packet-possession queries (what the radios advertise);
+//   * delivery-acknowledgment exchange (learn_ack / acks);
+//   * `as<Protocol>()` — the typed channel: same-protocol peers may exchange
+//     richer state (meeting matrices, replica estimates, likelihood vectors).
+// The raw Router reference stays private to the session machinery.
+class PeerView {
+ public:
+  /*implicit*/ PeerView(Router& router) : router_(&router) {}
+
+  NodeId self() const;
+  bool has_packet(PacketId id) const;    // in-transit buffer membership
+  bool has_received(PacketId id) const;  // delivered here (peer is dst)
+  bool knows_ack(PacketId id) const;
+  const std::unordered_map<PacketId, Time>& acks() const;
+
+  // Push one delivery notification across the link (8 bytes on the wire when
+  // the caller charges it; see Router::exchange_acks for the bulk form).
+  void learn_ack(PacketId id, Time when) const;
+
+  // Typed protocol-to-protocol metadata channel; null when the peer runs a
+  // different protocol (mixed-protocol contacts fall back to the base view).
+  template <typename R>
+  R* as() const {
+    return dynamic_cast<R*>(router_);
+  }
+
+ private:
+  friend class Router;
+  friend class ContactSession;
+  Router& router() const { return *router_; }
+
+  Router* router_;
 };
 
 class Router {
@@ -82,38 +145,38 @@ class Router {
   // per policy if needed); returns false if the packet could not be stored.
   virtual bool on_generate(const Packet& p);
 
-  // Called by the engine at every meeting, before contact_begin, with the
+  // Called by the session at every meeting, before contact_begin, with the
   // size of the transfer opportunity; protocols that track "average size of
   // past transfers" (RAPID Alg. 2 step 3, MaxProp's threshold) observe here.
   virtual void observe_opportunity(Bytes capacity, NodeId peer, Time now);
 
   // Start of a contact. `meta_budget` caps the metadata bytes this side may
   // send (Fig 8 experiments); return the metadata bytes actually used.
-  virtual Bytes contact_begin(Router& peer, Time now, Bytes meta_budget);
+  virtual Bytes contact_begin(const PeerView& peer, Time now, Bytes meta_budget);
 
   // The next packet this side wants to push to `peer`, or nullopt when done.
-  // Must not return packets in contact_skip(); must re-evaluate utilities on
-  // every call (work conservation).
+  // Must not return packets in the per-peer skip set; must re-evaluate
+  // utilities on every call (work conservation).
   virtual std::optional<PacketId> next_transfer(const ContactContext& contact,
-                                                Router& peer) = 0;
+                                                const PeerView& peer) = 0;
 
   // Sender-side notification after a successful transfer.
-  virtual void on_transfer_success(const Packet& p, Router& peer, ReceiveOutcome outcome,
-                                   Time now);
+  virtual void on_transfer_success(const Packet& p, const PeerView& peer,
+                                   ReceiveOutcome outcome, Time now);
   // Sender-side notification that `peer` rejected the packet (no room); the
-  // base class adds it to the contact skip set.
-  virtual void on_transfer_failed(const Packet& p, Router& peer, Time now);
+  // base class adds it to that peer's contact skip set.
+  virtual void on_transfer_failed(const Packet& p, const PeerView& peer, Time now);
 
   // Receiver-side entry point; implements delivery/duplicate/storage
   // mechanics and calls choose_drop_victim as required.
-  virtual ReceiveOutcome receive_copy(const Packet& p, Router& from, std::int64_t aux,
-                                      Time now);
+  virtual ReceiveOutcome receive_copy(const Packet& p, const PeerView& from,
+                                      std::int64_t aux, Time now);
 
-  virtual void contact_end(Router& peer, Time now);
+  virtual void contact_end(const PeerView& peer, Time now);
 
   // Protocol-specific extra word carried with a transfer (e.g. Spray and
   // Wait's token count). Called right before the copy crosses.
-  virtual std::int64_t transfer_aux(const Packet& p, Router& peer);
+  virtual std::int64_t transfer_aux(const Packet& p, const PeerView& peer);
 
   // Eviction policy: which buffered packet to drop to make room for
   // `incoming` (kNoPacket = refuse to drop anything, rejecting the packet).
@@ -128,8 +191,10 @@ class Router {
 
   // True if `peer` could use a copy of p: peer is not known (to us or to it)
   // to have the packet already.
-  bool peer_wants(const Router& peer, const Packet& p) const;
-  bool contact_skipped(PacketId id) const { return skip_.count(id) != 0; }
+  bool peer_wants(const PeerView& peer, const Packet& p) const;
+  // Skip sets are kept per peer so that concurrent sessions with different
+  // peers do not poison each other's candidate lists.
+  bool contact_skipped(PacketId id, NodeId peer) const;
 
  protected:
   // Learn that packet `id` was delivered at `when`; purges the buffered copy.
@@ -137,7 +202,7 @@ class Router {
   // Flood-style ack exchange with the peer; returns modeled metadata bytes
   // (8 bytes per ack entry new to the other side). Used by protocols that
   // propagate delivery notifications.
-  Bytes exchange_acks(Router& peer, Time now);
+  Bytes exchange_acks(const PeerView& peer, Time now);
 
   // Receiver-side storage with eviction; returns true if stored.
   bool store_with_eviction(const Packet& p, Time now);
@@ -148,18 +213,40 @@ class Router {
   virtual void on_acked(const Packet& p, Time now);
   virtual void on_delivered_here(const Packet& p, Time now);
 
+  // Per-contact plan-cache bookkeeping shared by the protocol
+  // implementations: a cached transmission plan is valid for exactly one
+  // peer, so interleaved concurrent sessions rebuild on every peer switch.
+  // The base contact_begin/contact_end invalidate automatically; protocols
+  // call mark_plan_built after building and plan_current before using.
+  bool plan_current(NodeId peer) const { return plan_built_for_ == peer; }
+  void mark_plan_built(NodeId peer) { plan_built_for_ = peer; }
+  void invalidate_plan() { plan_built_for_ = kNoNode; }
+
   Rng& rng() { return rng_; }
 
  private:
+  friend class PeerView;
+
   NodeId self_;
   Buffer buffer_;
   const SimContext* ctx_;
   Rng rng_;
   std::unordered_set<PacketId> received_;   // delivered to this node (we are dst)
   std::unordered_map<PacketId, Time> acked_;  // known-delivered packets
-  std::unordered_set<PacketId> skip_;       // rejected during the current contact
+  // Per-peer rejection sets for the currently open session(s) with that peer.
+  std::unordered_map<NodeId, std::unordered_set<PacketId>> skip_;
+  NodeId plan_built_for_ = kNoNode;
   std::size_t drops_ = 0;
 };
+
+inline NodeId PeerView::self() const { return router_->self(); }
+inline bool PeerView::has_packet(PacketId id) const { return router_->buffer().contains(id); }
+inline bool PeerView::has_received(PacketId id) const { return router_->has_received(id); }
+inline bool PeerView::knows_ack(PacketId id) const { return router_->knows_ack(id); }
+inline const std::unordered_map<PacketId, Time>& PeerView::acks() const {
+  return router_->acks();
+}
+inline void PeerView::learn_ack(PacketId id, Time when) const { router_->learn_ack(id, when); }
 
 // Factory the engine uses to build one router per node.
 using RouterFactory = std::function<std::unique_ptr<Router>(NodeId, const SimContext&)>;

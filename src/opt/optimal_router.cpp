@@ -7,7 +7,7 @@ OptimalRouter::OptimalRouter(NodeId self, Bytes buffer_capacity, const SimContex
     : Router(self, buffer_capacity, ctx), plan_(std::move(plan)) {}
 
 std::optional<PacketId> OptimalRouter::next_transfer(const ContactContext& contact,
-                                                     Router& peer) {
+                                                     const PeerView& peer) {
   if (active_meeting_ != contact.meeting_index) {
     active_meeting_ = contact.meeting_index;
     cursor_ = 0;
@@ -21,14 +21,17 @@ std::optional<PacketId> OptimalRouter::next_transfer(const ContactContext& conta
     if (t.from != self() || t.to != peer.self()) continue;
     if (!buffer().contains(t.packet)) continue;  // plan fragment we never received
     const Packet& p = ctx().packet(t.packet);
-    if (peer.has_received(t.packet) || contact_skipped(t.packet)) continue;
+    if (peer.has_received(t.packet) || contact_skipped(t.packet, peer.self())) continue;
+    // Interleaved sessions rescan the per-meeting list from the top; a relay
+    // the peer already holds must not burn budget again.
+    if (peer.has_packet(t.packet)) continue;
     if (p.size > contact.remaining) continue;
     return t.packet;
   }
   return std::nullopt;
 }
 
-void OptimalRouter::contact_end(Router& peer, Time now) {
+void OptimalRouter::contact_end(const PeerView& peer, Time now) {
   Router::contact_end(peer, now);
   // cursor_ intentionally kept: both directions share the per-meeting list,
   // but each router instance tracks its own position.

@@ -16,8 +16,8 @@ class OptimalRouter : public Router {
   OptimalRouter(NodeId self, Bytes buffer_capacity, const SimContext* ctx,
                 std::shared_ptr<const OptimalPlan> plan);
 
-  std::optional<PacketId> next_transfer(const ContactContext& contact, Router& peer) override;
-  void contact_end(Router& peer, Time now) override;
+  std::optional<PacketId> next_transfer(const ContactContext& contact, const PeerView& peer) override;
+  void contact_end(const PeerView& peer, Time now) override;
   PacketId choose_drop_victim(const Packet& incoming, Time now) override;
 
  private:

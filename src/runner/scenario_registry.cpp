@@ -58,6 +58,28 @@ void register_builtins(ScenarioRegistry& registry) {
                   config.powerlaw.skew = 0.8;
                   return config;
                 }});
+
+  // Link-policy scenarios: the trace scenario under the non-clean contacts
+  // the paper's deployment notes describe (radios drop out of range
+  // mid-transfer; up/down bandwidth is rarely symmetric).
+  registry.add({"trace-interrupted",
+                "Trace scenario where 40% of contacts are cut mid-transfer "
+                "(incomplete copies discarded, burned bytes charged)",
+                [] {
+                  ScenarioConfig config = make_trace_scenario();
+                  config.link.interruption_rate = 0.4;
+                  config.link.min_completion = 0.2;
+                  config.link.max_completion = 0.9;
+                  return config;
+                }});
+  registry.add({"trace-asymmetric",
+                "Trace scenario with a 4:1 directional bandwidth split per "
+                "contact instead of one shared pool",
+                [] {
+                  ScenarioConfig config = make_trace_scenario();
+                  config.link.forward_fraction = 0.8;
+                  return config;
+                }});
 }
 
 }  // namespace

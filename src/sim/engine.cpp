@@ -1,57 +1,12 @@
 #include "sim/engine.h"
 
-#include <memory>
-#include <stdexcept>
-#include <vector>
-
 namespace rapid {
 
 SimResult run_simulation(const MeetingSchedule& schedule, const PacketPool& workload,
                          const RouterFactory& factory, const SimConfig& config) {
-  if (!schedule.is_sorted())
-    throw std::invalid_argument("run_simulation: schedule must be sorted");
-
-  MetricsCollector metrics;
-  metrics.begin(workload, schedule);
-
-  SimContext ctx;
-  ctx.pool = &workload;
-  ctx.metrics = &metrics;
-  ctx.num_nodes = schedule.num_nodes;
-  std::vector<Router*> router_ptrs(static_cast<std::size_t>(schedule.num_nodes), nullptr);
-  ctx.routers = &router_ptrs;
-
-  std::vector<std::unique_ptr<Router>> routers;
-  routers.reserve(static_cast<std::size_t>(schedule.num_nodes));
-  for (NodeId n = 0; n < schedule.num_nodes; ++n) {
-    routers.push_back(factory(n, ctx));
-    router_ptrs[static_cast<std::size_t>(n)] = routers.back().get();
-  }
-
-  // Two sorted streams merged in time order: packet generations and meetings.
-  const auto& packets = workload.all();
-  std::size_t next_packet = 0;
-  std::size_t next_meeting = 0;
-  int meeting_index = 0;
-  while (next_packet < packets.size() || next_meeting < schedule.meetings.size()) {
-    const bool take_packet =
-        next_meeting >= schedule.meetings.size() ||
-        (next_packet < packets.size() &&
-         packets[next_packet].created <= schedule.meetings[next_meeting].time);
-    if (take_packet) {
-      const Packet& p = packets[next_packet++];
-      if (p.created > schedule.duration) continue;
-      routers[static_cast<std::size_t>(p.src)]->on_generate(p);
-    } else {
-      const Meeting& m = schedule.meetings[next_meeting++];
-      if (m.time > schedule.duration) continue;
-      run_contact(*routers[static_cast<std::size_t>(m.a)],
-                  *routers[static_cast<std::size_t>(m.b)], m, meeting_index++,
-                  config.contact, workload, metrics);
-    }
-  }
-
-  return metrics.finalize(workload, schedule.duration);
+  Simulation sim(schedule, workload, factory, config);
+  sim.run();
+  return sim.finish();
 }
 
 }  // namespace rapid

@@ -1,22 +1,13 @@
-// The trace-driven discrete-event simulator of §5.3: input is a schedule of
-// node meetings with per-meeting bandwidth, a packet workload, and a routing
-// protocol; output is the SimResult the figures are built from. Validated
-// against a perturbed "deployment mode" run in bench_fig03_validation.
+// Legacy one-shot entry point for the trace-driven simulator of §5.3.
+// run_simulation() is now a thin wrapper over the event-driven Simulation
+// object (sim/simulation.h): construct, run(), finish(). Use Simulation
+// directly for step()/run_until() control, pluggable event sources, and
+// mid-run metric taps.
 #pragma once
 
-#include "dtn/contact.h"
-#include "dtn/metrics.h"
-#include "dtn/packet.h"
-#include "dtn/router.h"
-#include "dtn/schedule.h"
+#include "sim/simulation.h"
 
 namespace rapid {
-
-struct SimConfig {
-  // Buffer capacity is a router property (captured by the factory); the
-  // engine itself only needs the contact policy.
-  ContactConfig contact;
-};
 
 // Runs one experiment day. The factory is invoked once per node; protocols
 // with shared state (RAPID's global channel, Optimal's plan) must be given a

@@ -121,6 +121,8 @@ Instance Scenario::instance(int run, double load) const {
                 .split("workload-run", static_cast<std::uint64_t>(run))
                 .split("load", static_cast<std::uint64_t>(load * 1000.0));
   inst.workload = generate_workload(wl, inst.active_nodes, rng);
+  inst.link_seed =
+      Rng(config_.seed).split("link", static_cast<std::uint64_t>(run)).next_u64();
   return inst;
 }
 
@@ -158,6 +160,8 @@ SimResult run_instance(const Scenario& scenario, const Instance& instance,
   SimConfig sim;
   sim.contact.metadata_cap_fraction = spec.metadata_cap_fraction;
   sim.contact.charge_metadata = true;
+  sim.contact.link = scenario.config().link;
+  sim.contact.link.seed ^= instance.link_seed;  // per-run interruption stream
   return run_simulation(instance.schedule, instance.workload, factory, sim);
 }
 

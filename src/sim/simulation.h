@@ -1,0 +1,118 @@
+// The event-driven simulation core.
+//
+// A Simulation replaces the old one-shot run_simulation() loop with an
+// explicit object: an event queue merged from pluggable EventSources
+// (packet-generation and meeting-schedule sources are built in; streaming
+// feeds can be added), advanced with step() / run_until(t), observed mid-run
+// through metric taps, and finished into the SimResult the figures are built
+// from. The legacy run_simulation() in sim/engine.h is a thin wrapper:
+// construct, run(), finish().
+//
+// Determinism contract: sources are polled in registration order and an event
+// is taken from the earliest-time source, ties broken by registration order.
+// The built-in workload source registers before the schedule source, which
+// reproduces the legacy merge rule "a packet created at time t is generated
+// before a meeting at time t".
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dtn/contact_session.h"
+#include "dtn/metrics.h"
+#include "dtn/packet.h"
+#include "dtn/router.h"
+#include "dtn/schedule.h"
+
+namespace rapid {
+
+struct SimConfig {
+  // Buffer capacity is a router property (captured by the factory); the
+  // engine itself only needs the contact policy (which includes the link
+  // interruption/asymmetry policy).
+  ContactConfig contact;
+};
+
+struct SimEvent {
+  enum class Kind { kPacket, kMeeting };
+  Kind kind = Kind::kPacket;
+  Time time = 0;
+  const Packet* packet = nullptr;  // kPacket
+  Meeting meeting;                 // kMeeting
+};
+
+// A time-ordered stream of events. peek() returns the next event (stable
+// until pop()) or null when drained; times must be non-decreasing.
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+  virtual const SimEvent* peek() = 0;
+  virtual void pop() = 0;
+};
+
+// Built-in sources, exposed so tests and custom drivers can compose them.
+std::unique_ptr<EventSource> make_workload_source(const PacketPool& workload);
+std::unique_ptr<EventSource> make_schedule_source(const MeetingSchedule& schedule);
+
+class Simulation {
+ public:
+  // Invoked after each processed event; the collector gives mid-run access to
+  // deliveries/bytes without waiting for finish().
+  using MetricTap = std::function<void(const SimEvent&, const MetricsCollector&)>;
+
+  Simulation(const MeetingSchedule& schedule, const PacketPool& workload,
+             const RouterFactory& factory, const SimConfig& config);
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // Extra event feeds beyond the built-ins; add before stepping. Events past
+  // the schedule's duration are skipped like the built-ins' are.
+  void add_event_source(std::unique_ptr<EventSource> source);
+  void add_tap(MetricTap tap);
+
+  // Processes the next event; false when every source is drained.
+  bool step();
+  // Processes all events with time <= t (and leaves later ones queued).
+  void run_until(Time t);
+  // Drains every source.
+  void run();
+
+  // Time of the last processed event (0 before the first step).
+  Time now() const { return now_; }
+  bool done() const;
+  int meetings_run() const { return meeting_index_; }
+
+  Router& router(NodeId node) { return *routers_[static_cast<std::size_t>(node)]; }
+  const MetricsCollector& metrics() const { return metrics_; }
+
+  // Builds the aggregate SimResult. Call once, after the run.
+  SimResult finish() const;
+
+ private:
+  // (source index, event) of the next event to dispatch, or nullopt.
+  struct Next {
+    std::size_t source;
+    const SimEvent* event;
+  };
+  std::optional<Next> peek_next();
+  void dispatch(const SimEvent& event);
+
+  const MeetingSchedule& schedule_;
+  const PacketPool& workload_;
+  SimConfig config_;
+
+  MetricsCollector metrics_;
+  SimContext ctx_;
+  RouterOracle oracle_;
+  std::vector<std::unique_ptr<Router>> routers_;
+
+  std::vector<std::unique_ptr<EventSource>> sources_;
+  std::vector<MetricTap> taps_;
+
+  Time now_ = 0;
+  int meeting_index_ = 0;
+};
+
+}  // namespace rapid

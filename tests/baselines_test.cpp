@@ -21,12 +21,12 @@ class BaselinesTest : public ::testing::Test {
     ctx_.pool = &pool_;
     ctx_.metrics = &metrics_;
     ctx_.num_nodes = nodes;
-    ctx_.routers = &router_ptrs_;
-    router_ptrs_.assign(static_cast<std::size_t>(nodes), nullptr);
+    ctx_.oracle = &oracle_;
+    oracle_.reset(nodes);
     const RouterFactory factory = make_protocol_factory(kind, params, capacity);
     for (NodeId n = 0; n < nodes; ++n) {
       routers_.push_back(factory(n, ctx_));
-      router_ptrs_[static_cast<std::size_t>(n)] = routers_.back().get();
+      oracle_.set(n, routers_.back().get());
     }
     refresh_metrics();
   }
@@ -60,8 +60,8 @@ class BaselinesTest : public ::testing::Test {
   PacketPool pool_;
   MetricsCollector metrics_;
   SimContext ctx_;
+  RouterOracle oracle_;
   std::vector<std::unique_ptr<Router>> routers_;
-  std::vector<Router*> router_ptrs_;
   int meeting_count_ = 0;
 };
 

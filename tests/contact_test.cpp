@@ -23,17 +23,17 @@ class ScriptedRouter : public Router {
   int begin_calls = 0;
   int end_calls = 0;
 
-  Bytes contact_begin(Router& peer, Time now, Bytes meta_budget) override {
+  Bytes contact_begin(const PeerView& peer, Time now, Bytes meta_budget) override {
     Router::contact_begin(peer, now, meta_budget);
     ++begin_calls;
     return std::min(metadata_to_send, meta_budget);
   }
 
   std::optional<PacketId> next_transfer(const ContactContext& contact,
-                                        Router& peer) override {
+                                        const PeerView& peer) override {
     while (!script.empty()) {
       const PacketId id = script.front();
-      if (!buffer().contains(id) || contact_skipped(id) ||
+      if (!buffer().contains(id) || contact_skipped(id, peer.self()) ||
           !peer_wants(peer, ctx().packet(id))) {
         script.pop_front();
         continue;
@@ -45,18 +45,18 @@ class ScriptedRouter : public Router {
     return std::nullopt;
   }
 
-  void on_transfer_success(const Packet& p, Router& peer, ReceiveOutcome outcome,
+  void on_transfer_success(const Packet& p, const PeerView& peer, ReceiveOutcome outcome,
                            Time now) override {
     Router::on_transfer_success(p, peer, outcome, now);
     sent_ok.push_back(p.id);
   }
 
-  void on_transfer_failed(const Packet& p, Router& peer, Time now) override {
+  void on_transfer_failed(const Packet& p, const PeerView& peer, Time now) override {
     Router::on_transfer_failed(p, peer, now);
     sent_fail.push_back(p.id);
   }
 
-  void contact_end(Router& peer, Time now) override {
+  void contact_end(const PeerView& peer, Time now) override {
     Router::contact_end(peer, now);
     ++end_calls;
   }

@@ -46,8 +46,9 @@ AdversaryOutcome play_theorem_1a(ProtocolKind kind, int n) {
   ctx.pool = &pool;
   ctx.metrics = &metrics;
   ctx.num_nodes = num_nodes;
-  std::vector<Router*> ptrs(static_cast<std::size_t>(num_nodes), nullptr);
-  ctx.routers = &ptrs;
+  RouterOracle oracle;
+  oracle.reset(num_nodes);
+  ctx.oracle = &oracle;
 
   ProtocolParams params;
   params.rapid_prior_meeting_time = 1000;
@@ -56,7 +57,7 @@ AdversaryOutcome play_theorem_1a(ProtocolKind kind, int n) {
   std::vector<std::unique_ptr<Router>> routers;
   for (NodeId node = 0; node < num_nodes; ++node) {
     routers.push_back(factory(node, ctx));
-    ptrs[static_cast<std::size_t>(node)] = routers.back().get();
+    oracle.set(node, routers.back().get());
   }
   MeetingSchedule dummy;
   dummy.num_nodes = num_nodes;

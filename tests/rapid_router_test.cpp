@@ -23,14 +23,14 @@ class RapidRouterTest : public ::testing::Test {
     ctx_.pool = &pool_;
     ctx_.metrics = &metrics_;
     ctx_.num_nodes = nodes;
-    ctx_.routers = &router_ptrs_;
-    router_ptrs_.assign(static_cast<std::size_t>(nodes), nullptr);
+    ctx_.oracle = &oracle_;
+    oracle_.reset(nodes);
     if (config.control == ControlChannelMode::kGlobalOracle)
       channel_ = std::make_shared<GlobalChannel>();
     for (NodeId n = 0; n < nodes; ++n) {
       routers_.push_back(std::make_unique<RapidRouter>(
           n, capacities[static_cast<std::size_t>(n)], &ctx_, config, channel_));
-      router_ptrs_[static_cast<std::size_t>(n)] = routers_.back().get();
+      oracle_.set(n, routers_.back().get());
     }
     MeetingSchedule s;
     s.num_nodes = nodes;
@@ -75,7 +75,7 @@ class RapidRouterTest : public ::testing::Test {
   ContactConfig contact_config_;
   std::shared_ptr<GlobalChannel> channel_;
   std::vector<std::unique_ptr<RapidRouter>> routers_;
-  std::vector<Router*> router_ptrs_;
+  RouterOracle oracle_;
   int meeting_count_ = 0;
 };
 

@@ -15,6 +15,7 @@
 #include "runner/sweep_executor.h"
 #include "runner/thread_pool.h"
 #include "sim/experiment.h"
+#include "sim/simulation.h"
 #include "util/csv.h"
 
 namespace rapid {
@@ -41,6 +42,8 @@ void expect_results_identical(const SimResult& a, const SimResult& b) {
   EXPECT_EQ(a.capacity_bytes, b.capacity_bytes);
   EXPECT_EQ(a.drops, b.drops);
   EXPECT_EQ(a.ack_purges, b.ack_purges);
+  EXPECT_EQ(a.partial_transfers, b.partial_transfers);
+  EXPECT_EQ(a.partial_bytes, b.partial_bytes);
   ASSERT_EQ(a.delivery_time.size(), b.delivery_time.size());
   for (std::size_t i = 0; i < a.delivery_time.size(); ++i)
     EXPECT_EQ(a.delivery_time[i], b.delivery_time[i]) << "packet " << i;
@@ -149,7 +152,8 @@ TEST(ScenarioRegistry, LooksUpBuiltinScenarios) {
   auto& registry = runner::ScenarioRegistry::global();
   for (const char* name : {"trace", "trace-full", "exponential", "powerlaw",
                            "trace-large", "trace-longday", "trace-mixed-deadline",
-                           "exponential-dense", "powerlaw-steep"}) {
+                           "exponential-dense", "powerlaw-steep", "trace-interrupted",
+                           "trace-asymmetric"}) {
     ASSERT_NE(registry.find(name), nullptr) << name;
     EXPECT_FALSE(registry.find(name)->description.empty()) << name;
   }
@@ -158,6 +162,61 @@ TEST(ScenarioRegistry, LooksUpBuiltinScenarios) {
   EXPECT_EQ(registry.make("powerlaw").mobility, MobilityKind::kPowerlaw);
   EXPECT_EQ(registry.make("trace-large").dieselnet.fleet_size, 40);
   EXPECT_GT(registry.make("trace-mixed-deadline").urgent_fraction, 0.0);
+  EXPECT_GT(registry.make("trace-interrupted").link.interruption_rate, 0.0);
+  EXPECT_FALSE(registry.make("trace").link.asymmetric());
+  EXPECT_TRUE(registry.make("trace-asymmetric").link.asymmetric());
+}
+
+TEST(LinkScenarios, InterruptedTraceChargesPartialsAndRunsDeterministically) {
+  ScenarioConfig config = runner::ScenarioRegistry::global().make("trace-interrupted");
+  config.days = 1;
+  const Scenario scenario(config);
+  const Instance inst = scenario.instance(0, 8.0);
+  RunSpec spec;
+  spec.protocol = ProtocolKind::kRapid;
+  const SimResult a = run_instance(scenario, inst, spec);
+  const SimResult b = run_instance(scenario, inst, spec);
+  expect_results_identical(a, b);
+  EXPECT_GT(a.partial_transfers, 0u);
+  EXPECT_LE(a.data_bytes + a.metadata_bytes, a.capacity_bytes);
+}
+
+TEST(LinkScenarios, AsymmetricTraceRunsAndStaysWithinCapacity) {
+  ScenarioConfig config = runner::ScenarioRegistry::global().make("trace-asymmetric");
+  config.days = 1;
+  const Scenario scenario(config);
+  const Instance inst = scenario.instance(0, 8.0);
+  RunSpec spec;
+  spec.protocol = ProtocolKind::kMaxProp;
+  const SimResult r = run_instance(scenario, inst, spec);
+  EXPECT_GT(r.delivered, 0u);
+  EXPECT_LE(r.data_bytes + r.metadata_bytes, r.capacity_bytes);
+}
+
+TEST(SimulationPath, FigureCellBitIdenticalAcrossLegacyAndSteppedPaths) {
+  // One cell of Fig 4 (trace scenario, RAPID) through both APIs: the legacy
+  // run_instance -> run_simulation wrapper, and the event-driven Simulation
+  // driven incrementally with run_until().
+  ScenarioConfig config = runner::ScenarioRegistry::global().make("trace");
+  config.days = 1;
+  const Scenario scenario(config);
+  const Instance inst = scenario.instance(0, 4.0);
+  RunSpec spec;
+  spec.protocol = ProtocolKind::kRapid;
+  const SimResult legacy = run_instance(scenario, inst, spec);
+
+  ProtocolParams params = scenario.protocol_params();
+  params.metric = spec.metric;
+  const RouterFactory factory =
+      make_protocol_factory(spec.protocol, params, scenario.config().buffer_capacity);
+  SimConfig sim_config;
+  sim_config.contact.link = scenario.config().link;
+  sim_config.contact.link.seed ^= inst.link_seed;  // mirror run_instance
+  Simulation sim(inst.schedule, inst.workload, factory, sim_config);
+  const Time slice = inst.schedule.duration / 7.0;
+  for (int i = 1; i <= 7; ++i) sim.run_until(slice * static_cast<Time>(i));
+  sim.run();  // any remainder within the day
+  expect_results_identical(legacy, sim.finish());
 }
 
 TEST(ScenarioRegistry, UnknownNameThrowsWithKnownNames) {
