@@ -14,6 +14,12 @@
 // again exponential (Eqs. 7-9):
 //     A(i) = 1 / sum_j (1 / d_j),  d_j = E[M_jZ] * n_j(i)
 //     P(a(i) < t) = 1 - exp(-t * sum_j (1 / d_j)).
+//
+// Contract: everything here is pure arithmetic on its arguments — the
+// rate-domain quantities these functions produce are exactly the A(i) and
+// P(a(i) < t) terms the utility layer (core/utility.h) substitutes into
+// Eqs. 1-3, and the router memoizes their expensive inputs in
+// core/utility_cache.h rather than inside this module.
 #pragma once
 
 #include <unordered_map>

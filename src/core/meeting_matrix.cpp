@@ -10,11 +10,17 @@ MeetingMatrix::MeetingMatrix(NodeId owner, int num_nodes, int max_hops)
   if (owner < 0 || owner >= num_nodes)
     throw std::invalid_argument("MeetingMatrix: owner out of range");
   if (max_hops < 1) throw std::invalid_argument("MeetingMatrix: max_hops < 1");
-  rows_.assign(static_cast<std::size_t>(num_nodes),
-               std::vector<Time>(static_cast<std::size_t>(num_nodes), kTimeInfinity));
+  rows_.resize(static_cast<std::size_t>(num_nodes));  // rows materialize lazily
   stamps_.assign(static_cast<std::size_t>(num_nodes), -kTimeInfinity);
   last_met_.assign(static_cast<std::size_t>(num_nodes), 0.0);
   meet_count_.assign(static_cast<std::size_t>(num_nodes), 0);
+  empty_row_.assign(static_cast<std::size_t>(num_nodes), kTimeInfinity);
+}
+
+std::vector<Time>& MeetingMatrix::materialize_row(NodeId node) {
+  auto& row = rows_[static_cast<std::size_t>(node)];
+  if (row.empty()) row.assign(static_cast<std::size_t>(num_nodes_), kTimeInfinity);
+  return row;
 }
 
 void MeetingMatrix::observe_meeting(NodeId peer, Time now) {
@@ -23,7 +29,7 @@ void MeetingMatrix::observe_meeting(NodeId peer, Time now) {
   auto& count = meet_count_[static_cast<std::size_t>(peer)];
   auto& last = last_met_[static_cast<std::size_t>(peer)];
   const Time gap = now - last;  // first gap measured from time 0
-  Time& cell = rows_[static_cast<std::size_t>(owner_)][static_cast<std::size_t>(peer)];
+  Time& cell = materialize_row(owner_)[static_cast<std::size_t>(peer)];
   if (count == 0) {
     cell = gap;
   } else {
@@ -32,7 +38,7 @@ void MeetingMatrix::observe_meeting(NodeId peer, Time now) {
   ++count;
   last = now;
   stamps_[static_cast<std::size_t>(owner_)] = now;
-  dirty_ = true;
+  ++generation_;
 }
 
 bool MeetingMatrix::merge_row(NodeId node, const std::vector<Time>& row, Time stamp) {
@@ -44,61 +50,71 @@ bool MeetingMatrix::merge_row(NodeId node, const std::vector<Time>& row, Time st
   if (stamp <= stamps_[static_cast<std::size_t>(node)]) return false;
   rows_[static_cast<std::size_t>(node)] = row;
   stamps_[static_cast<std::size_t>(node)] = stamp;
-  dirty_ = true;
+  ++generation_;
   return true;
 }
 
 const std::vector<Time>& MeetingMatrix::own_row() const {
-  return rows_[static_cast<std::size_t>(owner_)];
+  const auto& row = rows_[static_cast<std::size_t>(owner_)];
+  return row.empty() ? empty_row_ : row;
 }
 
 const std::vector<Time>& MeetingMatrix::row(NodeId node) const {
   if (node < 0 || node >= num_nodes_)
     throw std::invalid_argument("MeetingMatrix::row: bad node");
-  return rows_[static_cast<std::size_t>(node)];
+  const auto& row = rows_[static_cast<std::size_t>(node)];
+  return row.empty() ? empty_row_ : row;
 }
 
 Time MeetingMatrix::direct_mean(NodeId from, NodeId to) const {
   if (from == to) return 0;
-  return rows_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+  const auto& row = rows_[static_cast<std::size_t>(from)];
+  if (row.empty()) return kTimeInfinity;
+  return row[static_cast<std::size_t>(to)];
 }
 
-void MeetingMatrix::recompute_hop_distances() const {
+const std::vector<Time>& MeetingMatrix::hop_row(NodeId from) const {
+  HopRow& cached = hop_rows_[from];
+  if (!cached.dist.empty() && cached.generation == generation_) return cached.dist;
+
+  // Single-source relaxation: after round r, dist[v] is the cheapest sum of
+  // expected pairwise meeting times along a path of at most r+1 rows (never
+  // more, matching the paper's h = 3 bound).
   const auto n = static_cast<std::size_t>(num_nodes_);
-  hop_dist_ = rows_;
-  for (std::size_t u = 0; u < n; ++u) hop_dist_[u][u] = 0;
-  // max_hops - 1 double-buffered relaxation rounds extend paths one edge at
-  // a time: after round r, hop_dist_ holds the cheapest expected time using
-  // at most r+1 meetings (never more, matching the paper's h = 3 bound).
+  std::vector<Time>& dist = cached.dist;
+  dist = row(from);  // 1-hop paths
+  dist[static_cast<std::size_t>(from)] = 0;
+  std::vector<Time> next;
   for (int round = 1; round < max_hops_; ++round) {
-    const std::vector<std::vector<Time>> prev = hop_dist_;
+    next = dist;
     bool changed = false;
-    for (std::size_t u = 0; u < n; ++u) {
-      for (std::size_t mid = 0; mid < n; ++mid) {
-        const Time leg = rows_[u][mid];
+    for (std::size_t mid = 0; mid < n; ++mid) {
+      const Time head = dist[mid];
+      if (head == kTimeInfinity) continue;
+      const auto& mid_row = rows_[mid];
+      if (mid_row.empty()) continue;
+      for (std::size_t v = 0; v < n; ++v) {
+        const Time leg = mid_row[v];
         if (leg == kTimeInfinity) continue;
-        for (std::size_t v = 0; v < n; ++v) {
-          const Time rest = prev[mid][v];
-          if (rest == kTimeInfinity) continue;
-          const Time candidate = leg + rest;
-          if (candidate < hop_dist_[u][v]) {
-            hop_dist_[u][v] = candidate;
-            changed = true;
-          }
+        const Time candidate = head + leg;
+        if (candidate < next[v]) {
+          next[v] = candidate;
+          changed = true;
         }
       }
     }
+    dist.swap(next);
     if (!changed) break;
   }
-  dirty_ = false;
+  cached.generation = generation_;
+  return dist;
 }
 
 Time MeetingMatrix::expected_meeting_time(NodeId from, NodeId to) const {
   if (from < 0 || from >= num_nodes_ || to < 0 || to >= num_nodes_)
     throw std::invalid_argument("MeetingMatrix::expected_meeting_time: bad node");
   if (from == to) return 0;
-  if (dirty_) recompute_hop_distances();
-  return hop_dist_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+  return hop_row(from)[static_cast<std::size_t>(to)];
 }
 
 int MeetingMatrix::peers_met() const {

@@ -1,19 +1,41 @@
 // Inter-node meeting-time estimation (§4.1.2).
 //
-// Every node tabulates the average time to meet every other node from its
-// own meeting history, exchanges these rows as metadata, and estimates
-// E[M_XZ] as the expected time for X to meet Z in at most h hops (h = 3 in
-// the paper): if X never meets Z directly, the estimate is the cheapest sum
-// of expected pairwise meeting times along a path of at most h rows. Pairs
-// unreachable in h hops get infinity.
+// MeetingMatrix is one node's local table of expected inter-meeting times —
+// the E[M_XZ] input to Algorithm 2's direct-delivery estimate d_j =
+// E[M_jZ] * n_j(i). Every node tabulates the average time to meet every
+// other node from its own meeting history (observe_meeting maintains the
+// running mean of inter-meeting gaps), exchanges these rows as metadata
+// (merge_row; rows are versioned by timestamp so stale gossip is ignored),
+// and estimates E[M_XZ] as the expected time for X to meet Z in at most h
+// hops (h = 3 in the paper): if X never meets Z directly, the estimate is
+// the cheapest sum of expected pairwise meeting times along a path of at
+// most h rows. Pairs unreachable in h hops get infinity, which the utility
+// layer (core/utility.h) turns into a zero marginal via the delay cap.
+//
+// Storage and recomputation are incremental, sized for 500+ node fleets:
+// rows are allocated lazily (a node a fleet this size has never heard about
+// costs nothing), h-hop estimates are computed per *source* on demand
+// (O(h·n²) single-source relaxation instead of the O(h·n³) all-pairs pass)
+// and memoized until the matrix changes, and every mutation bumps a
+// generation counter that the utility cache (core/utility_cache.h) keys its
+// delay estimates on.
 #pragma once
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "util/types.h"
 
 namespace rapid {
 
+// One node's meeting-time table. Contract: expected_meeting_time(X, Z) is
+// the E[M_XZ] term that Algorithm 2 multiplies into the per-replica direct
+// delay d_j = E[M_jZ] * n_j(i), which Eq. 7-9 then aggregate and Eqs. 1-3
+// consume as A(i); it is a pure function of the rows learnt so far
+// (observe_meeting / merge_row), infinity when Z is unreachable within
+// max_hops rows, and memoized internally (the const query methods may fill
+// caches but never change what any query returns).
 class MeetingMatrix {
  public:
   // `owner` is the node whose local view this is; `num_nodes` sizes the table.
@@ -34,6 +56,7 @@ class MeetingMatrix {
   // The owner's own averaged row and its freshness stamp.
   const std::vector<Time>& own_row() const;
   Time row_stamp(NodeId node) const { return stamps_[static_cast<std::size_t>(node)]; }
+  // A node's row as most recently learnt; all-infinity for unknown nodes.
   const std::vector<Time>& row(NodeId node) const;
 
   // Direct average only (infinity if never seen in any known row).
@@ -45,20 +68,33 @@ class MeetingMatrix {
   // Number of finite entries in the owner's own row (how many peers it met).
   int peers_met() const;
 
+  // Bumped on every accepted mutation (observe_meeting, accepted merge_row);
+  // the utility cache keys meeting-time-dependent estimates on this.
+  std::uint64_t generation() const { return generation_; }
+
  private:
   NodeId owner_;
   int num_nodes_;
   int max_hops_;
   // rows_[u][v] = u's averaged time to meet v, as most recently learnt.
+  // Empty vector = nothing learnt about u yet (treated as all-infinity).
   std::vector<std::vector<Time>> rows_;
   std::vector<Time> stamps_;
   std::vector<Time> last_met_;   // owner's last direct meeting time per peer
   std::vector<int> meet_count_;  // owner's direct meeting counts
+  std::vector<Time> empty_row_;  // shared all-infinity row for unknown nodes
+  std::uint64_t generation_ = 0;
 
-  mutable bool dirty_ = true;
-  mutable std::vector<std::vector<Time>> hop_dist_;  // cached h-hop all-pairs
+  // Memoized single-source h-hop distances, recomputed lazily per source
+  // when the generation they were computed at goes stale.
+  struct HopRow {
+    std::uint64_t generation = 0;
+    std::vector<Time> dist;
+  };
+  mutable std::unordered_map<NodeId, HopRow> hop_rows_;
 
-  void recompute_hop_distances() const;
+  std::vector<Time>& materialize_row(NodeId node);
+  const std::vector<Time>& hop_row(NodeId from) const;
 };
 
 }  // namespace rapid

@@ -13,11 +13,13 @@ bool MetadataStore::update_replica(PacketId id, const ReplicaEstimate& estimate)
       if (estimate.stamp <= existing.stamp) return false;
       existing = estimate;
       meta.last_changed = std::max(meta.last_changed, estimate.stamp);
+      meta.generation = ++next_generation_;
       return true;
     }
   }
   meta.replicas.push_back(estimate);
   meta.last_changed = std::max(meta.last_changed, estimate.stamp);
+  meta.generation = ++next_generation_;
   return true;
 }
 
@@ -30,6 +32,7 @@ bool MetadataStore::remove_replica(PacketId id, NodeId holder, Time stamp) {
       if (stamp <= replicas[i].stamp) return false;  // we have fresher info
       replicas.erase(replicas.begin() + static_cast<std::ptrdiff_t>(i));
       it->second.last_changed = std::max(it->second.last_changed, stamp);
+      it->second.generation = ++next_generation_;
       return true;
     }
   }
@@ -37,6 +40,11 @@ bool MetadataStore::remove_replica(PacketId id, NodeId holder, Time stamp) {
 }
 
 void MetadataStore::forget_packet(PacketId id) { by_packet_.erase(id); }
+
+std::uint64_t MetadataStore::generation(PacketId id) const {
+  auto it = by_packet_.find(id);
+  return it == by_packet_.end() ? 0 : it->second.generation;
+}
 
 const PacketMetadata* MetadataStore::find(PacketId id) const {
   auto it = by_packet_.find(id);

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -25,6 +26,10 @@ struct ReplicaEstimate {
 struct PacketMetadata {
   std::vector<ReplicaEstimate> replicas;
   Time last_changed = -kTimeInfinity;
+  // Store-unique version of this record, assigned from a monotonic counter
+  // on every accepted change; the utility cache keys replica-rate sums on it
+  // (a bump marks exactly this packet's cached rate dirty).
+  std::uint64_t generation = 0;
 };
 
 // Modeled wire sizes (bytes) for metadata accounting.
@@ -35,6 +40,13 @@ inline constexpr Bytes kMeetingRowHeaderBytes = 4;
 inline constexpr Bytes kMeetingRowEntryBytes = 8;
 inline constexpr Bytes kScalarBytes = 8;  // e.g. average transfer size
 
+// One node's replica ledger. Contract: replicas(i) is the node's current
+// belief about which nodes hold packet i and at what self-estimated direct
+// delay — the d_j terms whose rate sum 1/A(i) = sum_j 1/d_j feeds the
+// utilities of Eqs. 1-3. Entries are last-writer-wins by stamp (stale
+// gossip never overwrites fresher belief), generation(i) versions every
+// accepted change for the utility cache, and the store never invents
+// entries: everything present arrived via update_replica.
 class MetadataStore {
  public:
   // Record (or refresh) a replica estimate; keeps the newest stamp per
@@ -51,6 +63,11 @@ class MetadataStore {
   const std::vector<ReplicaEstimate>& replicas(PacketId id) const;
   std::size_t packet_count() const { return by_packet_.size(); }
 
+  // The packet record's current version: 0 when the packet is unknown,
+  // otherwise a value that changes on every accepted update/removal and is
+  // never reused by this store. Dirty-tracking key for cached rate sums.
+  std::uint64_t generation(PacketId id) const;
+
   // Records changed since `since`, as (packet, metadata) pairs; used for the
   // delta exchange. Order is unspecified.
   std::vector<std::pair<PacketId, const PacketMetadata*>> changed_since(Time since) const;
@@ -65,6 +82,7 @@ class MetadataStore {
 
  private:
   std::unordered_map<PacketId, PacketMetadata> by_packet_;
+  std::uint64_t next_generation_ = 0;
   static const std::vector<ReplicaEstimate> kEmpty;
 };
 

@@ -12,7 +12,8 @@ RapidRouter::RapidRouter(NodeId self, Bytes buffer_capacity, const SimContext* c
     : Router(self, buffer_capacity, ctx),
       config_(config),
       matrix_(self, ctx->num_nodes, config.max_hops),
-      global_(std::move(global)) {
+      global_(std::move(global)),
+      cache_(ctx->num_nodes) {
   if (config_.control == ControlChannelMode::kGlobalOracle && global_ == nullptr)
     throw std::invalid_argument("RapidRouter: global-oracle mode needs a GlobalChannel");
 }
@@ -20,43 +21,11 @@ RapidRouter::RapidRouter(NodeId self, Bytes buffer_capacity, const SimContext* c
 // --- queue maintenance -------------------------------------------------------
 
 void RapidRouter::queue_insert(const Packet& p) {
-  auto& q = dest_queue_[p.dst];
-  const QueueEntry e{p.created, p.id, p.size};
-  q.insert(std::upper_bound(q.begin(), q.end(), e), e);
+  cache_.queue_insert(p.dst, UtilityCache::QueueEntry{p.created, p.id, p.size});
 }
 
 void RapidRouter::queue_erase(const Packet& p) {
-  auto it = dest_queue_.find(p.dst);
-  if (it == dest_queue_.end()) return;
-  auto& q = it->second;
-  const QueueEntry e{p.created, p.id, p.size};
-  auto pos = std::lower_bound(q.begin(), q.end(), e);
-  if (pos != q.end() && pos->id == p.id) q.erase(pos);
-  if (q.empty()) dest_queue_.erase(it);
-}
-
-Bytes RapidRouter::queue_bytes_ahead(const Packet& p, bool /*include_self_copy*/) const {
-  auto it = dest_queue_.find(p.dst);
-  if (it == dest_queue_.end()) return 0;
-  const auto& q = it->second;
-  const QueueEntry e{p.created, p.id, 0};
-  const auto pos = std::lower_bound(q.begin(), q.end(), e);
-  const auto idx = static_cast<std::size_t>(pos - q.begin());
-  // Fast path: per-experiment packets are uniform-sized (Table 4), so the
-  // prefix is idx * size; fall back to a scan for mixed sizes.
-  if (idx == 0) return 0;
-  const Bytes first = q.front().size;
-  bool uniform = true;
-  Bytes total = 0;
-  for (std::size_t i = 0; i < idx; ++i) {
-    if (q[i].size != first) {
-      uniform = false;
-      break;
-    }
-  }
-  if (uniform) return static_cast<Bytes>(idx) * first;
-  for (std::size_t i = 0; i < idx; ++i) total += q[i].size;
-  return total;
+  cache_.queue_erase(p.dst, UtilityCache::QueueEntry{p.created, p.id, p.size});
 }
 
 // --- inference ----------------------------------------------------------------
@@ -77,23 +46,42 @@ Bytes RapidRouter::expected_opportunity(NodeId peer) const {
   return config_.prior_opportunity_bytes;
 }
 
-double RapidRouter::self_direct_delay(const Packet& p) const {
-  const Bytes ahead = queue_bytes_ahead(p, false);
-  const std::size_t n = meetings_needed(ahead, p.size, expected_opportunity(p.dst));
-  return direct_delivery_delay(n, effective_meeting_time(p.dst));
+UtilityCache::DelayInputs RapidRouter::delay_inputs(const Packet& p) const {
+  // The three inputs of Algorithm 2, read back cheaply: queue prefix in
+  // O(log n) from the flat storage, opportunity average and memoized h-hop
+  // meeting time in O(1).
+  return UtilityCache::DelayInputs{
+      cache_.queue_bytes_before(p.dst, UtilityCache::QueueEntry{p.created, p.id, p.size}),
+      expected_opportunity(p.dst), effective_meeting_time(p.dst)};
 }
 
-double RapidRouter::direct_delay_if_stored(const Packet& p) const {
-  // Position the packet would take in this node's destination queue
-  // (insertion by age keeps the delivered-oldest-first order).
-  const Bytes ahead = queue_bytes_ahead(p, false);
-  const std::size_t n = meetings_needed(ahead, p.size, expected_opportunity(p.dst));
-  return direct_delivery_delay(n, effective_meeting_time(p.dst));
+double RapidRouter::direct_delay(const Packet& p) const {
+  // Algorithm 2: position the packet holds (or would take) in this node's
+  // destination queue — insertion by age keeps the delivered-oldest-first
+  // order, so the computation is identical whether or not p is stored here.
+  const UtilityCache::DelayInputs inputs = delay_inputs(p);
+  const auto compute = [&] {
+    const std::size_t n = meetings_needed(inputs.bytes_ahead, p.size, inputs.opportunity);
+    return direct_delivery_delay(n, inputs.meeting_time);
+  };
+  if (!config_.use_utility_cache) {
+    cache_.note_eager_delay();
+    return compute();
+  }
+  return cache_.direct_delay(p.id, inputs, compute);
 }
+
+double RapidRouter::self_direct_delay(const Packet& p) const { return direct_delay(p); }
+
+double RapidRouter::direct_delay_if_stored(const Packet& p) const { return direct_delay(p); }
 
 double RapidRouter::replica_rate(const Packet& p) const {
-  double rate = 0;
   if (config_.control == ControlChannelMode::kGlobalOracle) {
+    // True global state: depends on other nodes' queues, which this node's
+    // generation counters cannot see — always evaluated fresh (each holder's
+    // own delay estimate still comes from that holder's cache).
+    cache_.note_eager_rate();
+    double rate = 0;
     for (NodeId holder : global_->holders(p.id)) {
       const Router* r = ctx().oracle->at(holder);
       const auto* rr = dynamic_cast<const RapidRouter*>(r);
@@ -103,16 +91,27 @@ double RapidRouter::replica_rate(const Packet& p) const {
     }
     return rate;
   }
-  if (buffer().contains(p.id)) {
-    const double d = self_direct_delay(p);
-    if (d > 0 && d != kTimeInfinity) rate += 1.0 / d;
+
+  const bool in_buffer = buffer().contains(p.id);
+  const auto compute = [&] {
+    double rate = 0;
+    if (in_buffer) {
+      const double d = self_direct_delay(p);
+      if (d > 0 && d != kTimeInfinity) rate += 1.0 / d;
+    }
+    for (const ReplicaEstimate& est : meta_.replicas(p.id)) {
+      if (est.holder == self()) continue;  // always use the fresh self term
+      if (est.direct_delay > 0 && est.direct_delay != kTimeInfinity)
+        rate += 1.0 / est.direct_delay;
+    }
+    return rate;
+  };
+  if (!config_.use_utility_cache) {
+    cache_.note_eager_rate();
+    return compute();
   }
-  for (const ReplicaEstimate& est : meta_.replicas(p.id)) {
-    if (est.holder == self()) continue;  // always use the fresh self term
-    if (est.direct_delay > 0 && est.direct_delay != kTimeInfinity)
-      rate += 1.0 / est.direct_delay;
-  }
-  return rate;
+  const UtilityCache::RateInputs inputs{delay_inputs(p), meta_.generation(p.id), in_buffer};
+  return cache_.rate(p.id, inputs, compute);
 }
 
 double RapidRouter::expected_total_delay_of(const Packet& p, Time now) const {
@@ -163,12 +162,17 @@ void RapidRouter::on_stored(const Packet& p, NodeId /*from*/, std::int64_t /*aux
 void RapidRouter::on_dropped(const Packet& p, Time now) {
   queue_erase(p);
   meta_.remove_replica(p.id, self(), now);
+  // Evict the memo too: dropped (and deadline-expired) packets may never be
+  // acked, and without this the entry table would grow with every packet the
+  // router ever evaluated. A later re-replication simply recomputes.
+  cache_.forget(p.id);
   if (global_ != nullptr) global_->remove_holder(p.id, self());
 }
 
 void RapidRouter::on_acked(const Packet& p, Time /*now*/) {
   queue_erase(p);
   meta_.forget_packet(p.id);
+  cache_.forget(p.id);  // acknowledged: never asked about again
   if (global_ != nullptr) global_->remove_holder(p.id, self());
 }
 
@@ -268,18 +272,25 @@ Bytes RapidRouter::exchange_metadata(RapidRouter& peer, Time now, Bytes budget) 
   };
 
   // Own-buffer estimates first ("for each of its own packets, the updated
-  // delivery delay estimate based on current buffer state").
-  for (const auto& [dst, queue] : dest_queue_) {
-    (void)dst;
-    for (const QueueEntry& entry : queue) {
+  // delivery delay estimate based on current buffer state"). The flat queue
+  // table iterates in ascending destination order — deterministic, unlike
+  // the hash map it replaced.
+  bool exhausted = false;
+  cache_.for_each_queue([&](NodeId /*dst*/, const std::vector<UtilityCache::QueueEntry>& q) {
+    for (const UtilityCache::QueueEntry& entry : q) {
       const Packet& p = ctx().packet(entry.id);
       const Bytes cost = kPacketRecordHeaderBytes + kReplicaEntryBytes;
-      if (!relay_fits(cost)) return finish();
+      if (!relay_fits(cost)) {
+        exhausted = true;
+        return false;  // budget spent: stop walking the remaining queues
+      }
       used += cost;
       peer.meta_.update_replica(p.id,
                                 ReplicaEstimate{self(), self_direct_delay(p), now});
     }
-  }
+    return true;
+  });
+  if (exhausted) return finish();
 
   // Then relayed records ("information about other packets if modified
   // since last exchange with the peer"), freshest change first.
@@ -314,23 +325,22 @@ void RapidRouter::build_contact_plan(const ContactContext& contact, const PeerVi
   const Time now = contact.now;
 
   // Step 2 — direct delivery, "in decreasing order of their utility":
-  // oldest-first for the delay metrics (the order the per-destination queue
-  // already maintains), most-urgent-viable-first for the deadline metric.
-  auto qit = dest_queue_.find(peer.self());
-  if (qit != dest_queue_.end()) {
-    for (const QueueEntry& e : qit->second) direct_order_.push_back(e.id);
-    if (config_.metric == RoutingMetric::kMissedDeadlines) {
-      std::stable_sort(direct_order_.begin(), direct_order_.end(),
-                       [&](PacketId a, PacketId b) {
-                         const Packet& pa = ctx().packet(a);
-                         const Packet& pb = ctx().packet(b);
-                         const bool va = pa.deadline > now;
-                         const bool vb = pb.deadline > now;
-                         if (va != vb) return va;  // viable packets first
-                         if (va) return pa.deadline < pb.deadline;  // most urgent first
-                         return pa.created < pb.created;
-                       });
-    }
+  // oldest-first for the delay metrics (the order the maintained
+  // per-destination queue already holds), most-urgent-viable-first for the
+  // deadline metric.
+  const auto& peer_queue = cache_.queue(peer.self());
+  for (const UtilityCache::QueueEntry& e : peer_queue) direct_order_.push_back(e.id);
+  if (config_.metric == RoutingMetric::kMissedDeadlines) {
+    std::stable_sort(direct_order_.begin(), direct_order_.end(),
+                     [&](PacketId a, PacketId b) {
+                       const Packet& pa = ctx().packet(a);
+                       const Packet& pb = ctx().packet(b);
+                       const bool va = pa.deadline > now;
+                       const bool vb = pb.deadline > now;
+                       if (va != vb) return va;  // viable packets first
+                       if (va) return pa.deadline < pb.deadline;  // most urgent first
+                       return pa.created < pb.created;
+                     });
   }
 
   // Step 3 — replication candidates scored once per contact. Replicating a
@@ -338,7 +348,10 @@ void RapidRouter::build_contact_plan(const ContactContext& contact, const PeerVi
   // order is work-conserving (see DESIGN.md). Candidates whose marginal
   // utility is zero (no known path to the destination yet, Eq. 1's
   // infinity - infinity case) form a second tier ordered by fewest believed
-  // replicas, so spare bandwidth is still used rather than idled.
+  // replicas, so spare bandwidth is still used rather than idled. The
+  // expensive inputs of each score (rate sum, peer queue position) come from
+  // the utility caches, so only packets whose inputs changed since the last
+  // evaluation are recomputed.
   replication_order_.reserve(buffer().count());
   std::vector<Candidate> fallback;
   buffer().for_each([&](PacketId id, Bytes /*size*/) {

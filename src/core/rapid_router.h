@@ -13,6 +13,17 @@
 // Expected delays come from Estimate Delay (core/delay_estimator.h) applied
 // to the router's (possibly stale) metadata view; meeting times come from
 // the <= 3-hop meeting matrix (core/meeting_matrix.h).
+//
+// The per-packet inference quantities — the direct-delivery estimate d_j of
+// Algorithm 2 and the replica-rate sum feeding Eqs. 1-3 — are served through
+// an incremental utility engine (core/utility_cache.h): values are memoized
+// keyed by the generations of the inputs that produced them (destination
+// queue, opportunity averages, meeting matrix, per-packet metadata record),
+// so a contact re-evaluates only what actually changed instead of walking
+// every queue, replica set and matrix row from scratch. RapidConfig::
+// use_utility_cache disables the memoization (every evaluation recomputes);
+// the two paths are bit-identical by construction and locked in by the
+// dual-path figure tests.
 #pragma once
 
 #include <memory>
@@ -24,6 +35,7 @@
 #include "core/meeting_matrix.h"
 #include "core/metadata.h"
 #include "core/utility.h"
+#include "core/utility_cache.h"
 #include "dtn/router.h"
 #include "stats/moments.h"
 
@@ -48,8 +60,22 @@ struct RapidConfig {
   double relay_budget_fraction = 0.05;
   // Prior for the expected transfer-opportunity size before any is observed.
   Bytes prior_opportunity_bytes = 100_KB;
+  // Memoize per-packet delay estimates and replica-rate sums with
+  // generation-keyed dirty tracking (core/utility_cache.h). Off = recompute
+  // eagerly on every evaluation; output is bit-identical either way.
+  bool use_utility_cache = true;
 };
 
+// Protocol rapid(X, Y): a Router that treats the transfer opportunity as a
+// resource-allocation problem. It orders candidate replications by marginal
+// utility per byte delta(U_i)/s_i, where U_i is the configured metric's
+// utility — Eq. 1 (average delay, U_i = -(T(i) + A(i))), Eq. 2 (missed
+// deadlines, U_i = P(a(i) < L(i) - T(i))) or Eq. 3 (maximum delay) — and
+// evaluates those utilities from its local, possibly stale, metadata view.
+// Contract: the router owns nothing outside its own state (buffers, queues,
+// matrix, metadata, cache) and touches peers only through the PeerView it is
+// handed during a contact; all inference methods are const and
+// side-effect-free except for memo fills in the mutable utility cache.
 class RapidRouter : public Router {
  public:
   RapidRouter(NodeId self, Bytes buffer_capacity, const SimContext* ctx,
@@ -58,6 +84,9 @@ class RapidRouter : public Router {
   const RapidConfig& config() const { return config_; }
   const MeetingMatrix& matrix() const { return matrix_; }
   const MetadataStore& metadata() const { return meta_; }
+  // The incremental utility engine (probe counters, flat queues). Exposed
+  // read-only for tests and benches.
+  const UtilityCache& utility_cache() const { return cache_; }
 
   // --- Router interface -----------------------------------------------------
   bool on_generate(const Packet& p) override;
@@ -104,17 +133,12 @@ class RapidRouter : public Router {
   MovingAverage avg_opportunity_;                         // all peers
   std::unordered_map<NodeId, MovingAverage> per_peer_opportunity_;
 
-  // Destination-sorted queues: per destination, (created, id, size) ascending
-  // by age rank — front is oldest, i.e. delivered first (§4.1).
-  struct QueueEntry {
-    Time created;
-    PacketId id;
-    Bytes size;
-    bool operator<(const QueueEntry& o) const {
-      return created != o.created ? created < o.created : id < o.id;
-    }
-  };
-  std::unordered_map<NodeId, std::vector<QueueEntry>> dest_queue_;
+  // Incremental utility engine: owns the flat per-destination queues
+  // ((created, id, size) ascending by age rank — front is oldest, i.e.
+  // delivered first, §4.1) and the generation-keyed memo of per-packet
+  // delay/rate estimates. Mutable because cache fills happen inside const
+  // inference queries.
+  mutable UtilityCache cache_;
 
   // Per-contact cached orderings (the candidate set is stable within a
   // contact; see DESIGN.md on work conservation). Validity is tracked by the
@@ -128,7 +152,12 @@ class RapidRouter : public Router {
 
   void queue_insert(const Packet& p);
   void queue_erase(const Packet& p);
-  Bytes queue_bytes_ahead(const Packet& p, bool include_self_copy) const;
+
+  // Shared body of self_direct_delay / direct_delay_if_stored: Algorithm 2's
+  // d_j for the queue position p holds (or would take) here, memoized per
+  // packet when the utility cache is enabled.
+  double direct_delay(const Packet& p) const;
+  UtilityCache::DelayInputs delay_inputs(const Packet& p) const;
 
   Bytes exchange_metadata(RapidRouter& peer, Time now, Bytes budget);
   void build_contact_plan(const ContactContext& contact, const PeerView& peer);

@@ -16,6 +16,11 @@
 
 namespace rapid {
 
+// The three §3.5 metrics. Contract: each selects which of Eqs. 1-3 the
+// utility functions below evaluate — kAvgDelay is Eq. 1, kMissedDeadlines
+// is Eq. 2, kMaxDelay is Eq. 3 — and every router decision (replication
+// order, drop victim) flows through these functions, never through ad-hoc
+// per-metric arithmetic elsewhere.
 enum class RoutingMetric {
   kAvgDelay,
   kMissedDeadlines,

@@ -1,0 +1,185 @@
+#include "core/utility_cache.h"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+namespace rapid {
+
+namespace {
+
+std::atomic<std::uint64_t> g_delay_hits{0};
+std::atomic<std::uint64_t> g_delay_recomputes{0};
+std::atomic<std::uint64_t> g_rate_hits{0};
+std::atomic<std::uint64_t> g_rate_recomputes{0};
+
+// splitmix64 finalizer: PacketIds are sequential, so the index needs real
+// avalanche to avoid clustering under linear probing.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+UtilityCacheStats utility_cache_global_stats() {
+  UtilityCacheStats s;
+  s.delay_hits = g_delay_hits.load(std::memory_order_relaxed);
+  s.delay_recomputes = g_delay_recomputes.load(std::memory_order_relaxed);
+  s.rate_hits = g_rate_hits.load(std::memory_order_relaxed);
+  s.rate_recomputes = g_rate_recomputes.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_utility_cache_global_stats() {
+  g_delay_hits.store(0, std::memory_order_relaxed);
+  g_delay_recomputes.store(0, std::memory_order_relaxed);
+  g_rate_hits.store(0, std::memory_order_relaxed);
+  g_rate_recomputes.store(0, std::memory_order_relaxed);
+}
+
+UtilityCache::UtilityCache(int num_nodes) {
+  if (num_nodes < 0) throw std::invalid_argument("UtilityCache: negative num_nodes");
+  queues_.resize(static_cast<std::size_t>(num_nodes));
+  index_.assign(64, kEmptySlot);
+}
+
+UtilityCache::~UtilityCache() {
+  g_delay_hits.fetch_add(stats_.delay_hits, std::memory_order_relaxed);
+  g_delay_recomputes.fetch_add(stats_.delay_recomputes, std::memory_order_relaxed);
+  g_rate_hits.fetch_add(stats_.rate_hits, std::memory_order_relaxed);
+  g_rate_recomputes.fetch_add(stats_.rate_recomputes, std::memory_order_relaxed);
+}
+
+// --- flat destination queues --------------------------------------------------
+
+void UtilityCache::queue_insert(NodeId dst, const QueueEntry& e) {
+  DestQueue& q = queues_[static_cast<std::size_t>(dst)];
+  q.entries.insert(std::upper_bound(q.entries.begin(), q.entries.end(), e), e);
+  q.total_bytes += e.size;
+  ++q.generation;
+  for (auto& [size, count] : q.size_counts) {
+    if (size == e.size) {
+      ++count;
+      return;
+    }
+  }
+  q.size_counts.emplace_back(e.size, 1);
+}
+
+void UtilityCache::queue_erase(NodeId dst, const QueueEntry& e) {
+  DestQueue& q = queues_[static_cast<std::size_t>(dst)];
+  const auto pos = std::lower_bound(q.entries.begin(), q.entries.end(), e);
+  if (pos == q.entries.end() || pos->id != e.id) return;
+  const Bytes size = pos->size;
+  q.entries.erase(pos);
+  q.total_bytes -= size;
+  ++q.generation;
+  for (std::size_t i = 0; i < q.size_counts.size(); ++i) {
+    if (q.size_counts[i].first == size) {
+      if (--q.size_counts[i].second == 0) {
+        q.size_counts[i] = q.size_counts.back();
+        q.size_counts.pop_back();
+      }
+      return;
+    }
+  }
+}
+
+Bytes UtilityCache::queue_bytes_before(NodeId dst, const QueueEntry& e) const {
+  const DestQueue& q = queues_[static_cast<std::size_t>(dst)];
+  const auto pos = std::lower_bound(q.entries.begin(), q.entries.end(), e);
+  const auto idx = static_cast<std::size_t>(pos - q.entries.begin());
+  if (idx == 0) return 0;
+  // Uniform-size fast path (Table 4 workloads): prefix = position * size.
+  if (q.size_counts.size() == 1) return static_cast<Bytes>(idx) * q.size_counts[0].first;
+  // Hypothetical entry sorting past the tail: the whole queue is ahead.
+  if (idx == q.entries.size()) return q.total_bytes;
+  Bytes total = 0;
+  for (std::size_t i = 0; i < idx; ++i) total += q.entries[i].size;
+  return total;
+}
+
+// --- open-addressing packet index ---------------------------------------------
+
+std::size_t UtilityCache::probe_start(PacketId id) const {
+  return static_cast<std::size_t>(mix(static_cast<std::uint64_t>(id))) & (index_.size() - 1);
+}
+
+const UtilityCache::Entry* UtilityCache::find_entry(PacketId id) const {
+  const std::size_t mask = index_.size() - 1;
+  for (std::size_t h = probe_start(id);; h = (h + 1) & mask) {
+    const std::int32_t slot = index_[h];
+    if (slot == kEmptySlot) return nullptr;
+    if (slot == kTombstone) continue;
+    if (entries_[static_cast<std::size_t>(slot)].id == id)
+      return &entries_[static_cast<std::size_t>(slot)];
+  }
+}
+
+void UtilityCache::rehash(std::size_t min_capacity) {
+  std::size_t capacity = 64;
+  while (capacity < min_capacity) capacity *= 2;
+  index_.assign(capacity, kEmptySlot);
+  index_used_ = entries_.size();
+  const std::size_t mask = capacity - 1;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    std::size_t h = probe_start(entries_[i].id);
+    while (index_[h] != kEmptySlot) h = (h + 1) & mask;
+    index_[h] = static_cast<std::int32_t>(i);
+  }
+}
+
+UtilityCache::Entry& UtilityCache::entry_for(PacketId id) {
+  // Keep load (live + tombstones) under ~70% so probe chains stay short.
+  if ((index_used_ + 1) * 10 >= index_.size() * 7) rehash(entries_.size() * 4 + 64);
+  const std::size_t mask = index_.size() - 1;
+  std::size_t first_tombstone = index_.size();
+  for (std::size_t h = probe_start(id);; h = (h + 1) & mask) {
+    const std::int32_t slot = index_[h];
+    if (slot == kTombstone) {
+      if (first_tombstone == index_.size()) first_tombstone = h;
+      continue;
+    }
+    if (slot == kEmptySlot) {
+      entries_.emplace_back();
+      entries_.back().id = id;
+      const auto target = first_tombstone != index_.size() ? first_tombstone : h;
+      if (target == h) ++index_used_;  // reusing a tombstone keeps the load flat
+      index_[target] = static_cast<std::int32_t>(entries_.size() - 1);
+      return entries_.back();
+    }
+    if (entries_[static_cast<std::size_t>(slot)].id == id)
+      return entries_[static_cast<std::size_t>(slot)];
+  }
+}
+
+void UtilityCache::forget(PacketId id) {
+  const std::size_t mask = index_.size() - 1;
+  for (std::size_t h = probe_start(id);; h = (h + 1) & mask) {
+    const std::int32_t slot = index_[h];
+    if (slot == kEmptySlot) return;
+    if (slot == kTombstone) continue;
+    const auto i = static_cast<std::size_t>(slot);
+    if (entries_[i].id != id) continue;
+    index_[h] = kTombstone;
+    // Swap-remove from the packed vector and repoint the moved entry's slot.
+    const std::size_t last = entries_.size() - 1;
+    if (i != last) {
+      entries_[i] = entries_[last];
+      for (std::size_t g = probe_start(entries_[i].id);; g = (g + 1) & mask) {
+        const std::int32_t s = index_[g];
+        if (s == static_cast<std::int32_t>(last)) {
+          index_[g] = static_cast<std::int32_t>(i);
+          break;
+        }
+      }
+    }
+    entries_.pop_back();
+    return;
+  }
+}
+
+}  // namespace rapid

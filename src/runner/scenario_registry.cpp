@@ -58,6 +58,23 @@ void register_builtins(ScenarioRegistry& registry) {
                   config.powerlaw.skew = 0.8;
                   return config;
                 }});
+  registry.add({"powerlaw-large",
+                "Large-scale power-law fleet: 500 nodes, >= 10k packets at load 3 "
+                "(exercises the incremental utility cache; see docs/ARCHITECTURE.md)",
+                [] {
+                  ScenarioConfig config = make_powerlaw_scenario();
+                  config.powerlaw.num_nodes = 500;
+                  config.powerlaw.duration = 400.0;
+                  // Rank products span 1..500^2: scale the base mean so the
+                  // fleet-wide meeting count stays in the low thousands per
+                  // run instead of exploding quadratically with n.
+                  config.powerlaw.base_mean = 150.0;
+                  config.powerlaw.mean_opportunity = 64_KB;
+                  config.deadline = 120.0;
+                  config.buffer_capacity = 50_KB;  // forces real eviction churn
+                  config.synthetic_runs = 1;
+                  return config;
+                }});
 
   // Link-policy scenarios: the trace scenario under the non-clean contacts
   // the paper's deployment notes describe (radios drop out of range

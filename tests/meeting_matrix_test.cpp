@@ -105,6 +105,38 @@ TEST(MeetingMatrix, EstimatesForOtherSources) {
   EXPECT_DOUBLE_EQ(m.expected_meeting_time(1, 0), 3.0);
 }
 
+TEST(MeetingMatrix, GenerationBumpsOnAcceptedMutationsOnly) {
+  MeetingMatrix m(0, 3);
+  const std::uint64_t g0 = m.generation();
+  m.observe_meeting(1, 10);
+  EXPECT_GT(m.generation(), g0);
+  const std::uint64_t g1 = m.generation();
+  std::vector<Time> row = {kTimeInfinity, kTimeInfinity, 50.0};
+  EXPECT_TRUE(m.merge_row(1, row, 100.0));
+  EXPECT_GT(m.generation(), g1);
+  const std::uint64_t g2 = m.generation();
+  // Rejected merges (stale stamp, own row) leave the generation unchanged —
+  // cached estimates keyed on it stay valid.
+  EXPECT_FALSE(m.merge_row(1, row, 100.0));
+  EXPECT_FALSE(m.merge_row(0, row, 1e9));
+  EXPECT_EQ(m.generation(), g2);
+}
+
+TEST(MeetingMatrix, LazyRowsReadAsInfinityUntilLearnt) {
+  MeetingMatrix m(0, 4);
+  // Nothing learnt about node 2: its row reads as all-infinity.
+  const std::vector<Time>& unknown = m.row(2);
+  ASSERT_EQ(unknown.size(), 4u);
+  for (Time t : unknown) EXPECT_EQ(t, kTimeInfinity);
+  EXPECT_EQ(m.direct_mean(2, 3), kTimeInfinity);
+  EXPECT_EQ(m.expected_meeting_time(2, 3), kTimeInfinity);
+  std::vector<Time> row(4, kTimeInfinity);
+  row[3] = 12.0;
+  ASSERT_TRUE(m.merge_row(2, row, 5.0));
+  EXPECT_DOUBLE_EQ(m.row(2)[3], 12.0);
+  EXPECT_DOUBLE_EQ(m.expected_meeting_time(2, 3), 12.0);
+}
+
 TEST(MeetingMatrix, InvalidArgumentsThrow) {
   EXPECT_THROW(MeetingMatrix(5, 3), std::invalid_argument);
   EXPECT_THROW(MeetingMatrix(0, 3, 0), std::invalid_argument);

@@ -74,6 +74,32 @@ TEST(MetadataStore, RecordBytes) {
             kPacketRecordHeaderBytes + 2 * kReplicaEntryBytes);
 }
 
+TEST(MetadataStore, GenerationTracksAcceptedChangesOnly) {
+  MetadataStore store;
+  EXPECT_EQ(store.generation(1), 0u);  // unknown packet
+  ASSERT_TRUE(store.update_replica(1, {3, 120.0, 10.0}));
+  const std::uint64_t g1 = store.generation(1);
+  EXPECT_GT(g1, 0u);
+  // Stale update rejected: the record did not change, the generation holds.
+  EXPECT_FALSE(store.update_replica(1, {3, 50.0, 5.0}));
+  EXPECT_EQ(store.generation(1), g1);
+  // Accepted refresh bumps; other packets draw from the same counter, so
+  // values are store-unique and never reused.
+  ASSERT_TRUE(store.update_replica(1, {3, 50.0, 20.0}));
+  const std::uint64_t g2 = store.generation(1);
+  EXPECT_GT(g2, g1);
+  ASSERT_TRUE(store.update_replica(2, {4, 9.0, 1.0}));
+  EXPECT_GT(store.generation(2), g2);
+  // Removal is a change; a stale removal is not.
+  EXPECT_FALSE(store.remove_replica(1, 3, 15.0));
+  EXPECT_EQ(store.generation(1), g2);
+  EXPECT_TRUE(store.remove_replica(1, 3, 30.0));
+  EXPECT_GT(store.generation(1), g2);
+  // Forgetting resets to the unknown state.
+  store.forget_packet(1);
+  EXPECT_EQ(store.generation(1), 0u);
+}
+
 TEST(MetadataStore, ForEachVisitsAll) {
   MetadataStore store;
   store.update_replica(1, {3, 1.0, 1.0});

@@ -152,8 +152,8 @@ TEST(ScenarioRegistry, LooksUpBuiltinScenarios) {
   auto& registry = runner::ScenarioRegistry::global();
   for (const char* name : {"trace", "trace-full", "exponential", "powerlaw",
                            "trace-large", "trace-longday", "trace-mixed-deadline",
-                           "exponential-dense", "powerlaw-steep", "trace-interrupted",
-                           "trace-asymmetric"}) {
+                           "exponential-dense", "powerlaw-steep", "powerlaw-large",
+                           "trace-interrupted", "trace-asymmetric"}) {
     ASSERT_NE(registry.find(name), nullptr) << name;
     EXPECT_FALSE(registry.find(name)->description.empty()) << name;
   }
@@ -165,6 +165,17 @@ TEST(ScenarioRegistry, LooksUpBuiltinScenarios) {
   EXPECT_GT(registry.make("trace-interrupted").link.interruption_rate, 0.0);
   EXPECT_FALSE(registry.make("trace").link.asymmetric());
   EXPECT_TRUE(registry.make("trace-asymmetric").link.asymmetric());
+}
+
+TEST(ScenarioRegistry, PowerlawLargeMeetsItsScaleFloor) {
+  const ScenarioConfig config = runner::ScenarioRegistry::global().make("powerlaw-large");
+  EXPECT_EQ(config.mobility, MobilityKind::kPowerlaw);
+  EXPECT_GE(config.powerlaw.num_nodes, 500);
+  // The advertised load-3 operating point generates >= 10k packets.
+  const Scenario scenario(config);
+  const Instance inst = scenario.instance(0, 3.0);
+  EXPECT_GE(inst.workload.size(), 10000u);
+  EXPECT_GT(inst.schedule.size(), 0u);
 }
 
 TEST(LinkScenarios, InterruptedTraceChargesPartialsAndRunsDeterministically) {
@@ -217,6 +228,43 @@ TEST(SimulationPath, FigureCellBitIdenticalAcrossLegacyAndSteppedPaths) {
   for (int i = 1; i <= 7; ++i) sim.run_until(slice * static_cast<Time>(i));
   sim.run();  // any remainder within the day
   expect_results_identical(legacy, sim.finish());
+}
+
+// One cell of a figure sweep (one scenario run at one load) with the
+// incremental utility cache toggled. The cache memoizes the inputs of
+// Eqs. 1-3 keyed by generation counters; routing decisions — and therefore
+// every SimResult field — must be bit-identical to eager recomputation.
+SimResult run_figure_cell(const std::string& scenario_name, RoutingMetric metric,
+                          double load, bool cached) {
+  ScenarioConfig config = runner::ScenarioRegistry::global().make(scenario_name);
+  if (config.mobility == MobilityKind::kTrace) config.days = 1;
+  config.synthetic_runs = 1;
+  const Scenario scenario(config);
+  RunSpec spec;
+  spec.protocol = ProtocolKind::kRapid;
+  spec.metric = metric;
+  spec.rapid_incremental_cache = cached;
+  return run_instance(scenario, scenario.instance(0, load), spec);
+}
+
+// Dual-path figure tests: Fig 4 (trace avg delay), Fig 7 (trace deadline
+// metric), Fig 16 (powerlaw avg delay) — the acceptance bar for the
+// incremental utility engine.
+TEST(UtilityCachePath, Fig4CellBitIdenticalEagerVsCached) {
+  expect_results_identical(run_figure_cell("trace", RoutingMetric::kAvgDelay, 4.0, false),
+                           run_figure_cell("trace", RoutingMetric::kAvgDelay, 4.0, true));
+}
+
+TEST(UtilityCachePath, Fig7CellBitIdenticalEagerVsCached) {
+  expect_results_identical(
+      run_figure_cell("trace", RoutingMetric::kMissedDeadlines, 4.0, false),
+      run_figure_cell("trace", RoutingMetric::kMissedDeadlines, 4.0, true));
+}
+
+TEST(UtilityCachePath, Fig16CellBitIdenticalEagerVsCached) {
+  expect_results_identical(
+      run_figure_cell("powerlaw", RoutingMetric::kAvgDelay, 10.0, false),
+      run_figure_cell("powerlaw", RoutingMetric::kAvgDelay, 10.0, true));
 }
 
 TEST(ScenarioRegistry, UnknownNameThrowsWithKnownNames) {

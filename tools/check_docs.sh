@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Documentation checks, run by the CI docs job and usable locally:
+#
+#   1. Every intra-repo markdown link ([text](path), relative or
+#      repo-rooted) in tracked *.md files must resolve to an existing file
+#      or directory. External (scheme://), mailto: and pure-anchor (#...)
+#      links are ignored; a trailing #anchor is stripped before resolution.
+#   2. Every public header in src/core/ must open with a file-level doc
+#      comment (its first line is a // comment), so the core API stays
+#      self-describing.
+#
+# Exits non-zero listing every violation. No dependencies beyond bash +
+# coreutils + grep/sed.
+set -u
+
+cd "$(dirname "$0")/.."
+failures=0
+
+note_failure() {
+  echo "FAIL: $1" >&2
+  failures=$((failures + 1))
+}
+
+# --- 1. intra-repo markdown links --------------------------------------------
+
+# Tracked markdown only; fall back to find when git is unavailable.
+if command -v git > /dev/null 2>&1 && git rev-parse --is-inside-work-tree > /dev/null 2>&1; then
+  md_files=$(git ls-files '*.md')
+else
+  md_files=$(find . -name '*.md' -not -path './build*' -not -path './.git/*' | sed 's|^\./||')
+fi
+
+for file in $md_files; do
+  dir=$(dirname "$file")
+  # Inline links: capture the (...) target of every [...](...) occurrence.
+  # Multiple links per line are handled by -o matching each occurrence.
+  while IFS= read -r target; do
+    case "$target" in
+      '' | '#'* | *'://'* | mailto:*) continue ;;
+    esac
+    path="${target%%#*}"        # strip anchor
+    path="${path%% *}"          # strip optional '"title"' suffix
+    [ -z "$path" ] && continue
+    if [ "${path#/}" != "$path" ]; then
+      resolved=".${path}"       # repo-rooted link
+    else
+      resolved="$dir/$path"
+    fi
+    if [ ! -e "$resolved" ]; then
+      note_failure "$file: broken intra-repo link '$target' (no such path: $resolved)"
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$file" 2> /dev/null | sed 's/^\[[^]]*\](\([^)]*\))$/\1/')
+done
+
+# --- 2. file-level doc comments on core public headers ------------------------
+
+for header in src/core/*.h; do
+  first_line=$(head -n 1 "$header")
+  case "$first_line" in
+    //*) ;;
+    *) note_failure "$header: public core header lacks a file-level doc comment (first line must be //)" ;;
+  esac
+done
+
+if [ "$failures" -gt 0 ]; then
+  echo "check_docs: $failures problem(s) found" >&2
+  exit 1
+fi
+echo "check_docs: OK (markdown links + core header doc comments)"
