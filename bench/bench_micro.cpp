@@ -10,6 +10,8 @@
 #include <memory>
 #include <vector>
 
+#include "../tests/support/legacy_map_shim.h"
+
 #include "core/dag_delay.h"
 #include "core/delay_estimator.h"
 #include "core/meeting_matrix.h"
@@ -226,6 +228,136 @@ BENCHMARK(BM_PowerlawLargeRapid)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
+
+// Flat-table vs legacy-hash-map regression pair for the memory-layout
+// overhaul: a full-buffer scan (the per-contact candidate walk) over the
+// packed entry list vs the unordered_map shim it replaced. The enforced
+// >= 2x bound lives in tests/flat_state_test.cpp; these benches chart the
+// actual margin.
+void BM_BufferScan(benchmark::State& state) {
+  const bool flat = state.range(1) != 0;
+  const int packets = static_cast<int>(state.range(0));
+  Buffer flat_buffer(-1);
+  testing::LegacyMapBuffer map_buffer(-1);
+  for (PacketId id = 0; id < packets; ++id) {
+    flat_buffer.insert(id, 1_KB);
+    map_buffer.insert(id, 1_KB);
+  }
+  Bytes total = 0;
+  for (auto _ : state) {
+    if (flat) {
+      flat_buffer.for_each([&](PacketId, Bytes size) { total += size; });
+    } else {
+      map_buffer.for_each([&](PacketId, Bytes size) { total += size; });
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * packets);
+}
+BENCHMARK(BM_BufferScan)
+    ->ArgNames({"packets", "flat"})
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({20000, 0})
+    ->Args({20000, 1});
+
+// Ack-membership probes (the knows_ack filter that runs per candidate per
+// contact): direct slot load vs hash find.
+void BM_AckLookup(benchmark::State& state) {
+  const bool flat = state.range(1) != 0;
+  const int packets = static_cast<int>(state.range(0));
+  AckTable flat_acks;
+  testing::LegacyAckMap map_acks;
+  for (PacketId id = 0; id < packets; id += 2) {
+    flat_acks.insert(id, static_cast<Time>(id));
+    map_acks.insert(id, static_cast<Time>(id));
+  }
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    if (flat) {
+      for (PacketId id = 0; id < packets; ++id) hits += flat_acks.contains(id) ? 1u : 0u;
+    } else {
+      for (PacketId id = 0; id < packets; ++id) hits += map_acks.knows_ack(id) ? 1u : 0u;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * packets);
+}
+BENCHMARK(BM_AckLookup)
+    ->ArgNames({"packets", "flat"})
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({20000, 0})
+    ->Args({20000, 1});
+
+// Contact churn: the allocation-sensitive part of the hot path — repeated
+// short contacts against a storage-constrained RAPID pair, each contact
+// re-planning, exchanging metadata/acks and evicting under pressure. This
+// is the path the flat tables, epoch skip marks and scratch arena are for;
+// the counter reports contacts/second.
+void BM_ContactChurn(benchmark::State& state) {
+  constexpr int kNodes = 24;
+  PacketPool pool;
+  for (int i = 0; i < 4000; ++i) {
+    Packet p;
+    p.src = i % 2;
+    p.dst = 2 + (i % (kNodes - 2));
+    p.size = 1_KB;
+    p.created = static_cast<Time>(i) * 0.25;
+    pool.add(p);
+  }
+  MetricsCollector metrics;
+  RouterOracle oracle;
+  ScratchArena arena;
+  SimContext ctx;
+  ctx.pool = &pool;
+  ctx.metrics = &metrics;
+  ctx.oracle = &oracle;
+  ctx.arena = &arena;
+  ctx.num_nodes = kNodes;
+  oracle.reset(kNodes);
+  RapidConfig config;
+  config.prior_opportunity_bytes = 32_KB;
+  std::vector<std::unique_ptr<RapidRouter>> routers;
+  for (NodeId n = 0; n < kNodes; ++n) {
+    routers.push_back(
+        std::make_unique<RapidRouter>(n, Bytes{48_KB} /* forces eviction churn */, &ctx, config));
+    oracle.set(n, routers.back().get());
+  }
+  MeetingSchedule schedule;
+  schedule.num_nodes = kNodes;
+  schedule.duration = 1e9;
+  metrics.begin(pool, schedule);
+
+  std::size_t next_packet = 0;
+  int meeting_index = 0;
+  Time now = 0;
+  std::uint64_t contacts = 0;
+  for (auto _ : state) {
+    now += 1.0;
+    // Feed a trickle of fresh packets so queues and metadata keep moving.
+    while (next_packet < pool.size() && pool.get(static_cast<PacketId>(next_packet)).created <= now) {
+      const Packet& p = pool.get(static_cast<PacketId>(next_packet));
+      routers[static_cast<std::size_t>(p.src)]->on_generate(p);
+      ++next_packet;
+    }
+    Meeting m;
+    m.a = static_cast<NodeId>(meeting_index % 2);
+    m.b = static_cast<NodeId>(2 + (meeting_index % (kNodes - 2)));
+    m.time = now;
+    m.capacity = 32_KB;
+    run_contact(*routers[static_cast<std::size_t>(m.a)], *routers[static_cast<std::size_t>(m.b)],
+                m, meeting_index, ContactConfig{}, pool, metrics);
+    ++meeting_index;
+    ++contacts;
+  }
+  state.counters["contacts_per_s"] =
+      benchmark::Counter(static_cast<double>(contacts), benchmark::Counter::kIsRate);
+}
+// Fixed iteration count: the packet feed spans 1000 s of simulated time at
+// one contact per second, so every run measures the same loaded regime (and
+// old-vs-new comparisons stay apples-to-apples).
+BENCHMARK(BM_ContactChurn)->Iterations(800)->Unit(benchmark::kMicrosecond);
 
 void BM_FullSimulationRapid(benchmark::State& state) {
   ExponentialMobilityConfig mobility;

@@ -1,0 +1,122 @@
+// Perf-trajectory probe for the flat-state memory-layout overhaul (PR 4).
+//
+// Runs the 500-node powerlaw-large scenario end to end under RAPID (the
+// BM_PowerlawLargeRapid configuration) and writes one JSON record with the
+// three quantities the overhaul targets:
+//
+//   wall_clock_ms  — best-of-N end-to-end simulation time
+//   peak_rss_kb    — getrusage(RUSAGE_SELF).ru_maxrss after the runs
+//   allocations    — operator-new count during the measured runs, via the
+//                    counting allocator hook below (the allocation-free
+//                    contact path shows up here, and the count is exactly
+//                    reproducible run to run)
+//
+// CI runs this in Release and tools/bench_compare.py fails the job on a
+// >10% regression against the committed BENCH_pr4.json baseline; `delivered`
+// doubles as a determinism guard (it must match exactly).
+//
+// Usage: bench_pr4 [--json PATH] [--runs N]
+#include <sys/resource.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "runner/scenario_registry.h"
+#include "sim/experiment.h"
+#include "sim/protocols.h"
+
+namespace {
+
+std::atomic<unsigned long long> g_allocations{0};
+std::atomic<bool> g_counting{false};
+
+}  // namespace
+
+// Counting allocator hook: global operator new/delete for this binary only
+// (the library is untouched). Counting is gated so setup/teardown noise
+// stays out of the number.
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+int main(int argc, char** argv) {
+  using rapid::Instance;
+  using rapid::ProtocolKind;
+  using rapid::RunSpec;
+  using rapid::Scenario;
+  using rapid::SimResult;
+
+  std::string json_path;
+  int runs = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--runs" && i + 1 < argc) {
+      runs = std::atoi(argv[++i]);
+      if (runs < 1) runs = 1;
+    } else {
+      std::fprintf(stderr, "usage: bench_pr4 [--json PATH] [--runs N]\n");
+      return 2;
+    }
+  }
+
+  const Scenario scenario(rapid::runner::ScenarioRegistry::global().make("powerlaw-large"));
+  const Instance inst = scenario.instance(0, 3.0);
+  RunSpec spec;
+  spec.protocol = ProtocolKind::kRapid;
+
+  double best_ms = 1e300;
+  unsigned long long best_allocations = ~0ULL;
+  std::size_t delivered = 0;
+  for (int r = 0; r < runs; ++r) {
+    g_allocations.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    const SimResult result = run_instance(scenario, inst, spec);
+    const auto t1 = std::chrono::steady_clock::now();
+    g_counting.store(false, std::memory_order_relaxed);
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const unsigned long long allocations = g_allocations.load(std::memory_order_relaxed);
+    if (ms < best_ms) best_ms = ms;
+    if (allocations < best_allocations) best_allocations = allocations;
+    delivered = result.delivered;
+  }
+
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);  // ru_maxrss is in kilobytes on Linux
+
+  const std::string json = std::string("{\n") +
+      "  \"scenario\": \"powerlaw-large\",\n" +
+      "  \"protocol\": \"rapid\",\n" +
+      "  \"load\": 3.0,\n" +
+      "  \"packets\": " + std::to_string(inst.workload.size()) + ",\n" +
+      "  \"meetings\": " + std::to_string(inst.schedule.size()) + ",\n" +
+      "  \"delivered\": " + std::to_string(delivered) + ",\n" +
+      "  \"wall_clock_ms\": " + std::to_string(best_ms) + ",\n" +
+      "  \"peak_rss_kb\": " + std::to_string(static_cast<long long>(usage.ru_maxrss)) + ",\n" +
+      "  \"allocations\": " + std::to_string(best_allocations) + "\n" +
+      "}\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (!json_path.empty()) {
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "bench_pr4: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -7,18 +7,33 @@ namespace rapid {
 DirectRouter::DirectRouter(NodeId self, Bytes buffer_capacity, const SimContext* ctx)
     : Router(self, buffer_capacity, ctx) {}
 
+bool DirectRouter::on_generate(const Packet& p) {
+  if (!Router::on_generate(p)) return false;
+  age_order_.insert(p.created, p.id);
+  return true;
+}
+
+void DirectRouter::on_stored(const Packet& p, NodeId /*from*/, std::int64_t /*aux*/,
+                             Time /*now*/) {
+  age_order_.insert(p.created, p.id);
+}
+
+void DirectRouter::on_dropped(const Packet& p, Time /*now*/) {
+  age_order_.remove(p.created, p.id);
+}
+
+void DirectRouter::on_acked(const Packet& p, Time /*now*/) {
+  age_order_.remove(p.created, p.id);
+}
+
 std::optional<PacketId> DirectRouter::next_transfer(const ContactContext& contact,
                                                     const PeerView& peer) {
   if (!plan_current(peer.self())) {
     mark_plan_built(peer.self());
     order_.clear();
     cursor_ = 0;
-    buffer().for_each([&](PacketId id, Bytes /*size*/) {
+    for (const auto& [created, id] : age_order_.entries())
       if (ctx().packet(id).dst == peer.self()) order_.push_back(id);
-    });
-    std::sort(order_.begin(), order_.end(), [&](PacketId a, PacketId b) {
-      return ctx().packet(a).created < ctx().packet(b).created;
-    });
   }
   while (cursor_ < order_.size()) {
     const PacketId id = order_[cursor_];

@@ -2,21 +2,37 @@
 
 #include <algorithm>
 
+#include "util/slab.h"
+
 namespace rapid {
 
 EpidemicRouter::EpidemicRouter(NodeId self, Bytes buffer_capacity, const SimContext* ctx,
                                const EpidemicConfig& config)
     : Router(self, buffer_capacity, ctx), config_(config) {}
 
+void EpidemicRouter::note_arrival(PacketId id) {
+  grow_slot(arrival_, id, std::uint64_t{0}) = arrival_seq_++;
+}
+
 bool EpidemicRouter::on_generate(const Packet& p) {
   if (!Router::on_generate(p)) return false;
-  arrival_[p.id] = arrival_seq_++;
+  note_arrival(p.id);
+  age_order_.insert(p.created, p.id);
   return true;
 }
 
 void EpidemicRouter::on_stored(const Packet& p, NodeId /*from*/, std::int64_t /*aux*/,
                                Time /*now*/) {
-  arrival_[p.id] = arrival_seq_++;
+  note_arrival(p.id);
+  age_order_.insert(p.created, p.id);
+}
+
+void EpidemicRouter::on_dropped(const Packet& p, Time /*now*/) {
+  age_order_.remove(p.created, p.id);
+}
+
+void EpidemicRouter::on_acked(const Packet& p, Time /*now*/) {
+  age_order_.remove(p.created, p.id);
 }
 
 Bytes EpidemicRouter::contact_begin(const PeerView& peer, Time now, Bytes meta_budget) {
@@ -29,18 +45,14 @@ void EpidemicRouter::build_plan(const PeerView& peer) {
   mark_plan_built(peer.self());
   order_.clear();
   cursor_ = 0;
-  std::vector<PacketId> direct;
-  std::vector<PacketId> rest;
-  buffer().for_each([&](PacketId id, Bytes /*size*/) {
-    (ctx().packet(id).dst == peer.self() ? direct : rest).push_back(id);
-  });
-  auto oldest_first = [&](PacketId a, PacketId b) {
-    return ctx().packet(a).created < ctx().packet(b).created;
-  };
-  std::sort(direct.begin(), direct.end(), oldest_first);
-  std::sort(rest.begin(), rest.end(), oldest_first);
-  order_ = std::move(direct);
-  order_.insert(order_.end(), rest.begin(), rest.end());
+  // The maintained order is already oldest-first; one linear pass splits it
+  // into the destined-to-peer tier and the replication tier.
+  const auto& aged = age_order_.entries();
+  order_.reserve(aged.size());
+  for (const auto& [created, id] : aged)
+    if (ctx().packet(id).dst == peer.self()) order_.push_back(id);
+  for (const auto& [created, id] : aged)
+    if (ctx().packet(id).dst != peer.self()) order_.push_back(id);
 }
 
 std::optional<PacketId> EpidemicRouter::next_transfer(const ContactContext& contact,
@@ -75,8 +87,9 @@ PacketId EpidemicRouter::choose_drop_victim(const Packet& /*incoming*/, Time /*n
   PacketId victim = kNoPacket;
   std::uint64_t oldest = 0;
   buffer().for_each([&](PacketId id, Bytes /*size*/) {
-    const auto it = arrival_.find(id);
-    const std::uint64_t seq = it == arrival_.end() ? 0 : it->second;
+    const std::uint64_t seq = static_cast<std::size_t>(id) < arrival_.size()
+                                  ? arrival_[static_cast<std::size_t>(id)]
+                                  : 0;
     if (victim == kNoPacket || seq < oldest) {
       victim = id;
       oldest = seq;

@@ -4,9 +4,9 @@
 #pragma once
 
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "dtn/age_order.h"
 #include "dtn/router.h"
 
 namespace rapid {
@@ -29,15 +29,21 @@ class EpidemicRouter : public Router {
 
  protected:
   void on_stored(const Packet& p, NodeId from, std::int64_t aux, Time now) override;
+  void on_dropped(const Packet& p, Time now) override;
+  void on_acked(const Packet& p, Time now) override;
 
  private:
   EpidemicConfig config_;
   std::uint64_t arrival_seq_ = 0;
-  std::unordered_map<PacketId, std::uint64_t> arrival_;  // FIFO order for drops
+  std::vector<std::uint64_t> arrival_;  // flat FIFO order for drops, by packet id
 
-  std::vector<PacketId> order_;
+  // Oldest-first candidate order, maintained across contacts (insert-sorted
+  // on admit, swap-removed on drop/ack) instead of re-sorted per contact.
+  AgeOrder age_order_;
+  std::vector<PacketId> order_;  // per-contact: destined-to-peer first, then rest
   std::size_t cursor_ = 0;
 
+  void note_arrival(PacketId id);
   void build_plan(const PeerView& peer);
 };
 

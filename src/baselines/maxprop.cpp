@@ -1,6 +1,8 @@
 #include "baselines/maxprop.h"
 
 #include <algorithm>
+
+#include "util/slab.h"
 #include <limits>
 #include <queue>
 
@@ -18,29 +20,44 @@ MaxPropRouter::MaxPropRouter(NodeId self, Bytes buffer_capacity, const SimContex
   f_stamp_.assign(n, -kTimeInfinity);
 }
 
+void MaxPropRouter::set_hops(PacketId id, int hops) {
+  grow_slot(hops_, id, std::int32_t{0}) = hops;
+}
+
 bool MaxPropRouter::on_generate(const Packet& p) {
   if (!Router::on_generate(p)) return false;
-  hops_[p.id] = 0;
+  set_hops(p.id, 0);
+  priority_dirty_ = true;
   return true;
 }
 
 void MaxPropRouter::on_stored(const Packet& p, NodeId /*from*/, std::int64_t aux,
                               Time /*now*/) {
-  hops_[p.id] = static_cast<int>(std::max<std::int64_t>(0, aux));
+  set_hops(p.id, static_cast<int>(std::max<std::int64_t>(0, aux)));
+  priority_dirty_ = true;
 }
 
-void MaxPropRouter::on_dropped(const Packet& p, Time /*now*/) { hops_.erase(p.id); }
-void MaxPropRouter::on_acked(const Packet& p, Time /*now*/) { hops_.erase(p.id); }
+void MaxPropRouter::on_dropped(const Packet& p, Time /*now*/) {
+  set_hops(p.id, 0);
+  priority_dirty_ = true;
+}
+
+void MaxPropRouter::on_acked(const Packet& p, Time /*now*/) {
+  set_hops(p.id, 0);
+  priority_dirty_ = true;
+}
 
 int MaxPropRouter::hop_count(PacketId id) const {
-  auto it = hops_.find(id);
-  return it == hops_.end() ? 0 : it->second;
+  return static_cast<std::size_t>(id) < hops_.size()
+             ? hops_[static_cast<std::size_t>(id)]
+             : 0;
 }
 
 void MaxPropRouter::observe_opportunity(Bytes capacity, NodeId /*peer*/, Time /*now*/) {
   ++transfers_seen_;
   avg_transfer_bytes_ +=
       (static_cast<double>(capacity) - avg_transfer_bytes_) / static_cast<double>(transfers_seen_);
+  priority_dirty_ = true;  // head-start threshold moved
 }
 
 void MaxPropRouter::normalize_own() {
@@ -63,6 +80,7 @@ Bytes MaxPropRouter::contact_begin(const PeerView& peer, Time now, Bytes meta_bu
   normalize_own();
   f_stamp_[static_cast<std::size_t>(self())] = now;
   costs_dirty_ = true;
+  priority_dirty_ = true;
 
   Bytes used = 0;
   auto* mp = peer.as<MaxPropRouter>();
@@ -77,6 +95,7 @@ Bytes MaxPropRouter::contact_begin(const PeerView& peer, Time now, Bytes meta_bu
       mp->f_[u] = f_[u];
       mp->f_stamp_[u] = f_stamp_[u];
       mp->costs_dirty_ = true;
+      mp->priority_dirty_ = true;
     }
   }
   // Flooded delivery acknowledgments.
@@ -122,7 +141,8 @@ Bytes MaxPropRouter::head_start_bytes() const {
                                      static_cast<double>(buffer().capacity())));
 }
 
-std::vector<PacketId> MaxPropRouter::priority_order(bool /*for_transmission*/) const {
+const std::vector<PacketId>& MaxPropRouter::priority_order() const {
+  if (!priority_dirty_) return priority_cache_;
   struct Entry {
     PacketId id;
     int hops;
@@ -149,10 +169,11 @@ std::vector<PacketId> MaxPropRouter::priority_order(bool /*for_transmission*/) c
   }
   std::sort(entries.begin() + static_cast<std::ptrdiff_t>(split), entries.end(),
             [](const Entry& a, const Entry& b) { return a.cost < b.cost; });
-  std::vector<PacketId> out;
-  out.reserve(entries.size());
-  for (const Entry& e : entries) out.push_back(e.id);
-  return out;
+  priority_cache_.clear();
+  priority_cache_.reserve(entries.size());
+  for (const Entry& e : entries) priority_cache_.push_back(e.id);
+  priority_dirty_ = false;
+  return priority_cache_;
 }
 
 void MaxPropRouter::build_plan(const PeerView& peer) {
@@ -161,7 +182,7 @@ void MaxPropRouter::build_plan(const PeerView& peer) {
   direct_cursor_ = 0;
   send_order_.clear();
   send_cursor_ = 0;
-  for (PacketId id : priority_order(true)) {
+  for (PacketId id : priority_order()) {
     (ctx().packet(id).dst == peer.self() ? direct_order_ : send_order_).push_back(id);
   }
   // Destined-to-peer packets go first regardless of section, oldest first.
@@ -207,7 +228,7 @@ void MaxPropRouter::on_transfer_success(const Packet& p, const PeerView& /*peer*
 PacketId MaxPropRouter::choose_drop_victim(const Packet& /*incoming*/, Time /*now*/) {
   // Drop from the tail of the priority order: the highest-cost packet
   // outside the head-start section goes first.
-  const std::vector<PacketId> order = priority_order(false);
+  const std::vector<PacketId>& order = priority_order();
   if (order.empty()) return kNoPacket;
   return order.back();
 }

@@ -12,10 +12,14 @@
 //   * Delivery acknowledgments are flooded and purge delivered copies.
 //   * Storage pressure drops the highest-cost packet outside the head-start
 //     section first.
+//
+// The priority order is memoized behind an explicit dirty flag (buffer
+// membership, likelihood vectors, or the transfer-size average changed), so
+// eviction storms within one contact re-read it instead of re-sorting the
+// whole buffer per drop. Hop counts live in a flat per-packet array.
 #pragma once
 
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "dtn/router.h"
@@ -58,24 +62,30 @@ class MaxPropRouter : public Router {
   // f_[u] = latest known likelihood vector of node u (f_[self] is ours).
   std::vector<std::vector<double>> f_;
   std::vector<Time> f_stamp_;
-  std::unordered_map<PacketId, int> hops_;
+  std::vector<std::int32_t> hops_;  // flat, by packet id; 0 = untracked/source
   double avg_transfer_bytes_ = 0;
   std::size_t transfers_seen_ = 0;
 
   mutable bool costs_dirty_ = true;
   mutable std::vector<double> cost_cache_;
 
+  // Memoized transmission/drop priority order over the current buffer.
+  mutable bool priority_dirty_ = true;
+  mutable std::vector<PacketId> priority_cache_;
+
   std::vector<PacketId> direct_order_;
   std::size_t direct_cursor_ = 0;
   std::vector<PacketId> send_order_;
   std::size_t send_cursor_ = 0;
 
+  void set_hops(PacketId id, int hops);
   void normalize_own();
   void recompute_costs() const;
   Bytes head_start_bytes() const;
   void build_plan(const PeerView& peer);
   // Ordered buffer view: head-start section (hopcount asc) then cost asc.
-  std::vector<PacketId> priority_order(bool for_transmission) const;
+  // Recomputed only when the dirty flag is set.
+  const std::vector<PacketId>& priority_order() const;
 };
 
 RouterFactory make_maxprop_factory(const MaxPropConfig& config, Bytes buffer_capacity);

@@ -13,6 +13,25 @@ ProphetRouter::ProphetRouter(NodeId self, Bytes buffer_capacity, const SimContex
   p_.assign(static_cast<std::size_t>(ctx->num_nodes), 0.0);
 }
 
+bool ProphetRouter::on_generate(const Packet& p) {
+  if (!Router::on_generate(p)) return false;
+  age_order_.insert(p.created, p.id);
+  return true;
+}
+
+void ProphetRouter::on_stored(const Packet& p, NodeId /*from*/, std::int64_t /*aux*/,
+                              Time /*now*/) {
+  age_order_.insert(p.created, p.id);
+}
+
+void ProphetRouter::on_dropped(const Packet& p, Time /*now*/) {
+  age_order_.remove(p.created, p.id);
+}
+
+void ProphetRouter::on_acked(const Packet& p, Time /*now*/) {
+  age_order_.remove(p.created, p.id);
+}
+
 void ProphetRouter::age_to(Time now) const {
   if (now <= last_aged_) return;
   const double k = (now - last_aged_) / config_.aging_unit;
@@ -58,22 +77,22 @@ void ProphetRouter::build_plan(const PeerView& peer, Time now) {
   forward_order_.clear();
   forward_cursor_ = 0;
   auto* prophet_peer = peer.as<ProphetRouter>();
-  buffer().for_each([&](PacketId id, Bytes /*size*/) {
+  // The maintained order is already oldest-first, so the direct tier is a
+  // plain filter; only the peer-dependent GRTR tier still sorts (and only
+  // over the packets it admits).
+  for (const auto& [created, id] : age_order_.entries()) {
     const Packet& p = ctx().packet(id);
     if (p.dst == peer.self()) {
       direct_order_.push_back(id);
-      return;
+      continue;
     }
-    if (prophet_peer == nullptr) return;
+    if (prophet_peer == nullptr) continue;
     const double theirs = prophet_peer->predictability(p.dst, now);
     const double ours = predictability(p.dst, now);
     if (theirs > ours) forward_order_.emplace_back(theirs, id);  // GRTR
-  });
-  std::sort(direct_order_.begin(), direct_order_.end(), [&](PacketId a, PacketId b) {
-    return ctx().packet(a).created < ctx().packet(b).created;
-  });
-  std::sort(forward_order_.begin(), forward_order_.end(),
-            [](const auto& a, const auto& b) { return a.first > b.first; });
+  }
+  std::stable_sort(forward_order_.begin(), forward_order_.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
 }
 
 std::optional<PacketId> ProphetRouter::next_transfer(const ContactContext& contact,

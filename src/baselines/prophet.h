@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "dtn/age_order.h"
 #include "dtn/router.h"
 
 namespace rapid {
@@ -31,6 +32,7 @@ class ProphetRouter : public Router {
   ProphetRouter(NodeId self, Bytes buffer_capacity, const SimContext* ctx,
                 const ProphetConfig& config);
 
+  bool on_generate(const Packet& p) override;
   Bytes contact_begin(const PeerView& peer, Time now, Bytes meta_budget) override;
   std::optional<PacketId> next_transfer(const ContactContext& contact, const PeerView& peer) override;
   PacketId choose_drop_victim(const Packet& incoming, Time now) override;
@@ -38,11 +40,19 @@ class ProphetRouter : public Router {
   // Aged predictability towards `dst` as of `now`.
   double predictability(NodeId dst, Time now) const;
 
+ protected:
+  void on_stored(const Packet& p, NodeId from, std::int64_t aux, Time now) override;
+  void on_dropped(const Packet& p, Time now) override;
+  void on_acked(const Packet& p, Time now) override;
+
  private:
   ProphetConfig config_;
   mutable std::vector<double> p_;   // predictabilities, aged lazily
   mutable Time last_aged_ = 0;
 
+  // Maintained oldest-first order; the direct tier filters it, the GRTR tier
+  // sorts only the admitted forwards (peer-dependent by definition).
+  AgeOrder age_order_;
   std::vector<PacketId> direct_order_;
   std::size_t direct_cursor_ = 0;
   std::vector<std::pair<double, PacketId>> forward_order_;  // peer predictability desc

@@ -8,6 +8,25 @@ RandomRouter::RandomRouter(NodeId self, Bytes buffer_capacity, const SimContext*
                            const RandomConfig& config)
     : Router(self, buffer_capacity, ctx), config_(config) {}
 
+bool RandomRouter::on_generate(const Packet& p) {
+  if (!Router::on_generate(p)) return false;
+  age_order_.insert(p.created, p.id);
+  return true;
+}
+
+void RandomRouter::on_stored(const Packet& p, NodeId /*from*/, std::int64_t /*aux*/,
+                             Time /*now*/) {
+  age_order_.insert(p.created, p.id);
+}
+
+void RandomRouter::on_dropped(const Packet& p, Time /*now*/) {
+  age_order_.remove(p.created, p.id);
+}
+
+void RandomRouter::on_acked(const Packet& p, Time /*now*/) {
+  age_order_.remove(p.created, p.id);
+}
+
 Bytes RandomRouter::contact_begin(const PeerView& peer, Time now, Bytes meta_budget) {
   Router::contact_begin(peer, now, meta_budget);
   if (config_.flood_acks) {
@@ -24,18 +43,11 @@ void RandomRouter::build_plan(const PeerView& peer) {
   direct_cursor_ = 0;
   shuffled_.clear();
   shuffle_cursor_ = 0;
-  buffer().for_each([&](PacketId id, Bytes /*size*/) {
-    const Packet& p = ctx().packet(id);
-    if (p.dst == peer.self()) {
-      direct_order_.push_back(id);
-    } else {
-      shuffled_.push_back(id);
-    }
-  });
-  // Oldest first for direct delivery; uniformly random replication order.
-  std::sort(direct_order_.begin(), direct_order_.end(), [&](PacketId a, PacketId b) {
-    return ctx().packet(a).created < ctx().packet(b).created;
-  });
+  // Oldest first for direct delivery straight from the maintained order;
+  // uniformly random replication order over the rest.
+  for (const auto& [created, id] : age_order_.entries()) {
+    (ctx().packet(id).dst == peer.self() ? direct_order_ : shuffled_).push_back(id);
+  }
   rng().shuffle(shuffled_);
 }
 
@@ -70,10 +82,11 @@ void RandomRouter::on_transfer_success(const Packet& p, const PeerView& /*peer*/
 }
 
 PacketId RandomRouter::choose_drop_victim(const Packet& /*incoming*/, Time /*now*/) {
-  const std::vector<PacketId> ids = buffer().packet_ids();
-  if (ids.empty()) return kNoPacket;
-  return ids[static_cast<std::size_t>(
-      rng().uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1))];
+  const Span<Buffer::Entry> entries = buffer().entries();
+  if (entries.empty()) return kNoPacket;
+  return entries[static_cast<std::size_t>(
+                     rng().uniform_int(0, static_cast<std::int64_t>(entries.size()) - 1))]
+      .id;
 }
 
 RouterFactory make_random_factory(const RandomConfig& config, Bytes buffer_capacity) {

@@ -1,6 +1,9 @@
 #include "baselines/spray_wait.h"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "util/slab.h"
 
 namespace rapid {
 
@@ -12,23 +15,37 @@ SprayWaitRouter::SprayWaitRouter(NodeId self, Bytes buffer_capacity, const SimCo
 }
 
 int SprayWaitRouter::copies_of(PacketId id) const {
-  auto it = copies_.find(id);
-  return it == copies_.end() ? 0 : it->second;
+  return static_cast<std::size_t>(id) < copies_.size()
+             ? copies_[static_cast<std::size_t>(id)]
+             : 0;
+}
+
+void SprayWaitRouter::set_copies(PacketId id, int copies) {
+  grow_slot(copies_, id, std::int32_t{0}) = copies;
 }
 
 bool SprayWaitRouter::on_generate(const Packet& p) {
   if (!Router::on_generate(p)) return false;
-  copies_[p.id] = config_.initial_copies;
+  set_copies(p.id, config_.initial_copies);
+  age_order_.insert(p.created, p.id);
   return true;
 }
 
 void SprayWaitRouter::on_stored(const Packet& p, NodeId /*from*/, std::int64_t aux,
                                 Time /*now*/) {
-  copies_[p.id] = static_cast<int>(std::max<std::int64_t>(1, aux));
+  set_copies(p.id, static_cast<int>(std::max<std::int64_t>(1, aux)));
+  age_order_.insert(p.created, p.id);
 }
 
-void SprayWaitRouter::on_dropped(const Packet& p, Time /*now*/) { copies_.erase(p.id); }
-void SprayWaitRouter::on_acked(const Packet& p, Time /*now*/) { copies_.erase(p.id); }
+void SprayWaitRouter::on_dropped(const Packet& p, Time /*now*/) {
+  set_copies(p.id, 0);
+  age_order_.remove(p.created, p.id);
+}
+
+void SprayWaitRouter::on_acked(const Packet& p, Time /*now*/) {
+  set_copies(p.id, 0);
+  age_order_.remove(p.created, p.id);
+}
 
 void SprayWaitRouter::build_plan(const PeerView& peer) {
   mark_plan_built(peer.self());
@@ -36,19 +53,16 @@ void SprayWaitRouter::build_plan(const PeerView& peer) {
   direct_cursor_ = 0;
   spray_order_.clear();
   spray_cursor_ = 0;
-  buffer().for_each([&](PacketId id, Bytes /*size*/) {
+  // One linear pass over the maintained oldest-first order; no per-contact
+  // sort.
+  for (const auto& [created, id] : age_order_.entries()) {
     const Packet& p = ctx().packet(id);
     if (p.dst == peer.self()) {
       direct_order_.push_back(id);
     } else if (copies_of(id) > 1) {
       spray_order_.push_back(id);  // wait phase (1 copy) never replicates
     }
-  });
-  auto oldest_first = [&](PacketId a, PacketId b) {
-    return ctx().packet(a).created < ctx().packet(b).created;
-  };
-  std::sort(direct_order_.begin(), direct_order_.end(), oldest_first);
-  std::sort(spray_order_.begin(), spray_order_.end(), oldest_first);
+  }
 }
 
 std::optional<PacketId> SprayWaitRouter::next_transfer(const ContactContext& contact,
@@ -81,18 +95,19 @@ std::int64_t SprayWaitRouter::transfer_aux(const Packet& p, const PeerView& /*pe
 void SprayWaitRouter::on_transfer_success(const Packet& p, const PeerView& /*peer*/,
                                           ReceiveOutcome outcome, Time /*now*/) {
   if (outcome != ReceiveOutcome::kStored) return;
-  auto it = copies_.find(p.id);
-  if (it == copies_.end()) return;
-  it->second -= it->second / 2;  // keep the ceiling half
-  if (it->second < 1) it->second = 1;
+  const int current = copies_of(p.id);
+  if (current == 0) return;
+  set_copies(p.id, std::max(1, current - current / 2));  // keep the ceiling half
 }
 
 PacketId SprayWaitRouter::choose_drop_victim(const Packet& /*incoming*/, Time /*now*/) {
-  // §6.3.2: "Spray and Wait and Random deletes packets randomly."
-  const std::vector<PacketId> ids = buffer().packet_ids();
-  if (ids.empty()) return kNoPacket;
-  return ids[static_cast<std::size_t>(
-      rng().uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1))];
+  // §6.3.2: "Spray and Wait and Random deletes packets randomly." Picks
+  // straight from the buffer's packed entry list — no snapshot allocation.
+  const Span<Buffer::Entry> entries = buffer().entries();
+  if (entries.empty()) return kNoPacket;
+  return entries[static_cast<std::size_t>(
+                     rng().uniform_int(0, static_cast<std::int64_t>(entries.size()) - 1))]
+      .id;
 }
 
 RouterFactory make_spray_wait_factory(const SprayWaitConfig& config, Bytes buffer_capacity) {

@@ -6,9 +6,9 @@
 #pragma once
 
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "dtn/age_order.h"
 #include "dtn/router.h"
 
 namespace rapid {
@@ -38,13 +38,17 @@ class SprayWaitRouter : public Router {
 
  private:
   SprayWaitConfig config_;
-  std::unordered_map<PacketId, int> copies_;
+  std::vector<std::int32_t> copies_;  // flat, by packet id; 0 = not tracked
 
+  // Oldest-first candidate order maintained across contacts; per-contact
+  // plans are linear filters over it (no re-sort).
+  AgeOrder age_order_;
   std::vector<PacketId> direct_order_;
   std::size_t direct_cursor_ = 0;
   std::vector<PacketId> spray_order_;
   std::size_t spray_cursor_ = 0;
 
+  void set_copies(PacketId id, int copies);
   void build_plan(const PeerView& peer);
 };
 

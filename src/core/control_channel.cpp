@@ -2,9 +2,9 @@
 
 #include <algorithm>
 
-namespace rapid {
+#include "util/slab.h"
 
-const std::vector<NodeId> GlobalChannel::kEmpty;
+namespace rapid {
 
 const char* to_string(ControlChannelMode mode) {
   switch (mode) {
@@ -16,23 +16,24 @@ const char* to_string(ControlChannelMode mode) {
 }
 
 void GlobalChannel::add_holder(PacketId id, NodeId node) {
-  auto& v = holders_[id];
+  if (id < 0) return;
+  auto& v = grow_slot(holders_, id);
   if (std::find(v.begin(), v.end(), node) == v.end()) v.push_back(node);
 }
 
 void GlobalChannel::remove_holder(PacketId id, NodeId node) {
-  auto it = holders_.find(id);
-  if (it == holders_.end()) return;
-  auto& v = it->second;
+  if (id < 0 || static_cast<std::size_t>(id) >= holders_.size()) return;
+  auto& v = holders_[static_cast<std::size_t>(id)];
+  // Order-preserving erase (the rate sum over holders is a float reduction,
+  // so holder order is part of the observable behavior). The slab entry and
+  // its capacity stay alive: spans handed out for this packet shrink but
+  // never dangle into freed map nodes.
   v.erase(std::remove(v.begin(), v.end(), node), v.end());
-  if (v.empty()) holders_.erase(it);
 }
 
-void GlobalChannel::mark_delivered(PacketId id) { delivered_.insert(id); }
-
-const std::vector<NodeId>& GlobalChannel::holders(PacketId id) const {
-  auto it = holders_.find(id);
-  return it == holders_.end() ? kEmpty : it->second;
+void GlobalChannel::mark_delivered(PacketId id) {
+  if (id < 0) return;
+  grow_slot(delivered_, id, std::uint8_t{0}) = 1;
 }
 
 }  // namespace rapid

@@ -13,10 +13,10 @@
 //                  cost no in-band bandwidth.
 #pragma once
 
-#include <unordered_map>
-#include <unordered_set>
+#include <cstdint>
 #include <vector>
 
+#include "util/span.h"
 #include "util/types.h"
 
 namespace rapid {
@@ -27,20 +27,32 @@ const char* to_string(ControlChannelMode mode);
 
 // Shared state implementing the instant global channel. One instance is
 // shared by every RAPID router in a simulation.
+//
+// Holder sets live in a flat per-packet slab (direct-indexed by the dense
+// packet id). holders() returns a Span *by value* over the slab entry —
+// never a reference to a shared static sentinel — so an empty result cannot
+// alias a container that a later mutation repopulates. The span is valid
+// until the next mutation of that packet's holder set.
 class GlobalChannel {
  public:
   void add_holder(PacketId id, NodeId node);
   void remove_holder(PacketId id, NodeId node);
   void mark_delivered(PacketId id);
 
-  bool is_delivered(PacketId id) const { return delivered_.count(id) != 0; }
-  // Current true holder set (never stale).
-  const std::vector<NodeId>& holders(PacketId id) const;
+  bool is_delivered(PacketId id) const {
+    return id >= 0 && static_cast<std::size_t>(id) < delivered_.size() &&
+           delivered_[static_cast<std::size_t>(id)] != 0;
+  }
+  // Current true holder set (never stale), in insertion order.
+  Span<NodeId> holders(PacketId id) const {
+    if (id < 0 || static_cast<std::size_t>(id) >= holders_.size()) return {};
+    const std::vector<NodeId>& v = holders_[static_cast<std::size_t>(id)];
+    return Span<NodeId>(v.data(), v.size());
+  }
 
  private:
-  std::unordered_map<PacketId, std::vector<NodeId>> holders_;
-  std::unordered_set<PacketId> delivered_;
-  static const std::vector<NodeId> kEmpty;
+  std::vector<std::vector<NodeId>> holders_;  // slab: id -> current holders
+  std::vector<std::uint8_t> delivered_;
 };
 
 }  // namespace rapid

@@ -10,17 +10,12 @@ MeetingMatrix::MeetingMatrix(NodeId owner, int num_nodes, int max_hops)
   if (owner < 0 || owner >= num_nodes)
     throw std::invalid_argument("MeetingMatrix: owner out of range");
   if (max_hops < 1) throw std::invalid_argument("MeetingMatrix: max_hops < 1");
-  rows_.resize(static_cast<std::size_t>(num_nodes));  // rows materialize lazily
+  rows_.resize(static_cast<std::size_t>(num_nodes));  // versions materialize lazily
   stamps_.assign(static_cast<std::size_t>(num_nodes), -kTimeInfinity);
   last_met_.assign(static_cast<std::size_t>(num_nodes), 0.0);
   meet_count_.assign(static_cast<std::size_t>(num_nodes), 0);
   empty_row_.assign(static_cast<std::size_t>(num_nodes), kTimeInfinity);
-}
-
-std::vector<Time>& MeetingMatrix::materialize_row(NodeId node) {
-  auto& row = rows_[static_cast<std::size_t>(node)];
-  if (row.empty()) row.assign(static_cast<std::size_t>(num_nodes_), kTimeInfinity);
-  return row;
+  hop_rows_.resize(static_cast<std::size_t>(num_nodes));
 }
 
 void MeetingMatrix::observe_meeting(NodeId peer, Time now) {
@@ -29,12 +24,31 @@ void MeetingMatrix::observe_meeting(NodeId peer, Time now) {
   auto& count = meet_count_[static_cast<std::size_t>(peer)];
   auto& last = last_met_[static_cast<std::size_t>(peer)];
   const Time gap = now - last;  // first gap measured from time 0
-  Time& cell = materialize_row(owner_)[static_cast<std::size_t>(peer)];
+
+  // Own-row versions are immutable once gossiped: clone before editing when
+  // anyone else holds the current version (the gossiped copy stays valid
+  // wherever it travelled). A version nobody adopted yet — use_count == 1 —
+  // is still private and is edited in place, allocation-free.
+  RowPtr& slot = rows_[static_cast<std::size_t>(owner_)];
+  RowVersion* fresh;
+  if (slot != nullptr && slot.use_count() == 1) {
+    fresh = const_cast<RowVersion*>(slot.get());
+  } else {
+    auto clone = slot == nullptr ? std::make_shared<RowVersion>()
+                                 : std::make_shared<RowVersion>(*slot);
+    fresh = clone.get();
+    slot = std::move(clone);
+  }
+  if (fresh->cells.empty())
+    fresh->cells.assign(static_cast<std::size_t>(num_nodes_), kTimeInfinity);
+  Time& cell = fresh->cells[static_cast<std::size_t>(peer)];
   if (count == 0) {
+    if (cell == kTimeInfinity) fresh->finite_cols.push_back(peer);
     cell = gap;
   } else {
     cell += (gap - cell) / static_cast<double>(count + 1);
   }
+  fresh->stamp = now;
   ++count;
   last = now;
   stamps_[static_cast<std::size_t>(owner_)] = now;
@@ -48,33 +62,49 @@ bool MeetingMatrix::merge_row(NodeId node, const std::vector<Time>& row, Time st
   if (row.size() != static_cast<std::size_t>(num_nodes_))
     throw std::invalid_argument("MeetingMatrix::merge_row: row size mismatch");
   if (stamp <= stamps_[static_cast<std::size_t>(node)]) return false;
-  rows_[static_cast<std::size_t>(node)] = row;
+  auto version = std::make_shared<RowVersion>();
+  version->cells = row;
+  for (NodeId v = 0; v < num_nodes_; ++v)
+    if (row[static_cast<std::size_t>(v)] != kTimeInfinity) version->finite_cols.push_back(v);
+  version->stamp = stamp;
+  rows_[static_cast<std::size_t>(node)] = std::move(version);
   stamps_[static_cast<std::size_t>(node)] = stamp;
   ++generation_;
   return true;
 }
 
+bool MeetingMatrix::merge_row(NodeId node, const RowPtr& version) {
+  if (node < 0 || node >= num_nodes_)
+    throw std::invalid_argument("MeetingMatrix::merge_row: bad node");
+  if (node == owner_ || version == nullptr) return false;
+  if (version->stamp <= stamps_[static_cast<std::size_t>(node)]) return false;
+  rows_[static_cast<std::size_t>(node)] = version;
+  stamps_[static_cast<std::size_t>(node)] = version->stamp;
+  ++generation_;
+  return true;
+}
+
 const std::vector<Time>& MeetingMatrix::own_row() const {
-  const auto& row = rows_[static_cast<std::size_t>(owner_)];
-  return row.empty() ? empty_row_ : row;
+  const RowPtr& v = rows_[static_cast<std::size_t>(owner_)];
+  return v == nullptr ? empty_row_ : v->cells;
 }
 
 const std::vector<Time>& MeetingMatrix::row(NodeId node) const {
   if (node < 0 || node >= num_nodes_)
     throw std::invalid_argument("MeetingMatrix::row: bad node");
-  const auto& row = rows_[static_cast<std::size_t>(node)];
-  return row.empty() ? empty_row_ : row;
+  const RowPtr& v = rows_[static_cast<std::size_t>(node)];
+  return v == nullptr ? empty_row_ : v->cells;
 }
 
 Time MeetingMatrix::direct_mean(NodeId from, NodeId to) const {
   if (from == to) return 0;
-  const auto& row = rows_[static_cast<std::size_t>(from)];
-  if (row.empty()) return kTimeInfinity;
-  return row[static_cast<std::size_t>(to)];
+  const RowPtr& v = rows_[static_cast<std::size_t>(from)];
+  if (v == nullptr) return kTimeInfinity;
+  return v->cells[static_cast<std::size_t>(to)];
 }
 
 const std::vector<Time>& MeetingMatrix::hop_row(NodeId from) const {
-  HopRow& cached = hop_rows_[from];
+  HopRow& cached = hop_rows_[static_cast<std::size_t>(from)];
   if (!cached.dist.empty() && cached.generation == generation_) return cached.dist;
 
   // Single-source relaxation: after round r, dist[v] is the cheapest sum of
@@ -91,14 +121,13 @@ const std::vector<Time>& MeetingMatrix::hop_row(NodeId from) const {
     for (std::size_t mid = 0; mid < n; ++mid) {
       const Time head = dist[mid];
       if (head == kTimeInfinity) continue;
-      const auto& mid_row = rows_[mid];
-      if (mid_row.empty()) continue;
-      for (std::size_t v = 0; v < n; ++v) {
-        const Time leg = mid_row[v];
-        if (leg == kTimeInfinity) continue;
-        const Time candidate = head + leg;
-        if (candidate < next[v]) {
-          next[v] = candidate;
+      const RowPtr& mid_version = rows_[mid];
+      if (mid_version == nullptr) continue;
+      // Walk only the finite columns (rows are sparse in large fleets).
+      for (const NodeId v : mid_version->finite_cols) {
+        const Time candidate = head + mid_version->cells[static_cast<std::size_t>(v)];
+        if (candidate < next[static_cast<std::size_t>(v)]) {
+          next[static_cast<std::size_t>(v)] = candidate;
           changed = true;
         }
       }

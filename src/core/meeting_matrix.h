@@ -13,16 +13,19 @@
 // layer (core/utility.h) turns into a zero marginal via the delay cap.
 //
 // Storage and recomputation are incremental, sized for 500+ node fleets:
-// rows are allocated lazily (a node a fleet this size has never heard about
-// costs nothing), h-hop estimates are computed per *source* on demand
-// (O(h·n²) single-source relaxation instead of the O(h·n³) all-pairs pass)
-// and memoized until the matrix changes, and every mutation bumps a
-// generation counter that the utility cache (core/utility_cache.h) keys its
-// delay estimates on.
+// a row version is an immutable snapshot (cells + precomputed finite-column
+// list + stamp) shared between every node that learnt it, so gossiping a
+// row is one pointer assignment instead of an n-cell copy, the wire-size
+// accounting reads the finite count in O(1), and the h-hop relaxation walks
+// only finite columns. h-hop estimates are computed per *source* on demand
+// (O(h·n·k) single-source relaxation over k finite entries per row) and
+// memoized until the matrix changes; every mutation bumps a generation
+// counter that the utility cache (core/utility_cache.h) keys its delay
+// estimates on.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "util/types.h"
@@ -38,6 +41,16 @@ namespace rapid {
 // caches but never change what any query returns).
 class MeetingMatrix {
  public:
+  // An immutable learnt row: cells, the column indexes of its finite
+  // entries, and the freshness stamp. Shared (never mutated) between every
+  // matrix that learnt this version.
+  struct RowVersion {
+    std::vector<Time> cells;
+    std::vector<NodeId> finite_cols;
+    Time stamp = -kTimeInfinity;
+  };
+  using RowPtr = std::shared_ptr<const RowVersion>;
+
   // `owner` is the node whose local view this is; `num_nodes` sizes the table.
   MeetingMatrix(NodeId owner, int num_nodes, int max_hops = 3);
 
@@ -46,12 +59,22 @@ class MeetingMatrix {
 
   // Record a direct meeting between the owner and `peer` at `now`. The
   // running mean of inter-meeting gaps is the row entry; the first gap is
-  // measured from time 0, as the testbed implementation does.
+  // measured from time 0, as the testbed implementation does. Produces a
+  // fresh own-row version (the previous one stays valid wherever it was
+  // gossiped to).
   void observe_meeting(NodeId peer, Time now);
 
   // Merge another node's row (from metadata). Rows are versioned by `stamp`;
   // stale rows are ignored. Returns true if the row was accepted.
   bool merge_row(NodeId node, const std::vector<Time>& row, Time stamp);
+  // Zero-copy variant for same-process gossip: adopts the shared version
+  // (cells, finite columns and stamp travel as one pointer).
+  bool merge_row(NodeId node, const RowPtr& version);
+  // The learnt version of `node`'s row, for zero-copy gossip; null when
+  // nothing was learnt yet.
+  const RowPtr& share_row(NodeId node) const {
+    return rows_[static_cast<std::size_t>(node)];
+  }
 
   // The owner's own averaged row and its freshness stamp.
   const std::vector<Time>& own_row() const;
@@ -68,6 +91,13 @@ class MeetingMatrix {
   // Number of finite entries in the owner's own row (how many peers it met).
   int peers_met() const;
 
+  // Number of finite entries in `node`'s row as most recently learnt; O(1)
+  // (precomputed per row version), feeding the metadata wire-size accounting.
+  int finite_count(NodeId node) const {
+    const RowPtr& v = rows_[static_cast<std::size_t>(node)];
+    return v == nullptr ? 0 : static_cast<int>(v->finite_cols.size());
+  }
+
   // Bumped on every accepted mutation (observe_meeting, accepted merge_row);
   // the utility cache keys meeting-time-dependent estimates on this.
   std::uint64_t generation() const { return generation_; }
@@ -76,9 +106,9 @@ class MeetingMatrix {
   NodeId owner_;
   int num_nodes_;
   int max_hops_;
-  // rows_[u][v] = u's averaged time to meet v, as most recently learnt.
-  // Empty vector = nothing learnt about u yet (treated as all-infinity).
-  std::vector<std::vector<Time>> rows_;
+  // rows_[u] = u's averaged-meeting-time row, as most recently learnt.
+  // Null = nothing learnt about u yet (treated as all-infinity).
+  std::vector<RowPtr> rows_;
   std::vector<Time> stamps_;
   std::vector<Time> last_met_;   // owner's last direct meeting time per peer
   std::vector<int> meet_count_;  // owner's direct meeting counts
@@ -86,14 +116,14 @@ class MeetingMatrix {
   std::uint64_t generation_ = 0;
 
   // Memoized single-source h-hop distances, recomputed lazily per source
-  // when the generation they were computed at goes stale.
+  // when the generation they were computed at goes stale. Direct-indexed by
+  // source (an empty dist = never queried).
   struct HopRow {
     std::uint64_t generation = 0;
     std::vector<Time> dist;
   };
-  mutable std::unordered_map<NodeId, HopRow> hop_rows_;
+  mutable std::vector<HopRow> hop_rows_;
 
-  std::vector<Time>& materialize_row(NodeId node);
   const std::vector<Time>& hop_row(NodeId from) const;
 };
 

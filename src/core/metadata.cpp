@@ -1,13 +1,27 @@
 #include "core/metadata.h"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "util/slab.h"
 
 namespace rapid {
 
 const std::vector<ReplicaEstimate> MetadataStore::kEmpty;
 
+PacketMetadata& MetadataStore::materialize(PacketId id) {
+  if (id < 0) throw std::invalid_argument("MetadataStore: negative packet id");
+  std::int32_t& pos = grow_slot(pos_, id, std::int32_t{-1});
+  if (pos < 0) {
+    pos = static_cast<std::int32_t>(occupied_.size());
+    occupied_.push_back(id);
+    records_.emplace_back();
+  }
+  return records_[static_cast<std::size_t>(pos)];
+}
+
 bool MetadataStore::update_replica(PacketId id, const ReplicaEstimate& estimate) {
-  PacketMetadata& meta = by_packet_[id];
+  PacketMetadata& meta = materialize(id);
   for (ReplicaEstimate& existing : meta.replicas) {
     if (existing.holder == estimate.holder) {
       if (estimate.stamp <= existing.stamp) return false;
@@ -24,44 +38,48 @@ bool MetadataStore::update_replica(PacketId id, const ReplicaEstimate& estimate)
 }
 
 bool MetadataStore::remove_replica(PacketId id, NodeId holder, Time stamp) {
-  auto it = by_packet_.find(id);
-  if (it == by_packet_.end()) return false;
-  auto& replicas = it->second.replicas;
+  if (!knows(id)) return false;
+  PacketMetadata& meta = records_[record_index(id)];
+  auto& replicas = meta.replicas;
   for (std::size_t i = 0; i < replicas.size(); ++i) {
     if (replicas[i].holder == holder) {
       if (stamp <= replicas[i].stamp) return false;  // we have fresher info
       replicas.erase(replicas.begin() + static_cast<std::ptrdiff_t>(i));
-      it->second.last_changed = std::max(it->second.last_changed, stamp);
-      it->second.generation = ++next_generation_;
+      meta.last_changed = std::max(meta.last_changed, stamp);
+      meta.generation = ++next_generation_;
       return true;
     }
   }
   return false;
 }
 
-void MetadataStore::forget_packet(PacketId id) { by_packet_.erase(id); }
-
-std::uint64_t MetadataStore::generation(PacketId id) const {
-  auto it = by_packet_.find(id);
-  return it == by_packet_.end() ? 0 : it->second.generation;
+void MetadataStore::forget_packet(PacketId id) {
+  if (!knows(id)) return;
+  const auto idx = static_cast<std::size_t>(id);
+  const auto at = static_cast<std::size_t>(pos_[idx]);
+  const std::size_t last = occupied_.size() - 1;
+  if (at != last) {
+    occupied_[at] = occupied_[last];
+    records_[at] = std::move(records_[last]);
+    pos_[static_cast<std::size_t>(occupied_[at])] = static_cast<std::int32_t>(at);
+  }
+  occupied_.pop_back();
+  records_.pop_back();
+  pos_[idx] = -1;
 }
 
-const PacketMetadata* MetadataStore::find(PacketId id) const {
-  auto it = by_packet_.find(id);
-  return it == by_packet_.end() ? nullptr : &it->second;
-}
-
-const std::vector<ReplicaEstimate>& MetadataStore::replicas(PacketId id) const {
-  auto it = by_packet_.find(id);
-  return it == by_packet_.end() ? kEmpty : it->second.replicas;
+void MetadataStore::changed_since(
+    Time since, std::vector<std::pair<PacketId, const PacketMetadata*>>& out) const {
+  out.clear();
+  for (std::size_t i = 0; i < occupied_.size(); ++i) {
+    if (records_[i].last_changed > since) out.emplace_back(occupied_[i], &records_[i]);
+  }
 }
 
 std::vector<std::pair<PacketId, const PacketMetadata*>> MetadataStore::changed_since(
     Time since) const {
   std::vector<std::pair<PacketId, const PacketMetadata*>> out;
-  for (const auto& [id, meta] : by_packet_) {
-    if (meta.last_changed > since) out.emplace_back(id, &meta);
-  }
+  changed_since(since, out);
   return out;
 }
 

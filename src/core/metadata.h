@@ -6,11 +6,17 @@
 // Entries are versioned with timestamps so exchanges are delta-encoded: a
 // node only sends records that changed since its last exchange with that
 // peer, "which reduces the size of the exchange considerably."
+//
+// Storage is flat: packet ids are dense pool indexes, so membership is a
+// direct-indexed position table (no hash buckets) into a packed record
+// vector kept parallel to a compact occupied-id list — the delta-exchange
+// walk and replica-rate scans run linear over contiguous memory, and only
+// known packets ever carry a record.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "util/types.h"
@@ -49,6 +55,11 @@ inline constexpr Bytes kScalarBytes = 8;  // e.g. average transfer size
 // entries: everything present arrived via update_replica.
 class MetadataStore {
  public:
+  // Pre-sizes the id index for an experiment whose packet population is
+  // known up front (the pool is fully generated before the simulation
+  // starts).
+  void reserve_packets(std::size_t n) { pos_.reserve(n); }
+
   // Record (or refresh) a replica estimate; keeps the newest stamp per
   // (packet, holder). Returns true if anything changed.
   bool update_replica(PacketId id, const ReplicaEstimate& estimate);
@@ -57,19 +68,33 @@ class MetadataStore {
   // Forget the packet entirely (it was acknowledged as delivered).
   void forget_packet(PacketId id);
 
-  bool knows(PacketId id) const { return by_packet_.count(id) != 0; }
-  const PacketMetadata* find(PacketId id) const;
+  bool knows(PacketId id) const {
+    return id >= 0 && static_cast<std::size_t>(id) < pos_.size() &&
+           pos_[static_cast<std::size_t>(id)] >= 0;
+  }
+  // Pointer into the packed record vector; invalidated by the next
+  // update/forget of *any* packet (records are packed, not pinned).
+  const PacketMetadata* find(PacketId id) const {
+    return knows(id) ? &records_[record_index(id)] : nullptr;
+  }
   // Believed replicas of a packet (possibly stale — that is the point).
-  const std::vector<ReplicaEstimate>& replicas(PacketId id) const;
-  std::size_t packet_count() const { return by_packet_.size(); }
+  const std::vector<ReplicaEstimate>& replicas(PacketId id) const {
+    return knows(id) ? records_[record_index(id)].replicas : kEmpty;
+  }
+  std::size_t packet_count() const { return occupied_.size(); }
 
   // The packet record's current version: 0 when the packet is unknown,
   // otherwise a value that changes on every accepted update/removal and is
   // never reused by this store. Dirty-tracking key for cached rate sums.
-  std::uint64_t generation(PacketId id) const;
+  std::uint64_t generation(PacketId id) const {
+    return knows(id) ? records_[record_index(id)].generation : 0;
+  }
 
-  // Records changed since `since`, as (packet, metadata) pairs; used for the
-  // delta exchange. Order is unspecified.
+  // Records changed since `since`, appended to `out` (cleared first) as
+  // (packet, metadata) pairs; used for the delta exchange with a reusable
+  // scratch vector. Order is unspecified.
+  void changed_since(Time since, std::vector<std::pair<PacketId, const PacketMetadata*>>& out) const;
+  // Allocating convenience wrapper (tests, API boundaries).
   std::vector<std::pair<PacketId, const PacketMetadata*>> changed_since(Time since) const;
 
   // Wire size of one record.
@@ -77,11 +102,22 @@ class MetadataStore {
 
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& [id, meta] : by_packet_) fn(id, meta);
+    for (std::size_t i = 0; i < occupied_.size(); ++i) fn(occupied_[i], records_[i]);
   }
 
  private:
-  std::unordered_map<PacketId, PacketMetadata> by_packet_;
+  std::size_t record_index(PacketId id) const {
+    return static_cast<std::size_t>(pos_[static_cast<std::size_t>(id)]);
+  }
+  // Ensures a record exists and is marked occupied; returns it.
+  PacketMetadata& materialize(PacketId id);
+
+  // Packed live records; records_[k] belongs to packet occupied_[k]. Only
+  // known packets carry a record, so the store never zero-initializes a
+  // slot-per-packet-per-node slab.
+  std::vector<PacketMetadata> records_;
+  std::vector<PacketId> occupied_;
+  std::vector<std::int32_t> pos_;  // id -> index into records_/occupied_, -1 = absent
   std::uint64_t next_generation_ = 0;
   static const std::vector<ReplicaEstimate> kEmpty;
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/delay_estimator.h"
+#include "util/slab.h"
 
 namespace rapid {
 
@@ -13,9 +14,14 @@ RapidRouter::RapidRouter(NodeId self, Bytes buffer_capacity, const SimContext* c
       config_(config),
       matrix_(self, ctx->num_nodes, config.max_hops),
       global_(std::move(global)),
+      last_sync_(static_cast<std::size_t>(ctx->num_nodes), -kTimeInfinity),
+      per_peer_opportunity_(static_cast<std::size_t>(ctx->num_nodes)),
       cache_(ctx->num_nodes) {
   if (config_.control == ControlChannelMode::kGlobalOracle && global_ == nullptr)
     throw std::invalid_argument("RapidRouter: global-oracle mode needs a GlobalChannel");
+  // The workload pool is fully generated before the simulation starts, so
+  // the per-packet slabs can be sized once instead of growing in churn.
+  if (ctx->pool != nullptr) meta_.reserve_packets(ctx->pool->size());
 }
 
 // --- queue maintenance -------------------------------------------------------
@@ -38,9 +44,9 @@ double RapidRouter::effective_meeting_time(NodeId node) const {
 }
 
 Bytes RapidRouter::expected_opportunity(NodeId peer) const {
-  auto it = per_peer_opportunity_.find(peer);
-  if (it != per_peer_opportunity_.end() && !it->second.empty())
-    return std::max<Bytes>(1, static_cast<Bytes>(it->second.value()));
+  const auto idx = static_cast<std::size_t>(peer);
+  if (idx < per_peer_opportunity_.size() && !per_peer_opportunity_[idx].empty())
+    return std::max<Bytes>(1, static_cast<Bytes>(per_peer_opportunity_[idx].value()));
   if (!avg_opportunity_.empty())
     return std::max<Bytes>(1, static_cast<Bytes>(avg_opportunity_.value()));
   return config_.prior_opportunity_bytes;
@@ -196,16 +202,17 @@ void RapidRouter::observe_opportunity(Bytes capacity, NodeId peer, Time now) {
   // folding zeros into B would wildly inflate the meeting counts of Alg. 2.
   if (capacity <= 0) return;
   avg_opportunity_.add(static_cast<double>(capacity));
-  per_peer_opportunity_[peer].add(static_cast<double>(capacity));
+  grow_slot(per_peer_opportunity_, peer).add(static_cast<double>(capacity));
 }
 
-void RapidRouter::broadcast_own_row(Time now) {
+void RapidRouter::broadcast_own_row(Time /*now*/) {
   const RouterOracle& oracle = *ctx().oracle;
+  const MeetingMatrix::RowPtr& own = matrix_.share_row(self());
   for (NodeId n = 0; n < oracle.size(); ++n) {
     Router* r = oracle.at(n);
     if (r == nullptr || r == this) continue;
     if (auto* rr = dynamic_cast<RapidRouter*>(r))
-      rr->matrix_.merge_row(self(), matrix_.own_row(), now);
+      rr->matrix_.merge_row(self(), own);  // zero-copy: adopt the shared version
   }
 }
 
@@ -226,7 +233,7 @@ Bytes RapidRouter::exchange_metadata(RapidRouter& peer, Time now, Bytes budget) 
   Bytes used = 0;
   const auto fits = [&](Bytes cost) { return used + cost <= budget; };
   const auto finish = [&]() -> Bytes {
-    last_sync_[peer.self()] = now;
+    last_sync_[static_cast<std::size_t>(peer.self())] = now;
     return used;
   };
 
@@ -234,31 +241,31 @@ Bytes RapidRouter::exchange_metadata(RapidRouter& peer, Time now, Bytes budget) 
   if (fits(kScalarBytes)) used += kScalarBytes;
 
   // Priority 2: delivery acknowledgments (delta: only those the peer lacks).
-  for (const auto& [id, when] : acks()) {
-    if (peer.knows_ack(id)) continue;
+  // The packed ack table is walked in place; learning into the peer never
+  // perturbs our own entries.
+  for (const AckTable::Entry& e : acks().entries()) {
+    if (peer.knows_ack(e.id)) continue;
     if (!fits(kAckEntryBytes)) break;
     used += kAckEntryBytes;
-    peer.learn_ack(id, when);
+    peer.learn_ack(e.id, e.when);
   }
 
   // Priority 3: meeting-time rows changed since the last exchange with this
-  // peer (own observations and relayed rows alike).
-  const Time since = [&] {
-    auto it = last_sync_.find(peer.self());
-    return it == last_sync_.end() ? -kTimeInfinity : it->second;
-  }();
+  // peer (own observations and relayed rows alike). The wire size reads the
+  // matrix's incrementally maintained finite-entry count instead of
+  // re-scanning the row.
+  const Time since = last_sync_[static_cast<std::size_t>(peer.self())];
   for (NodeId u = 0; u < matrix_.num_nodes(); ++u) {
     if (u == peer.self()) continue;
     const Time stamp = matrix_.row_stamp(u);
     if (stamp <= since) continue;
-    const auto& row = matrix_.row(u);
-    Bytes finite = 0;
-    for (Time t : row)
-      if (t != kTimeInfinity) ++finite;
-    const Bytes cost = kMeetingRowHeaderBytes + kMeetingRowEntryBytes * finite;
+    const Bytes cost = kMeetingRowHeaderBytes +
+                       kMeetingRowEntryBytes * static_cast<Bytes>(matrix_.finite_count(u));
     if (!fits(cost)) break;
     used += cost;
-    peer.matrix_.merge_row(u, row, stamp);
+    // Same-process gossip adopts the shared immutable row version: one
+    // pointer assignment, no n-cell copy.
+    peer.matrix_.merge_row(u, matrix_.share_row(u));
   }
 
   // Priorities 4 and 5: fresh estimates for our own buffered packets and
@@ -293,9 +300,12 @@ Bytes RapidRouter::exchange_metadata(RapidRouter& peer, Time now, Bytes budget) 
   if (exhausted) return finish();
 
   // Then relayed records ("information about other packets if modified
-  // since last exchange with the peer"), freshest change first.
+  // since last exchange with the peer"), freshest change first. The walk
+  // fills the simulation-owned scratch arena, so steady-state contacts
+  // allocate nothing.
   if (config_.control == ControlChannelMode::kInBand) {
-    auto changed = meta_.changed_since(since);
+    auto& changed = arena().changed;
+    meta_.changed_since(since, changed);
     std::stable_sort(changed.begin(), changed.end(), [](const auto& a, const auto& b) {
       return a.second->last_changed > b.second->last_changed;
     });
@@ -353,7 +363,8 @@ void RapidRouter::build_contact_plan(const ContactContext& contact, const PeerVi
   // the utility caches, so only packets whose inputs changed since the last
   // evaluation are recomputed.
   replication_order_.reserve(buffer().count());
-  std::vector<Candidate> fallback;
+  std::vector<Candidate>& fallback = fallback_scratch_;
+  fallback.clear();
   buffer().for_each([&](PacketId id, Bytes /*size*/) {
     const Packet& p = ctx().packet(id);
     if (p.dst == peer.self()) return;  // handled by direct delivery

@@ -28,7 +28,6 @@
 
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/control_channel.h"
@@ -129,9 +128,9 @@ class RapidRouter : public Router {
   MeetingMatrix matrix_;
   MetadataStore meta_;
   std::shared_ptr<GlobalChannel> global_;
-  std::unordered_map<NodeId, Time> last_sync_;
-  MovingAverage avg_opportunity_;                         // all peers
-  std::unordered_map<NodeId, MovingAverage> per_peer_opportunity_;
+  std::vector<Time> last_sync_;  // per peer; -inf = never synced
+  MovingAverage avg_opportunity_;                  // all peers
+  std::vector<MovingAverage> per_peer_opportunity_;  // flat, indexed by peer
 
   // Incremental utility engine: owns the flat per-destination queues
   // ((created, id, size) ascending by age rank — front is oldest, i.e.
@@ -149,6 +148,7 @@ class RapidRouter : public Router {
   std::size_t direct_cursor_ = 0;
   std::vector<Candidate> replication_order_;
   std::size_t replication_cursor_ = 0;
+  std::vector<Candidate> fallback_scratch_;  // reused across plan builds
 
   void queue_insert(const Packet& p);
   void queue_erase(const Packet& p);

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "util/slab.h"
+
 namespace rapid {
 
 namespace {
@@ -12,15 +14,6 @@ std::atomic<std::uint64_t> g_delay_hits{0};
 std::atomic<std::uint64_t> g_delay_recomputes{0};
 std::atomic<std::uint64_t> g_rate_hits{0};
 std::atomic<std::uint64_t> g_rate_recomputes{0};
-
-// splitmix64 finalizer: PacketIds are sequential, so the index needs real
-// avalanche to avoid clustering under linear probing.
-std::uint64_t mix(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
 
 }  // namespace
 
@@ -43,7 +36,6 @@ void reset_utility_cache_global_stats() {
 UtilityCache::UtilityCache(int num_nodes) {
   if (num_nodes < 0) throw std::invalid_argument("UtilityCache: negative num_nodes");
   queues_.resize(static_cast<std::size_t>(num_nodes));
-  index_.assign(64, kEmptySlot);
 }
 
 UtilityCache::~UtilityCache() {
@@ -102,84 +94,31 @@ Bytes UtilityCache::queue_bytes_before(NodeId dst, const QueueEntry& e) const {
   return total;
 }
 
-// --- open-addressing packet index ---------------------------------------------
-
-std::size_t UtilityCache::probe_start(PacketId id) const {
-  return static_cast<std::size_t>(mix(static_cast<std::uint64_t>(id))) & (index_.size() - 1);
-}
-
-const UtilityCache::Entry* UtilityCache::find_entry(PacketId id) const {
-  const std::size_t mask = index_.size() - 1;
-  for (std::size_t h = probe_start(id);; h = (h + 1) & mask) {
-    const std::int32_t slot = index_[h];
-    if (slot == kEmptySlot) return nullptr;
-    if (slot == kTombstone) continue;
-    if (entries_[static_cast<std::size_t>(slot)].id == id)
-      return &entries_[static_cast<std::size_t>(slot)];
-  }
-}
-
-void UtilityCache::rehash(std::size_t min_capacity) {
-  std::size_t capacity = 64;
-  while (capacity < min_capacity) capacity *= 2;
-  index_.assign(capacity, kEmptySlot);
-  index_used_ = entries_.size();
-  const std::size_t mask = capacity - 1;
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    std::size_t h = probe_start(entries_[i].id);
-    while (index_[h] != kEmptySlot) h = (h + 1) & mask;
-    index_[h] = static_cast<std::int32_t>(i);
-  }
-}
+// --- direct packet index ------------------------------------------------------
 
 UtilityCache::Entry& UtilityCache::entry_for(PacketId id) {
-  // Keep load (live + tombstones) under ~70% so probe chains stay short.
-  if ((index_used_ + 1) * 10 >= index_.size() * 7) rehash(entries_.size() * 4 + 64);
-  const std::size_t mask = index_.size() - 1;
-  std::size_t first_tombstone = index_.size();
-  for (std::size_t h = probe_start(id);; h = (h + 1) & mask) {
-    const std::int32_t slot = index_[h];
-    if (slot == kTombstone) {
-      if (first_tombstone == index_.size()) first_tombstone = h;
-      continue;
-    }
-    if (slot == kEmptySlot) {
-      entries_.emplace_back();
-      entries_.back().id = id;
-      const auto target = first_tombstone != index_.size() ? first_tombstone : h;
-      if (target == h) ++index_used_;  // reusing a tombstone keeps the load flat
-      index_[target] = static_cast<std::int32_t>(entries_.size() - 1);
-      return entries_.back();
-    }
-    if (entries_[static_cast<std::size_t>(slot)].id == id)
-      return entries_[static_cast<std::size_t>(slot)];
-  }
+  if (id < 0) throw std::invalid_argument("UtilityCache: negative packet id");
+  std::int32_t& slot = grow_slot(index_, id, kEmptySlot);
+  if (slot >= 0) return entries_[static_cast<std::size_t>(slot)];
+  entries_.emplace_back();
+  entries_.back().id = id;
+  slot = static_cast<std::int32_t>(entries_.size() - 1);
+  return entries_.back();
 }
 
 void UtilityCache::forget(PacketId id) {
-  const std::size_t mask = index_.size() - 1;
-  for (std::size_t h = probe_start(id);; h = (h + 1) & mask) {
-    const std::int32_t slot = index_[h];
-    if (slot == kEmptySlot) return;
-    if (slot == kTombstone) continue;
-    const auto i = static_cast<std::size_t>(slot);
-    if (entries_[i].id != id) continue;
-    index_[h] = kTombstone;
-    // Swap-remove from the packed vector and repoint the moved entry's slot.
-    const std::size_t last = entries_.size() - 1;
-    if (i != last) {
-      entries_[i] = entries_[last];
-      for (std::size_t g = probe_start(entries_[i].id);; g = (g + 1) & mask) {
-        const std::int32_t s = index_[g];
-        if (s == static_cast<std::int32_t>(last)) {
-          index_[g] = static_cast<std::int32_t>(i);
-          break;
-        }
-      }
-    }
-    entries_.pop_back();
-    return;
+  if (id < 0 || static_cast<std::size_t>(id) >= index_.size()) return;
+  const std::int32_t slot = index_[static_cast<std::size_t>(id)];
+  if (slot < 0) return;
+  index_[static_cast<std::size_t>(id)] = kEmptySlot;
+  // Swap-remove from the packed vector and repoint the moved entry's slot.
+  const auto i = static_cast<std::size_t>(slot);
+  const std::size_t last = entries_.size() - 1;
+  if (i != last) {
+    entries_[i] = entries_[last];
+    index_[static_cast<std::size_t>(entries_[i].id)] = static_cast<std::int32_t>(i);
   }
+  entries_.pop_back();
 }
 
 }  // namespace rapid

@@ -17,7 +17,7 @@
 //    Algorithm 2 is O(log n) for the uniform-size workloads of Table 4.
 //  * Per-packet direct-delay estimates (d_j of Algorithm 2) and replica-rate
 //    sums (sum_j 1/d_j of Eqs. 7-9) are memoized in a packed entry vector
-//    reached through an open-addressing PacketId index, each value keyed by
+//    reached through a direct slot-by-PacketId index, each value keyed by
 //    the inputs that produced it: the queue-prefix bytes, opportunity
 //    average and meeting-time estimate by value (cheap to read back), the
 //    per-packet metadata record by generation (MetadataStore::generation),
@@ -235,20 +235,21 @@ class UtilityCache {
     bool rate_in_buffer = false;
   };
 
-  // Open-addressing index (linear probing, power-of-two capacity, tombstone
-  // deletion) from PacketId to a slot in the packed entry vector.
+  // Direct index from the dense PacketId space to a slot in the packed
+  // entry vector: one flat load per lookup, no probing, no tombstones
+  // (replaced the open-addressing index this cache started with).
   static constexpr std::int32_t kEmptySlot = -1;
-  static constexpr std::int32_t kTombstone = -2;
 
-  const Entry* find_entry(PacketId id) const;
+  const Entry* find_entry(PacketId id) const {
+    if (id < 0 || static_cast<std::size_t>(id) >= index_.size()) return nullptr;
+    const std::int32_t slot = index_[static_cast<std::size_t>(id)];
+    return slot >= 0 ? &entries_[static_cast<std::size_t>(slot)] : nullptr;
+  }
   Entry& entry_for(PacketId id);  // find-or-insert; may grow entries_
-  void rehash(std::size_t min_capacity);
-  std::size_t probe_start(PacketId id) const;
 
   std::vector<DestQueue> queues_;
   std::vector<Entry> entries_;       // packed; order is unspecified
-  std::vector<std::int32_t> index_;  // open-addressing PacketId -> entry slot
-  std::size_t index_used_ = 0;       // live + tombstoned slots
+  std::vector<std::int32_t> index_;  // PacketId -> entry slot, -1 = absent
   UtilityCacheStats stats_;
 };
 

@@ -3,22 +3,32 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/slab.h"
+
 namespace rapid {
 
 bool Buffer::insert(PacketId id, Bytes size) {
   if (size < 0) throw std::invalid_argument("Buffer::insert: negative size");
+  if (id < 0) throw std::invalid_argument("Buffer::insert: negative id");
   if (contains(id)) return false;
   if (!fits(size)) return false;
-  sizes_.emplace(id, size);
+  grow_slot(slot_, id, std::int32_t{-1}) = static_cast<std::int32_t>(entries_.size());
+  entries_.push_back(Entry{id, size});
   used_ += size;
   return true;
 }
 
 bool Buffer::erase(PacketId id) {
-  auto it = sizes_.find(id);
-  if (it == sizes_.end()) return false;
-  used_ -= it->second;
-  sizes_.erase(it);
+  if (!contains(id)) return false;
+  const auto pos = static_cast<std::size_t>(slot_[static_cast<std::size_t>(id)]);
+  used_ -= entries_[pos].size;
+  slot_[static_cast<std::size_t>(id)] = -1;
+  const std::size_t last = entries_.size() - 1;
+  if (pos != last) {
+    entries_[pos] = entries_[last];
+    slot_[static_cast<std::size_t>(entries_[pos].id)] = static_cast<std::int32_t>(pos);
+  }
+  entries_.pop_back();
   return true;
 }
 
@@ -28,15 +38,14 @@ Bytes Buffer::free_bytes() const {
 }
 
 Bytes Buffer::size_of(PacketId id) const {
-  auto it = sizes_.find(id);
-  if (it == sizes_.end()) throw std::out_of_range("Buffer::size_of: not buffered");
-  return it->second;
+  if (!contains(id)) throw std::out_of_range("Buffer::size_of: not buffered");
+  return entries_[static_cast<std::size_t>(slot_[static_cast<std::size_t>(id)])].size;
 }
 
 std::vector<PacketId> Buffer::packet_ids() const {
   std::vector<PacketId> out;
-  out.reserve(sizes_.size());
-  for (const auto& [id, size] : sizes_) out.push_back(id);
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.id);
   return out;
 }
 

@@ -3,6 +3,7 @@
 // used by the "maximize packets delivered within a deadline" metric.
 #pragma once
 
+#include <cassert>
 #include <stdexcept>
 #include <vector>
 
@@ -36,6 +37,15 @@ class PacketPool {
   const Packet& get(PacketId id) const {
     if (id < 0 || static_cast<std::size_t>(id) >= packets_.size())
       throw std::out_of_range("PacketPool::get: bad id");
+    return packets_[static_cast<std::size_t>(id)];
+  }
+
+  // Unchecked lookup for router/cache hot loops: ids there come from the
+  // pool itself (buffer entries, queue entries, ack tables), so the bounds
+  // check is pure overhead. Asserts in debug builds; API boundaries that
+  // accept ids from outside keep using the checked get().
+  const Packet& get_unchecked(PacketId id) const {
+    assert(id >= 0 && static_cast<std::size_t>(id) < packets_.size());
     return packets_[static_cast<std::size_t>(id)];
   }
 

@@ -1,6 +1,7 @@
 #include "dtn/router.h"
 
 #include "dtn/metrics.h"
+#include "util/slab.h"
 
 namespace rapid {
 
@@ -8,7 +9,20 @@ Router::Router(NodeId self, Bytes buffer_capacity, const SimContext* ctx)
     : self_(self),
       buffer_(buffer_capacity),
       ctx_(ctx),
-      rng_(0x5eedULL + static_cast<std::uint64_t>(self) * 0x9e3779b97f4a7c15ULL) {}
+      rng_(0x5eedULL + static_cast<std::uint64_t>(self) * 0x9e3779b97f4a7c15ULL) {
+  // The pool is fully generated before the simulation starts; sizing the
+  // per-packet tables once avoids growth churn on the contact path.
+  if (ctx_ != nullptr && ctx_->pool != nullptr && ctx_->pool->size() > 0) {
+    received_.resize(ctx_->pool->size(), 0);
+    skip_marks_.resize(ctx_->pool->size());
+  }
+}
+
+ScratchArena& Router::arena() const {
+  if (ctx_ != nullptr && ctx_->arena != nullptr) return *ctx_->arena;
+  if (own_arena_ == nullptr) own_arena_ = std::make_unique<ScratchArena>();
+  return *own_arena_;
+}
 
 bool Router::on_generate(const Packet& p) {
   if (p.dst == self_) return false;  // degenerate; workload never produces this
@@ -18,7 +32,10 @@ bool Router::on_generate(const Packet& p) {
 void Router::observe_opportunity(Bytes /*capacity*/, NodeId /*peer*/, Time /*now*/) {}
 
 Bytes Router::contact_begin(const PeerView& peer, Time /*now*/, Bytes /*meta_budget*/) {
-  skip_[peer.self()].clear();
+  // Epoch bump = O(1) clear of this peer's skip marks.
+  const auto idx = static_cast<std::size_t>(peer.self());
+  if (idx >= peer_epoch_.size()) peer_epoch_.resize(idx + 1, 0);
+  peer_epoch_[idx] = ++epoch_counter_;
   invalidate_plan();
   return 0;
 }
@@ -27,13 +44,14 @@ void Router::on_transfer_success(const Packet& /*p*/, const PeerView& /*peer*/,
                                  ReceiveOutcome /*outcome*/, Time /*now*/) {}
 
 void Router::on_transfer_failed(const Packet& p, const PeerView& peer, Time /*now*/) {
-  skip_[peer.self()].insert(p.id);
+  mark_skipped(p.id, peer.self());
 }
 
 ReceiveOutcome Router::receive_copy(const Packet& p, const PeerView& from, std::int64_t aux,
                                     Time now) {
   if (p.dst == self_) {
-    if (!received_.insert(p.id).second) return ReceiveOutcome::kDuplicateDelivery;
+    if (has_received(p.id)) return ReceiveOutcome::kDuplicateDelivery;
+    grow_slot(received_, p.id, std::uint8_t{0}) = 1;
     // The destination has "sufficient capacity to store delivered packets"
     // (§3.1); the copy does not occupy the in-transit buffer.
     learn_ack(p.id, now);
@@ -48,15 +66,50 @@ ReceiveOutcome Router::receive_copy(const Packet& p, const PeerView& from, std::
 }
 
 void Router::contact_end(const PeerView& peer, Time /*now*/) {
-  skip_.erase(peer.self());
+  // Bump again so marks set during the contact go stale immediately.
+  const auto idx = static_cast<std::size_t>(peer.self());
+  if (idx >= peer_epoch_.size()) peer_epoch_.resize(idx + 1, 0);
+  peer_epoch_[idx] = ++epoch_counter_;
   invalidate_plan();
 }
 
 std::int64_t Router::transfer_aux(const Packet& /*p*/, const PeerView& /*peer*/) { return 0; }
 
+void Router::mark_skipped(PacketId id, NodeId peer) {
+  const std::uint32_t epoch = peer_epoch(peer);
+  SkipMark& mark = grow_slot(skip_marks_, id);
+  // Reuse the primary lane unless another peer holds a *live* mark in it
+  // (concurrent sessions); then spill to the overflow list.
+  if (mark.peer == peer || mark.peer == kNoNode || mark.epoch != peer_epoch(mark.peer)) {
+    mark = SkipMark{epoch, peer};
+    return;
+  }
+  // Compact stale overflow entries opportunistically before growing.
+  if (skip_overflow_.size() >= 32) {
+    std::size_t live = 0;
+    for (const OverflowMark& o : skip_overflow_)
+      if (o.epoch == peer_epoch(o.peer)) skip_overflow_[live++] = o;
+    skip_overflow_.resize(live);
+  }
+  for (OverflowMark& o : skip_overflow_) {
+    if (o.id == id && o.peer == peer) {
+      o.epoch = epoch;
+      return;
+    }
+  }
+  skip_overflow_.push_back(OverflowMark{epoch, peer, id});
+}
+
 bool Router::contact_skipped(PacketId id, NodeId peer) const {
-  const auto it = skip_.find(peer);
-  return it != skip_.end() && it->second.count(id) != 0;
+  if (id >= 0 && static_cast<std::size_t>(id) < skip_marks_.size()) {
+    const SkipMark& mark = skip_marks_[static_cast<std::size_t>(id)];
+    if (mark.peer == peer) return mark.epoch != 0 && mark.epoch == peer_epoch(peer);
+  }
+  if (!skip_overflow_.empty()) {
+    for (const OverflowMark& o : skip_overflow_)
+      if (o.id == id && o.peer == peer) return o.epoch != 0 && o.epoch == peer_epoch(peer);
+  }
+  return false;
 }
 
 bool Router::peer_wants(const PeerView& peer, const Packet& p) const {
@@ -68,8 +121,7 @@ bool Router::peer_wants(const PeerView& peer, const Packet& p) const {
 }
 
 void Router::learn_ack(PacketId id, Time when) {
-  auto [it, inserted] = acked_.emplace(id, when);
-  if (!inserted) return;
+  if (!acked_.insert(id, when)) return;
   if (buffer_.erase(id)) {
     if (ctx_ != nullptr && ctx_->metrics != nullptr) ctx_->metrics->record_ack_purge(self_);
   }
@@ -78,18 +130,25 @@ void Router::learn_ack(PacketId id, Time when) {
 
 Bytes Router::exchange_acks(const PeerView& peer, Time now) {
   // Delta exchange: each side sends the entries the other lacks; 8 bytes per
-  // packet id on the wire.
-  std::vector<PacketId> to_peer;
-  for (const auto& [id, when] : acked_) {
-    if (!peer.knows_ack(id)) to_peer.push_back(id);
+  // packet id on the wire. Both walks run in place over the packed ack
+  // tables: learning into the *other* table never perturbs the one being
+  // iterated, and entries appended to the peer during the first walk are by
+  // construction already known to us, so the second walk skips them.
+  std::size_t sent = 0;
+  for (const AckTable::Entry& e : acked_.entries()) {
+    if (peer.knows_ack(e.id)) continue;
+    peer.learn_ack(e.id, now);
+    ++sent;
   }
-  std::vector<PacketId> to_self;
-  for (const auto& [id, when] : peer.acks()) {
-    if (!knows_ack(id)) to_self.push_back(id);
+  std::size_t received = 0;
+  const Span<AckTable::Entry> theirs = peer.acks().entries();
+  for (std::size_t i = 0; i < theirs.size(); ++i) {
+    const AckTable::Entry e = theirs[i];
+    if (knows_ack(e.id)) continue;
+    learn_ack(e.id, now);
+    ++received;
   }
-  for (PacketId id : to_peer) peer.learn_ack(id, now);
-  for (PacketId id : to_self) learn_ack(id, now);
-  return static_cast<Bytes>(8) * static_cast<Bytes>(to_peer.size() + to_self.size());
+  return static_cast<Bytes>(8) * static_cast<Bytes>(sent + received);
 }
 
 bool Router::store_with_eviction(const Packet& p, Time now) {

@@ -21,16 +21,21 @@
 // typed channel for richer same-protocol metadata exchange. This formalizes
 // the metadata channel that DTN simulators traditionally model with mutable
 // cross-references.
+//
+// Hot-path state is flat: packet ids are dense pool indexes, so delivery
+// receipts and acknowledgments are direct-indexed tables (dtn/ack_table.h),
+// and the per-contact skip sets are epoch-stamped marks — contact_begin
+// bumps the peer's epoch instead of clearing a container, which makes the
+// reset O(1) and the whole contact path allocation-free.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "dtn/ack_table.h"
 #include "dtn/buffer.h"
 #include "dtn/packet.h"
 #include "util/rng.h"
@@ -40,6 +45,17 @@ namespace rapid {
 
 class Router;
 class MetricsCollector;
+struct PacketMetadata;  // core/metadata.h
+
+// Reusable per-simulation scratch storage for contact processing: the
+// buffers that used to be allocated fresh inside every contact (delta-
+// exchange walks, plan fallbacks) live here and keep their capacity across
+// contacts. Owned by the Simulation (contacts within one simulation run
+// strictly sequentially); routers reach it through SimContext and fall back
+// to a private arena when constructed without one (tests, fixtures).
+struct ScratchArena {
+  std::vector<std::pair<PacketId, const PacketMetadata*>> changed;  // delta exchange
+};
 
 // Global-knowledge escape hatch. Regular protocols must not reach other
 // nodes' routers — everything they may know about a peer travels through the
@@ -68,9 +84,14 @@ struct SimContext {
   MetricsCollector* metrics = nullptr;
   // See RouterOracle: only global-channel/oracle modes (and tests) may use it.
   const RouterOracle* oracle = nullptr;
+  // Shared contact-processing scratch; null when the context owner does not
+  // provide one (routers then use a private arena).
+  ScratchArena* arena = nullptr;
   int num_nodes = 0;
 
-  const Packet& packet(PacketId id) const { return pool->get(id); }
+  // Hot-loop accessor: ids handed to routers come from the pool, so this is
+  // the unchecked path (asserts in debug).
+  const Packet& packet(PacketId id) const { return pool->get_unchecked(id); }
 };
 
 struct ContactContext {
@@ -105,7 +126,7 @@ class PeerView {
   bool has_packet(PacketId id) const;    // in-transit buffer membership
   bool has_received(PacketId id) const;  // delivered here (peer is dst)
   bool knows_ack(PacketId id) const;
-  const std::unordered_map<PacketId, Time>& acks() const;
+  const AckTable& acks() const;
 
   // Push one delivery notification across the link (8 bytes on the wire when
   // the caller charges it; see Router::exchange_acks for the bulk form).
@@ -184,16 +205,21 @@ class Router {
 
   // --- shared state helpers -------------------------------------------------
 
-  bool has_received(PacketId id) const { return received_.count(id) != 0; }
-  bool knows_ack(PacketId id) const { return acked_.count(id) != 0; }
-  const std::unordered_map<PacketId, Time>& acks() const { return acked_; }
+  bool has_received(PacketId id) const {
+    return id >= 0 && static_cast<std::size_t>(id) < received_.size() &&
+           received_[static_cast<std::size_t>(id)] != 0;
+  }
+  bool knows_ack(PacketId id) const { return acked_.contains(id); }
+  const AckTable& acks() const { return acked_; }
   std::size_t drops() const { return drops_; }
 
   // True if `peer` could use a copy of p: peer is not known (to us or to it)
   // to have the packet already.
   bool peer_wants(const PeerView& peer, const Packet& p) const;
   // Skip sets are kept per peer so that concurrent sessions with different
-  // peers do not poison each other's candidate lists.
+  // peers do not poison each other's candidate lists. Marks are epoch-
+  // stamped per (packet, peer): contact_begin/contact_end bump the peer's
+  // epoch, which invalidates that peer's marks in O(1).
   bool contact_skipped(PacketId id, NodeId peer) const;
 
  protected:
@@ -201,7 +227,8 @@ class Router {
   void learn_ack(PacketId id, Time when);
   // Flood-style ack exchange with the peer; returns modeled metadata bytes
   // (8 bytes per ack entry new to the other side). Used by protocols that
-  // propagate delivery notifications.
+  // propagate delivery notifications. Allocation-free: both directions walk
+  // the packed ack tables in place.
   Bytes exchange_acks(const PeerView& peer, Time now);
 
   // Receiver-side storage with eviction; returns true if stored.
@@ -222,30 +249,57 @@ class Router {
   void mark_plan_built(NodeId peer) { plan_built_for_ = peer; }
   void invalidate_plan() { plan_built_for_ = kNoNode; }
 
+  // The shared contact-processing scratch (SimContext's when provided, a
+  // private one otherwise). Borrow, use, leave the capacity behind.
+  ScratchArena& arena() const;
+
   Rng& rng() { return rng_; }
 
  private:
   friend class PeerView;
 
+  // One epoch-stamped skip mark. The common case is one live mark per
+  // packet (contacts run sequentially); when concurrent sessions mark the
+  // same packet for different peers, the extra marks spill into a small
+  // overflow list so no peer's mark is ever lost.
+  struct SkipMark {
+    std::uint32_t epoch = 0;
+    NodeId peer = kNoNode;
+  };
+  struct OverflowMark {
+    std::uint32_t epoch = 0;
+    NodeId peer = kNoNode;
+    PacketId id = kNoPacket;
+  };
+
+  void mark_skipped(PacketId id, NodeId peer);
+  std::uint32_t peer_epoch(NodeId peer) const {
+    return static_cast<std::size_t>(peer) < peer_epoch_.size()
+               ? peer_epoch_[static_cast<std::size_t>(peer)]
+               : 0;
+  }
+
   NodeId self_;
   Buffer buffer_;
   const SimContext* ctx_;
   Rng rng_;
-  std::unordered_set<PacketId> received_;   // delivered to this node (we are dst)
-  std::unordered_map<PacketId, Time> acked_;  // known-delivered packets
-  // Per-peer rejection sets for the currently open session(s) with that peer.
-  std::unordered_map<NodeId, std::unordered_set<PacketId>> skip_;
+  std::vector<std::uint8_t> received_;  // delivered to this node (we are dst)
+  AckTable acked_;                      // known-delivered packets
+  // Per-(packet, peer) epoch skip marks; see contact_skipped.
+  std::vector<SkipMark> skip_marks_;
+  std::vector<OverflowMark> skip_overflow_;
+  std::vector<std::uint32_t> peer_epoch_;
+  std::uint32_t epoch_counter_ = 0;
   NodeId plan_built_for_ = kNoNode;
   std::size_t drops_ = 0;
+  mutable std::unique_ptr<ScratchArena> own_arena_;  // fallback when ctx has none
 };
 
 inline NodeId PeerView::self() const { return router_->self(); }
 inline bool PeerView::has_packet(PacketId id) const { return router_->buffer().contains(id); }
 inline bool PeerView::has_received(PacketId id) const { return router_->has_received(id); }
 inline bool PeerView::knows_ack(PacketId id) const { return router_->knows_ack(id); }
-inline const std::unordered_map<PacketId, Time>& PeerView::acks() const {
-  return router_->acks();
-}
+inline const AckTable& PeerView::acks() const { return router_->acks(); }
 inline void PeerView::learn_ack(PacketId id, Time when) const { router_->learn_ack(id, when); }
 
 // Factory the engine uses to build one router per node.

@@ -70,6 +70,7 @@ Simulation::Simulation(const MeetingSchedule& schedule, const PacketPool& worklo
   ctx_.num_nodes = schedule.num_nodes;
   oracle_.reset(schedule.num_nodes);
   ctx_.oracle = &oracle_;
+  ctx_.arena = &arena_;
 
   routers_.reserve(static_cast<std::size_t>(schedule.num_nodes));
   for (NodeId n = 0; n < schedule.num_nodes; ++n) {

@@ -106,6 +106,9 @@ class Simulation {
   MetricsCollector metrics_;
   SimContext ctx_;
   RouterOracle oracle_;
+  // Contact-processing scratch shared by this simulation's routers (contacts
+  // run strictly sequentially, so one arena serves every node).
+  ScratchArena arena_;
   std::vector<std::unique_ptr<Router>> routers_;
 
   std::vector<std::unique_ptr<EventSource>> sources_;

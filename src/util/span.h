@@ -1,0 +1,31 @@
+// Minimal read-only span (C++17 has no std::span). Returned by value from
+// flat-table accessors so callers never hold a reference to a shared static
+// sentinel that a later mutation could silently alias (the
+// GlobalChannel::holders() hazard this replaces).
+#pragma once
+
+#include <cstddef>
+
+namespace rapid {
+
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(const T* data, std::size_t size) : data_(data), size_(size) {}
+
+  constexpr const T* begin() const { return data_; }
+  constexpr const T* end() const { return data_ + size_; }
+  constexpr const T* data() const { return data_; }
+  constexpr std::size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr const T& operator[](std::size_t i) const { return data_[i]; }
+  constexpr const T& front() const { return data_[0]; }
+  constexpr const T& back() const { return data_[size_ - 1]; }
+
+ private:
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rapid

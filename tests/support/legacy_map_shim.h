@@ -1,0 +1,70 @@
+// Test-only shims reproducing the hash-map storage the flat-state overhaul
+// (dense per-packet tables) replaced. They exist for exactly one PR as the
+// "old path" side of the BM_BufferScan / BM_AckLookup regression pairs and
+// the enforced speedup-ratio tests; they are NOT part of the library.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.h"
+
+namespace rapid::testing {
+
+// The pre-overhaul Buffer: byte accounting over an unordered_map.
+class LegacyMapBuffer {
+ public:
+  explicit LegacyMapBuffer(Bytes capacity = -1) : capacity_(capacity) {}
+
+  bool contains(PacketId id) const { return sizes_.count(id) != 0; }
+
+  bool insert(PacketId id, Bytes size) {
+    if (size < 0) throw std::invalid_argument("LegacyMapBuffer: negative size");
+    if (contains(id)) return false;
+    if (capacity_ >= 0 && used_ + size > capacity_) return false;
+    sizes_.emplace(id, size);
+    used_ += size;
+    return true;
+  }
+
+  bool erase(PacketId id) {
+    auto it = sizes_.find(id);
+    if (it == sizes_.end()) return false;
+    used_ -= it->second;
+    sizes_.erase(it);
+    return true;
+  }
+
+  std::size_t count() const { return sizes_.size(); }
+  Bytes used() const { return used_; }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [id, size] : sizes_) fn(id, size);
+  }
+
+ private:
+  Bytes capacity_;
+  Bytes used_ = 0;
+  std::unordered_map<PacketId, Bytes> sizes_;
+};
+
+// The pre-overhaul delivery-ack store: an unordered_map keyed by packet id.
+class LegacyAckMap {
+ public:
+  bool insert(PacketId id, Time when) { return acked_.emplace(id, when).second; }
+  bool knows_ack(PacketId id) const { return acked_.count(id) != 0; }
+  std::size_t size() const { return acked_.size(); }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [id, when] : acked_) fn(id, when);
+  }
+
+ private:
+  std::unordered_map<PacketId, Time> acked_;
+};
+
+}  // namespace rapid::testing

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Compare a bench_pr4 JSON record against the committed baseline.
+
+Usage:
+    tools/bench_compare.py CURRENT.json [BASELINE.json] [--tolerance 0.10]
+
+Exits non-zero when any tracked metric regressed by more than the tolerance
+(default 10%), or when the determinism guard (`delivered`) diverges. Lower is
+better for every tracked metric:
+
+    wall_clock_ms   end-to-end powerlaw-large simulation time
+    peak_rss_kb     getrusage peak resident set
+    allocations     operator-new count during the measured run (exact)
+
+Improvements are reported but never fail the job; update BENCH_pr4.json when
+a PR moves the trajectory so the next regression is caught from the new
+level.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+TRACKED = ("wall_clock_ms", "peak_rss_kb", "allocations")
+EXACT = ("packets", "meetings", "delivered")
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "..", "BENCH_pr4.json")
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="bench_pr4 output JSON to check")
+    parser.add_argument("baseline", nargs="?", default=DEFAULT_BASELINE,
+                        help="committed baseline (default: repo BENCH_pr4.json)")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional regression (default 0.10)")
+    parser.add_argument("--wall-tolerance", type=float, default=None,
+                        help="override tolerance for wall_clock_ms and peak_rss_kb "
+                             "(hardware-dependent metrics; CI runners differ from the "
+                             "machine that produced the committed baseline)")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    failures = []
+    for key in EXACT:
+        if current.get(key) != baseline.get(key):
+            failures.append(
+                f"{key}: {current.get(key)} != baseline {baseline.get(key)} "
+                "(determinism guard; the workload or protocol behaviour changed)")
+
+    hardware_dependent = ("wall_clock_ms", "peak_rss_kb")
+    for key in TRACKED:
+        cur = float(current[key])
+        base = float(baseline[key])
+        if base <= 0:
+            continue
+        tolerance = args.tolerance
+        if key in hardware_dependent and args.wall_tolerance is not None:
+            tolerance = args.wall_tolerance
+        delta = (cur - base) / base
+        marker = "REGRESSION" if delta > tolerance else "ok"
+        print(f"{key}: current={cur:.1f} baseline={base:.1f} delta={delta:+.1%} [{marker}]")
+        if delta > tolerance:
+            failures.append(f"{key} regressed {delta:+.1%} (> {tolerance:.0%})")
+
+    if failures:
+        print("\nbench_compare: FAIL", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbench_compare: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
