@@ -1,0 +1,207 @@
+// Perf-trajectory probe for the streaming-mobility subsystem (PR 5).
+//
+// Runs the 2000-node powerlaw-stream scenario end to end under RAPID with
+// contacts pulled lazily from the MobilityModel (never materialized) and
+// writes one JSON record:
+//
+//   wall_clock_ms        — best-of-N end-to-end simulation time
+//   peak_rss_kb          — getrusage(RUSAGE_SELF).ru_maxrss after the runs
+//   allocations          — operator-new count during the measured runs (exact)
+//   meetings             — contacts streamed through the engine (exact)
+//   meeting_bytes_avoided — what the materialized schedule of those contacts
+//                           would hold resident (meetings x sizeof(Meeting));
+//                           on the streaming path none of it is allocated, so
+//                           peak RSS is independent of the meeting count
+//
+// CI runs this in Release and tools/bench_compare.py fails the job on a
+// >10% regression against the committed BENCH_pr5.json; `delivered`,
+// `packets` and `meetings` double as determinism guards (exact match).
+//
+// `--materialized` flips the same scenario onto the legacy materialize-then-
+// simulate path for a side-by-side RSS comparison (not gated in CI).
+//
+// `--stretch F` multiplies the mobility horizon by F while keeping the
+// workload, fleet, and protocol priors fixed, so the contact stream grows
+// ~F-fold with everything else unchanged. Comparing peak_rss_kb of separate
+// base and stretched processes is the direct measurement of the PR's
+// headline claim: the mobility subsystem holds no per-meeting state, so
+// peak RSS no longer scales with the total meeting count. RAPID itself
+// *learns* from contacts (meeting-time rows, metadata records), so the CI
+// independence check pairs `--stretch` with `--protocol direct`, whose
+// router state is contact-free — any RSS growth there would be the mobility
+// layer's fault (CI asserts the stretched RSS stays within a few percent).
+//
+// Usage: bench_pr5 [--json PATH] [--runs N] [--materialized] [--stretch F]
+//                  [--protocol rapid|random|direct]
+#include <sys/resource.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "runner/scenario_registry.h"
+#include "sim/experiment.h"
+#include "sim/protocols.h"
+
+namespace {
+
+std::atomic<unsigned long long> g_allocations{0};
+std::atomic<bool> g_counting{false};
+
+}  // namespace
+
+// Counting allocator hook: global operator new/delete for this binary only
+// (the library is untouched). Counting is gated so setup/teardown noise
+// stays out of the number.
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+int main(int argc, char** argv) {
+  using rapid::Instance;
+  using rapid::Meeting;
+  using rapid::ProtocolKind;
+  using rapid::RunSpec;
+  using rapid::Scenario;
+  using rapid::ScenarioConfig;
+  using rapid::SimResult;
+
+  std::string json_path;
+  int runs = 3;
+  bool materialized = false;
+  double stretch = 1.0;
+  std::string protocol_name = "rapid";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--runs" && i + 1 < argc) {
+      runs = std::atoi(argv[++i]);
+      if (runs < 1) runs = 1;
+    } else if (arg == "--materialized") {
+      materialized = true;
+    } else if (arg == "--stretch" && i + 1 < argc) {
+      stretch = std::atof(argv[++i]);
+      if (stretch < 1.0) stretch = 1.0;
+    } else if (arg == "--protocol" && i + 1 < argc) {
+      protocol_name = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_pr5 [--json PATH] [--runs N] [--materialized] "
+                   "[--stretch F] [--protocol rapid|random|direct]\n");
+      return 2;
+    }
+  }
+
+  if (materialized && stretch > 1.0) {
+    std::fprintf(stderr,
+                 "bench_pr5: --stretch runs the streaming path by construction; "
+                 "drop --materialized\n");
+    return 2;
+  }
+
+  ScenarioConfig config =
+      rapid::runner::ScenarioRegistry::global().make("powerlaw-stream");
+  config.stream_mobility = !materialized;
+  const Scenario scenario(config);
+  // The stretched scenario differs only in its mobility horizon; workload,
+  // priors, and buffers come from the base scenario either way.
+  ScenarioConfig stretched_config = config;
+  stretched_config.powerlaw.duration *= stretch;
+  const Scenario stretched_scenario(stretched_config);
+  const double load = 0.25;
+  RunSpec spec;
+  if (protocol_name == "rapid") {
+    spec.protocol = ProtocolKind::kRapid;
+  } else if (protocol_name == "random") {
+    spec.protocol = ProtocolKind::kRandom;
+  } else if (protocol_name == "direct") {
+    spec.protocol = ProtocolKind::kDirect;
+  } else {
+    std::fprintf(stderr, "bench_pr5: unknown --protocol %s\n", protocol_name.c_str());
+    return 2;
+  }
+
+  double best_ms = 1e300;
+  unsigned long long best_allocations = ~0ULL;
+  std::size_t delivered = 0;
+  std::size_t packets = 0;
+  std::size_t meetings = 0;
+  for (int r = 0; r < runs; ++r) {
+    g_allocations.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    // The instance is built inside the measured region on purpose: on the
+    // streaming path mobility is generated during the run, so instance
+    // construction is part of what the materialized path is paying for.
+    const Instance inst = scenario.instance(0, load);
+    SimResult result;
+    if (stretch > 1.0) {
+      // Same workload, same priors, same buffers — only the contact stream
+      // is longer. Mirrors run_instance's engine configuration.
+      rapid::ProtocolParams params = scenario.protocol_params();
+      params.metric = spec.metric;
+      const rapid::RouterFactory factory = rapid::make_protocol_factory(
+          spec.protocol, params, scenario.config().buffer_capacity);
+      rapid::SimConfig sim;
+      sim.contact.charge_metadata = true;
+      sim.contact.link = scenario.config().link;
+      sim.contact.link.seed ^= inst.link_seed;
+      result = rapid::run_simulation(stretched_scenario.model(0), inst.workload,
+                                     factory, sim);
+    } else {
+      result = run_instance(scenario, inst, spec);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    g_counting.store(false, std::memory_order_relaxed);
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const unsigned long long allocations = g_allocations.load(std::memory_order_relaxed);
+    if (ms < best_ms) best_ms = ms;
+    if (allocations < best_allocations) best_allocations = allocations;
+    delivered = result.delivered;
+    packets = inst.workload.size();
+    meetings = result.meetings;
+  }
+
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);  // ru_maxrss is in kilobytes on Linux
+
+  const unsigned long long avoided =
+      materialized ? 0ULL
+                   : static_cast<unsigned long long>(meetings) * sizeof(Meeting);
+  const std::string json = std::string("{\n") +
+      "  \"scenario\": \"powerlaw-stream\",\n" +
+      "  \"protocol\": \"" + protocol_name + "\",\n" +
+      "  \"mode\": \"" + (materialized ? "materialized" : "streaming") + "\",\n" +
+      "  \"stretch\": " + std::to_string(stretch) + ",\n" +
+      "  \"load\": 0.25,\n" +
+      "  \"packets\": " + std::to_string(packets) + ",\n" +
+      "  \"meetings\": " + std::to_string(meetings) + ",\n" +
+      "  \"delivered\": " + std::to_string(delivered) + ",\n" +
+      "  \"wall_clock_ms\": " + std::to_string(best_ms) + ",\n" +
+      "  \"peak_rss_kb\": " + std::to_string(static_cast<long long>(usage.ru_maxrss)) + ",\n" +
+      "  \"allocations\": " + std::to_string(best_allocations) + ",\n" +
+      "  \"meeting_bytes_avoided\": " + std::to_string(avoided) + "\n" +
+      "}\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (!json_path.empty()) {
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "bench_pr5: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -16,11 +16,17 @@ bool SimResult::is_delivered(PacketId id) const {
 }
 
 void MetricsCollector::begin(const PacketPool& pool, const MeetingSchedule& schedule) {
+  begin(pool);
+  capacity_bytes_ = schedule.total_capacity();
+  meetings_ = schedule.size();
+}
+
+void MetricsCollector::begin(const PacketPool& pool) {
   delivery_time_.assign(pool.size(), kTimeInfinity);
   data_bytes_ = 0;
   metadata_bytes_ = 0;
-  capacity_bytes_ = schedule.total_capacity();
-  meetings_ = schedule.size();
+  capacity_bytes_ = 0;
+  meetings_ = 0;
   drops_ = 0;
   ack_purges_ = 0;
   partial_transfers_ = 0;

@@ -49,7 +49,16 @@ struct SimResult {
 
 class MetricsCollector {
  public:
+  // Materialized-schedule runs: capacity/meeting totals are known up front.
   void begin(const PacketPool& pool, const MeetingSchedule& schedule);
+  // Streaming runs: totals accrue via record_meeting() as contacts arrive.
+  void begin(const PacketPool& pool);
+
+  // One streamed transfer opportunity (capacity accrues as contacts arrive).
+  void record_meeting(Bytes capacity) {
+    capacity_bytes_ += capacity;
+    ++meetings_;
+  }
 
   void record_delivery(PacketId id, Time when);
   void record_data_transfer(Bytes bytes) { data_bytes_ += bytes; }

@@ -5,27 +5,53 @@
 
 namespace rapid {
 
+namespace {
+
+bool meeting_time_less(const Meeting& x, const Meeting& y) { return x.time < y.time; }
+
+}  // namespace
+
 void MeetingSchedule::add(NodeId a, NodeId b, Time t, Bytes capacity) {
   if (a == b) throw std::invalid_argument("MeetingSchedule::add: self meeting");
   if (a < 0 || b < 0 || a >= num_nodes || b >= num_nodes)
     throw std::invalid_argument("MeetingSchedule::add: node out of range");
   if (capacity < 0) throw std::invalid_argument("MeetingSchedule::add: negative capacity");
-  meetings.push_back(Meeting{a, b, t, capacity});
+  // An in-order append preserves a known-sorted state; an out-of-order one
+  // settles the question the other way. kUnknown stays unknown: one append
+  // cannot vouch for a vector that was hand-edited before it.
+  if (sort_state_ == SortState::kSorted && !meetings_.empty() && t < meetings_.back().time)
+    sort_state_ = SortState::kUnsorted;
+  meetings_.push_back(Meeting{a, b, t, capacity});
 }
 
 void MeetingSchedule::sort() {
-  std::stable_sort(meetings.begin(), meetings.end(),
-                   [](const Meeting& x, const Meeting& y) { return x.time < y.time; });
+  if (is_sorted()) return;
+  std::stable_sort(meetings_.begin(), meetings_.end(), meeting_time_less);
+  sort_state_ = SortState::kSorted;
 }
 
 bool MeetingSchedule::is_sorted() const {
-  return std::is_sorted(meetings.begin(), meetings.end(),
-                        [](const Meeting& x, const Meeting& y) { return x.time < y.time; });
+  if (sort_state_ == SortState::kUnknown) {
+    sort_state_ = std::is_sorted(meetings_.begin(), meetings_.end(), meeting_time_less)
+                      ? SortState::kSorted
+                      : SortState::kUnsorted;
+  }
+  return sort_state_ == SortState::kSorted;
+}
+
+std::vector<Meeting>& MeetingSchedule::mutable_meetings() {
+  sort_state_ = SortState::kUnknown;
+  return meetings_;
+}
+
+void MeetingSchedule::clear() {
+  meetings_.clear();
+  sort_state_ = SortState::kSorted;
 }
 
 Bytes MeetingSchedule::total_capacity() const {
   Bytes total = 0;
-  for (const Meeting& m : meetings) total += m.capacity;
+  for (const Meeting& m : meetings_) total += m.capacity;
   return total;
 }
 

@@ -3,6 +3,14 @@
 // meeting once as an unordered pair; the engine runs the symmetric protocol
 // over the shared opportunity, which matches the testbed behaviour of two
 // radios merging into one connection event.
+//
+// Since the streaming-mobility refactor a materialized MeetingSchedule is
+// one producer of contacts among several (see mobility/mobility_model.h);
+// the schedule tracks its own sortedness incrementally so that draining an
+// already time-ordered contact stream into it costs no re-sort: add()
+// maintains the flag in O(1), sort() is a no-op on in-order input, and
+// is_sorted() only rescans after direct vector surgery via
+// mutable_meetings().
 #pragma once
 
 #include <vector>
@@ -18,18 +26,33 @@ struct Meeting {
   Bytes capacity = 0;  // size of the transfer opportunity, in bytes
 };
 
-struct MeetingSchedule {
+class MeetingSchedule {
+ public:
   int num_nodes = 0;
-  Time duration = 0;              // experiment length (a trace day)
-  std::vector<Meeting> meetings;  // kept sorted by time
+  Time duration = 0;  // experiment length (a trace day)
 
   void add(NodeId a, NodeId b, Time t, Bytes capacity);
-  // Sorts by time; must be called after out-of-order construction.
+  // Sorts by time; a no-op when the meetings are already known sorted (the
+  // common case for streamed, time-ordered construction).
   void sort();
+  // O(1) when the incremental state is conclusive; rescans (and caches the
+  // answer) only after mutable_meetings() surgery.
   bool is_sorted() const;
 
+  const std::vector<Meeting>& meetings() const { return meetings_; }
+  // Direct access for in-place surgery (tests, perturbations). Invalidates
+  // the cached sort state; the next is_sorted()/sort() re-derives it.
+  std::vector<Meeting>& mutable_meetings();
+  void clear();
+
   Bytes total_capacity() const;
-  std::size_t size() const { return meetings.size(); }
+  std::size_t size() const { return meetings_.size(); }
+
+ private:
+  enum class SortState { kSorted, kUnsorted, kUnknown };
+
+  std::vector<Meeting> meetings_;
+  mutable SortState sort_state_ = SortState::kSorted;  // empty is sorted
 };
 
 }  // namespace rapid

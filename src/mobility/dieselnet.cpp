@@ -95,7 +95,7 @@ MeetingSchedule perturb_schedule(const MeetingSchedule& schedule,
   out.num_nodes = schedule.num_nodes;
   out.duration = schedule.duration;
   Rng stream = rng.split("deployment-perturb");
-  for (const Meeting& m : schedule.meetings) {
+  for (const Meeting& m : schedule.meetings()) {
     if (stream.bernoulli(perturbation.meeting_loss_prob)) continue;
     Meeting pm = m;
     const double shave = stream.uniform(0.0, perturbation.capacity_shave_max);
@@ -104,7 +104,7 @@ MeetingSchedule perturb_schedule(const MeetingSchedule& schedule,
     pm.time = std::clamp(m.time + stream.uniform(-perturbation.time_jitter,
                                                  perturbation.time_jitter),
                          0.0, schedule.duration);
-    out.meetings.push_back(pm);
+    out.add(pm.a, pm.b, pm.time, pm.capacity);
   }
   out.sort();
   return out;

@@ -12,32 +12,34 @@ Bytes draw_opportunity_bytes(Rng& rng, Bytes mean, double cv) {
   return std::max<Bytes>(1_KB, static_cast<Bytes>(raw));
 }
 
-MeetingSchedule generate_exponential_schedule(const ExponentialMobilityConfig& config,
-                                              Rng& rng) {
+std::unique_ptr<MobilityModel> make_exponential_model(
+    const ExponentialMobilityConfig& config, const Rng& rng) {
   if (config.num_nodes < 2)
     throw std::invalid_argument("exponential schedule: need >= 2 nodes");
   if (config.pair_mean_intermeeting <= 0)
     throw std::invalid_argument("exponential schedule: bad mean inter-meeting time");
 
-  MeetingSchedule schedule;
-  schedule.num_nodes = config.num_nodes;
-  schedule.duration = config.duration;
-
+  std::vector<PairStreamModel::PairSpec> pairs;
+  pairs.reserve(static_cast<std::size_t>(config.num_nodes) *
+                static_cast<std::size_t>(config.num_nodes - 1) / 2);
   for (NodeId a = 0; a < config.num_nodes; ++a) {
     for (NodeId b = a + 1; b < config.num_nodes; ++b) {
-      Rng stream = rng.split("exp-pair", static_cast<std::uint64_t>(a) * 1009 +
-                                             static_cast<std::uint64_t>(b));
-      Time t = stream.exponential_mean(config.pair_mean_intermeeting);
-      while (t < config.duration) {
-        schedule.add(a, b, t,
-                     draw_opportunity_bytes(stream, config.mean_opportunity,
-                                            config.opportunity_cv));
-        t += stream.exponential_mean(config.pair_mean_intermeeting);
-      }
+      PairStreamModel::PairSpec spec;
+      spec.a = a;
+      spec.b = b;
+      spec.mean_gap = config.pair_mean_intermeeting;
+      pairs.push_back(spec);
     }
   }
-  schedule.sort();
-  return schedule;
+  return std::make_unique<PairStreamModel>(config.num_nodes, config.duration,
+                                           config.mean_opportunity, config.opportunity_cv,
+                                           "exp-pair", rng, pairs);
+}
+
+MeetingSchedule generate_exponential_schedule(const ExponentialMobilityConfig& config,
+                                              Rng& rng) {
+  const std::unique_ptr<MobilityModel> model = make_exponential_model(config, rng);
+  return materialize(*model);
 }
 
 }  // namespace rapid

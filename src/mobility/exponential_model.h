@@ -1,8 +1,15 @@
 // Uniform exponential mobility (§4.1.1, §6.3.3): every pair of nodes meets
 // according to a Poisson process with a common mean inter-meeting time.
+//
+// The contact stream is produced lazily by a PairStreamModel
+// (mobility/mobility_model.h); generate_exponential_schedule() is the legacy
+// materializing adapter and is bit-identical to the streamed output.
 #pragma once
 
+#include <memory>
+
 #include "dtn/schedule.h"
+#include "mobility/mobility_model.h"
 #include "util/rng.h"
 
 namespace rapid {
@@ -17,6 +24,11 @@ struct ExponentialMobilityConfig {
   double opportunity_cv = 0.5;      // spread of opportunity sizes (lognormal)
 };
 
+// Streaming contact source; resident state is O(node pairs).
+std::unique_ptr<MobilityModel> make_exponential_model(
+    const ExponentialMobilityConfig& config, const Rng& rng);
+
+// Legacy adapter: materialize(make_exponential_model(...)).
 MeetingSchedule generate_exponential_schedule(const ExponentialMobilityConfig& config,
                                               Rng& rng);
 

@@ -3,42 +3,45 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "mobility/exponential_model.h"
-
 namespace rapid {
 
-PowerlawSchedule generate_powerlaw_schedule(const PowerlawMobilityConfig& config, Rng& rng) {
+std::unique_ptr<MobilityModel> make_powerlaw_model(const PowerlawMobilityConfig& config,
+                                                   const Rng& rng,
+                                                   std::vector<int>* popularity_rank_out) {
   if (config.num_nodes < 2) throw std::invalid_argument("powerlaw schedule: need >= 2 nodes");
   if (config.base_mean <= 0) throw std::invalid_argument("powerlaw schedule: bad base mean");
 
-  PowerlawSchedule out;
-  out.schedule.num_nodes = config.num_nodes;
-  out.schedule.duration = config.duration;
-
   // "For the 20 nodes, we randomly set a popularity value of 1 to 20" (§6.3).
-  out.popularity_rank.resize(static_cast<std::size_t>(config.num_nodes));
-  for (int i = 0; i < config.num_nodes; ++i)
-    out.popularity_rank[static_cast<std::size_t>(i)] = i + 1;
+  std::vector<int> rank(static_cast<std::size_t>(config.num_nodes));
+  for (int i = 0; i < config.num_nodes; ++i) rank[static_cast<std::size_t>(i)] = i + 1;
   Rng shuffle_rng = rng.split("popularity");
-  shuffle_rng.shuffle(out.popularity_rank);
+  shuffle_rng.shuffle(rank);
+  if (popularity_rank_out != nullptr) *popularity_rank_out = rank;
 
+  std::vector<PairStreamModel::PairSpec> pairs;
+  pairs.reserve(static_cast<std::size_t>(config.num_nodes) *
+                static_cast<std::size_t>(config.num_nodes - 1) / 2);
   for (NodeId a = 0; a < config.num_nodes; ++a) {
     for (NodeId b = a + 1; b < config.num_nodes; ++b) {
-      const double ra = out.popularity_rank[static_cast<std::size_t>(a)];
-      const double rb = out.popularity_rank[static_cast<std::size_t>(b)];
-      const double mean = config.base_mean * std::pow(ra * rb, config.skew);
-      Rng stream = rng.split("pl-pair", static_cast<std::uint64_t>(a) * 1009 +
-                                            static_cast<std::uint64_t>(b));
-      Time t = stream.exponential_mean(mean);
-      while (t < config.duration) {
-        out.schedule.add(a, b, t,
-                         draw_opportunity_bytes(stream, config.mean_opportunity,
-                                                config.opportunity_cv));
-        t += stream.exponential_mean(mean);
-      }
+      const double ra = rank[static_cast<std::size_t>(a)];
+      const double rb = rank[static_cast<std::size_t>(b)];
+      PairStreamModel::PairSpec spec;
+      spec.a = a;
+      spec.b = b;
+      spec.mean_gap = config.base_mean * std::pow(ra * rb, config.skew);
+      pairs.push_back(spec);
     }
   }
-  out.schedule.sort();
+  return std::make_unique<PairStreamModel>(config.num_nodes, config.duration,
+                                           config.mean_opportunity, config.opportunity_cv,
+                                           "pl-pair", rng, pairs);
+}
+
+PowerlawSchedule generate_powerlaw_schedule(const PowerlawMobilityConfig& config, Rng& rng) {
+  PowerlawSchedule out;
+  const std::unique_ptr<MobilityModel> model =
+      make_powerlaw_model(config, rng, &out.popularity_rank);
+  out.schedule = materialize(*model);
   return out;
 }
 

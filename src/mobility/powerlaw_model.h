@@ -4,11 +4,17 @@
 // geometric mean of the two ranks, producing the skewed (power-law-like)
 // distribution of inter-meeting times the paper cites from human-mobility
 // studies.
+//
+// The contact stream is produced lazily by a PairStreamModel
+// (mobility/mobility_model.h); generate_powerlaw_schedule() is the legacy
+// materializing adapter and is bit-identical to the streamed output.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "dtn/schedule.h"
+#include "mobility/mobility_model.h"
 #include "util/rng.h"
 
 namespace rapid {
@@ -29,6 +35,13 @@ struct PowerlawSchedule {
   std::vector<int> popularity_rank;  // rank per node, 1 = most popular
 };
 
+// Streaming contact source; resident state is O(pairs that ever meet).
+// When popularity_rank_out is non-null it receives the drawn rank per node.
+std::unique_ptr<MobilityModel> make_powerlaw_model(
+    const PowerlawMobilityConfig& config, const Rng& rng,
+    std::vector<int>* popularity_rank_out = nullptr);
+
+// Legacy adapter: materialize(make_powerlaw_model(...)).
 PowerlawSchedule generate_powerlaw_schedule(const PowerlawMobilityConfig& config, Rng& rng);
 
 }  // namespace rapid

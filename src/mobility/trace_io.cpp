@@ -18,7 +18,7 @@ void write_trace(std::ostream& os, const DieselNetTrace& trace) {
     os << "day " << day.schedule.duration << " active";
     for (NodeId bus : day.active_buses) os << ' ' << bus;
     os << '\n';
-    for (const Meeting& m : day.schedule.meetings) {
+    for (const Meeting& m : day.schedule.meetings()) {
       os << "meet " << m.a << ' ' << m.b << ' ' << m.time << ' ' << m.capacity << '\n';
     }
     os << "end\n";
@@ -40,6 +40,15 @@ namespace {
   throw std::runtime_error(os.str());
 }
 
+// Truncated lines fail their field extraction; this catches the opposite
+// defect — extra fields silently riding along on an otherwise valid line.
+void reject_trailing(std::istringstream& ss, int line_no, const char* keyword) {
+  std::string extra;
+  if (ss >> extra)
+    fail(line_no, std::string("trailing garbage '") + extra + "' after '" + keyword +
+                      "' line");
+}
+
 }  // namespace
 
 DieselNetTrace read_trace(std::istream& is) {
@@ -47,8 +56,10 @@ DieselNetTrace read_trace(std::istream& is) {
   std::string line;
   int line_no = 0;
   bool saw_header = false;
+  bool saw_fleet = false;
   bool in_day = false;
   DayTrace day;
+  Time last_meet_time = 0;
 
   while (std::getline(is, line)) {
     ++line_no;
@@ -64,12 +75,15 @@ DieselNetTrace read_trace(std::istream& is) {
     std::string keyword;
     ss >> keyword;
     if (keyword == "fleet") {
+      if (saw_fleet) fail(line_no, "duplicate fleet line");
       int n = 0;
       if (!(ss >> n) || n < 2) fail(line_no, "bad fleet size");
+      reject_trailing(ss, line_no, "fleet");
       trace.config.fleet_size = n;
+      saw_fleet = true;
     } else if (keyword == "day") {
       if (in_day) fail(line_no, "nested day block");
-      if (trace.config.fleet_size < 2) fail(line_no, "day before fleet");
+      if (!saw_fleet) fail(line_no, "day before fleet");
       double duration = 0;
       std::string active_kw;
       if (!(ss >> duration >> active_kw) || active_kw != "active" || duration <= 0)
@@ -82,22 +96,35 @@ DieselNetTrace read_trace(std::istream& is) {
         if (bus < 0 || bus >= trace.config.fleet_size) fail(line_no, "active bus out of range");
         day.active_buses.push_back(bus);
       }
+      if (!ss.eof()) fail(line_no, "malformed active bus list");
       if (day.active_buses.size() < 2) fail(line_no, "day needs >= 2 active buses");
       in_day = true;
+      last_meet_time = 0;
     } else if (keyword == "meet") {
       if (!in_day) fail(line_no, "meet outside day block");
       int a = 0, b = 0;
       double t = 0;
       long long bytes = 0;
-      if (!(ss >> a >> b >> t >> bytes)) fail(line_no, "bad meet line");
+      if (!(ss >> a >> b >> t >> bytes)) fail(line_no, "truncated or malformed meet line");
+      reject_trailing(ss, line_no, "meet");
       if (t < 0 || t > day.schedule.duration) fail(line_no, "meeting time out of range");
+      if (t < last_meet_time) {
+        std::ostringstream why;
+        why << "non-monotonic meeting time " << t << " after " << last_meet_time
+            << " (trace days must be time-ordered)";
+        fail(line_no, why.str());
+      }
       if (bytes < 0) fail(line_no, "negative capacity");
       if (a == b) fail(line_no, "self meeting");
       if (a < 0 || b < 0 || a >= trace.config.fleet_size || b >= trace.config.fleet_size)
         fail(line_no, "meeting node out of range");
       day.schedule.add(a, b, t, bytes);
+      last_meet_time = t;
     } else if (keyword == "end") {
       if (!in_day) fail(line_no, "end outside day block");
+      reject_trailing(ss, line_no, "end");
+      // Meet lines are enforced monotonic, so this is an O(1) no-op that
+      // keeps the schedule's sorted invariant explicit.
       day.schedule.sort();
       trace.days.push_back(std::move(day));
       in_day = false;

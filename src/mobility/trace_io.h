@@ -11,7 +11,12 @@
 //   ...
 //   end
 //
-// Each `day` block runs until its `end`.
+// Each `day` block runs until its `end`. The reader is strict: truncated or
+// over-long lines, duplicate `fleet` declarations, out-of-range nodes/times,
+// and non-monotonic `meet` timestamps within a day are all rejected with a
+// line-numbered error instead of silently accepted — replayed days feed the
+// streaming mobility path (mobility/mobility_model.h), whose time-order
+// contract must hold at the source.
 #pragma once
 
 #include <iosfwd>

@@ -1,0 +1,177 @@
+#include "mobility/vehicular_grid.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rapid {
+
+std::vector<std::vector<int>> vehicular_grid_routes(const VehicularGridConfig& config,
+                                                    const Rng& rng) {
+  std::vector<std::vector<int>> routes;
+  routes.reserve(static_cast<std::size_t>(config.num_routes));
+  for (int r = 0; r < config.num_routes; ++r) {
+    Rng route_rng = rng.split("vg-route", static_cast<std::uint64_t>(r));
+    std::vector<int> stops;
+    stops.reserve(static_cast<std::size_t>(config.route_stops));
+    int x = static_cast<int>(route_rng.uniform_int(0, config.grid_width - 1));
+    int y = static_cast<int>(route_rng.uniform_int(0, config.grid_height - 1));
+    for (int s = 0; s < config.route_stops; ++s) {
+      stops.push_back(y * config.grid_width + x);
+      // Random lattice step; re-draw until it stays on the grid (at most a
+      // few tries, deterministic in the route stream).
+      while (true) {
+        const int dir = static_cast<int>(route_rng.uniform_int(0, 3));
+        const int nx = x + (dir == 0 ? 1 : dir == 1 ? -1 : 0);
+        const int ny = y + (dir == 2 ? 1 : dir == 3 ? -1 : 0);
+        if (nx < 0 || nx >= config.grid_width || ny < 0 || ny >= config.grid_height)
+          continue;
+        x = nx;
+        y = ny;
+        break;
+      }
+    }
+    routes.push_back(std::move(stops));
+  }
+  return routes;
+}
+
+namespace {
+
+class VehicularGridModel : public MobilityModel {
+ public:
+  VehicularGridModel(const VehicularGridConfig& config, const Rng& rng)
+      : config_(config) {
+    if (config.num_vehicles < 2)
+      throw std::invalid_argument("vehicular grid: need >= 2 vehicles");
+    if (config.grid_width < 1 || config.grid_height < 1 ||
+        config.grid_width * config.grid_height < 2)
+      throw std::invalid_argument("vehicular grid: grid too small");
+    if (config.num_routes < 1) throw std::invalid_argument("vehicular grid: no routes");
+    if (config.route_stops < 2)
+      throw std::invalid_argument("vehicular grid: routes need >= 2 stops");
+    if (config.duration <= 0) throw std::invalid_argument("vehicular grid: bad duration");
+    if (config.mean_link_time <= 0 || config.mean_dwell <= 0)
+      throw std::invalid_argument("vehicular grid: bad timing means");
+    if (config.bandwidth_per_second <= 0 || config.max_contact <= 0)
+      throw std::invalid_argument("vehicular grid: bad contact parameters");
+
+    routes_ = vehicular_grid_routes(config, rng);
+    occupancy_.resize(
+        static_cast<std::size_t>(config.grid_width) *
+        static_cast<std::size_t>(config.grid_height));
+
+    vehicles_.resize(static_cast<std::size_t>(config.num_vehicles));
+    for (NodeId v = 0; v < config.num_vehicles; ++v) {
+      VehicleState& state = vehicles_[static_cast<std::size_t>(v)];
+      state.rng = rng.split("vg-vehicle", static_cast<std::uint64_t>(v));
+      state.route = static_cast<std::size_t>(v) % routes_.size();
+      const std::size_t len = routes_[state.route].size();
+      state.stop_index = static_cast<std::size_t>(
+          state.rng.uniform_int(0, static_cast<std::int64_t>(len) - 1));
+      // Stagger departures so same-route vehicles don't move in lockstep.
+      const Time first = state.rng.uniform(0.0, config.mean_dwell + config.mean_link_time);
+      push_arrival(first, v);
+    }
+  }
+
+  int num_nodes() const override { return config_.num_vehicles; }
+  Time duration() const override { return config_.duration; }
+
+  const Meeting* peek() override {
+    refill();
+    return pending_.empty() ? nullptr : &pending_.front();
+  }
+
+  void pop() override {
+    refill();
+    if (!pending_.empty()) pending_.pop_front();
+  }
+
+ private:
+  struct VehicleState {
+    Rng rng{0};
+    std::size_t route = 0;
+    std::size_t stop_index = 0;
+    Time departure = 0;  // of the current stop, once arrived
+  };
+
+  struct Occupant {
+    NodeId vehicle = kNoNode;
+    Time departure = 0;
+  };
+
+  struct Arrival {
+    Time time = 0;
+    NodeId vehicle = kNoNode;
+    // Min-heap order; ties break toward the lower vehicle id, so equal-time
+    // arrivals process (and emit meetings) in one canonical order.
+    bool operator<(const Arrival& other) const {
+      if (time != other.time) return time < other.time;
+      return vehicle < other.vehicle;
+    }
+  };
+
+  void push_arrival(Time t, NodeId v) {
+    if (t >= config_.duration) return;  // vehicle retires past the horizon
+    heap_.push_back(Arrival{t, v});
+    std::push_heap(heap_.begin(), heap_.end(),
+                   [](const Arrival& x, const Arrival& y) { return y < x; });
+  }
+
+  // Processes arrivals until a meeting is emitted or movement ends.
+  void refill() {
+    while (pending_.empty() && !heap_.empty()) {
+      std::pop_heap(heap_.begin(), heap_.end(),
+                    [](const Arrival& x, const Arrival& y) { return y < x; });
+      const Arrival arrival = heap_.back();
+      heap_.pop_back();
+
+      VehicleState& state = vehicles_[static_cast<std::size_t>(arrival.vehicle)];
+      const int stop = routes_[state.route][state.stop_index];
+      state.departure = arrival.time + state.rng.exponential_mean(config_.mean_dwell);
+
+      // Meet everyone still dwelling at this stop; prune the departed.
+      std::vector<Occupant>& here = occupancy_[static_cast<std::size_t>(stop)];
+      std::size_t keep = 0;
+      for (const Occupant& other : here) {
+        if (other.departure <= arrival.time) continue;  // already gone
+        here[keep++] = other;
+        const Time overlap =
+            std::min(state.departure, other.departure) - arrival.time;
+        const Time credited = std::min(overlap, config_.max_contact);
+        const Bytes capacity = static_cast<Bytes>(
+            static_cast<double>(config_.bandwidth_per_second) * credited);
+        if (capacity <= 0) continue;
+        Meeting m;
+        m.a = std::min(arrival.vehicle, other.vehicle);
+        m.b = std::max(arrival.vehicle, other.vehicle);
+        m.time = arrival.time;
+        m.capacity = capacity;
+        pending_.push_back(m);
+      }
+      here.resize(keep);
+      here.push_back(Occupant{arrival.vehicle, state.departure});
+
+      // Drive to the next stop on the loop.
+      state.stop_index = (state.stop_index + 1) % routes_[state.route].size();
+      const Time travel = state.rng.exponential_mean(config_.mean_link_time);
+      push_arrival(state.departure + travel, arrival.vehicle);
+    }
+  }
+
+  VehicularGridConfig config_;
+  std::vector<std::vector<int>> routes_;
+  std::vector<VehicleState> vehicles_;
+  std::vector<std::vector<Occupant>> occupancy_;  // stop -> dwelling vehicles
+  std::vector<Arrival> heap_;
+  std::deque<Meeting> pending_;
+};
+
+}  // namespace
+
+std::unique_ptr<MobilityModel> make_vehicular_grid_model(const VehicularGridConfig& config,
+                                                         const Rng& rng) {
+  return std::make_unique<VehicularGridModel>(config, rng);
+}
+
+}  // namespace rapid

@@ -1,0 +1,43 @@
+// Grid/map-based vehicular mobility (DieselNet-like): vehicles drive fixed
+// closed routes over a street grid, dwell at each stop, and meet exactly
+// when they are at the same stop at the same time — a contact's capacity is
+// the radio bandwidth times the co-located overlap.
+//
+// Unlike the Poisson pair models, contacts here emerge from movement: a
+// route is a lazy random walk over grid intersections, per-vehicle dwell
+// and link times are drawn per arrival, and the model advances an arrival
+// event heap — resident state is O(vehicles + stops), independent of how
+// many meetings the duration produces. Streams meetings in time order via
+// the MobilityModel interface (mobility/mobility_model.h).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "mobility/mobility_model.h"
+#include "util/rng.h"
+
+namespace rapid {
+
+struct VehicularGridConfig {
+  int num_vehicles = 36;
+  int grid_width = 6;   // intersections (stops) per row
+  int grid_height = 6;  // rows
+  int num_routes = 6;
+  int route_stops = 10;  // stops per route loop (random lattice walk)
+  Time duration = 0.5 * kSecondsPerHour;
+  double mean_link_time = 40.0;  // mean drive time between adjacent stops
+  double mean_dwell = 25.0;      // mean dwell at a stop
+  Bytes bandwidth_per_second = 24_KB;  // contact capacity = overlap x bandwidth
+  Time max_contact = 120.0;            // cap on the overlap credited to one contact
+};
+
+std::unique_ptr<MobilityModel> make_vehicular_grid_model(const VehicularGridConfig& config,
+                                                         const Rng& rng);
+
+// Route layout used by the model (route -> stop ids); exposed for tests.
+std::vector<std::vector<int>> vehicular_grid_routes(const VehicularGridConfig& config,
+                                                    const Rng& rng);
+
+}  // namespace rapid

@@ -1,0 +1,81 @@
+#include "mobility/working_day.h"
+
+#include <stdexcept>
+
+namespace rapid {
+
+WorkingDayClusters working_day_clusters(const WorkingDayConfig& config, const Rng& rng) {
+  WorkingDayClusters clusters;
+  clusters.home.resize(static_cast<std::size_t>(config.num_nodes));
+  clusters.office.resize(static_cast<std::size_t>(config.num_nodes));
+  Rng home_rng = rng.split("wd-home");
+  Rng office_rng = rng.split("wd-office");
+  for (int n = 0; n < config.num_nodes; ++n) {
+    clusters.home[static_cast<std::size_t>(n)] =
+        static_cast<int>(home_rng.uniform_int(0, config.num_homes - 1));
+    clusters.office[static_cast<std::size_t>(n)] =
+        static_cast<int>(office_rng.uniform_int(0, config.num_offices - 1));
+  }
+  return clusters;
+}
+
+std::unique_ptr<MobilityModel> make_working_day_model(const WorkingDayConfig& config,
+                                                      const Rng& rng) {
+  if (config.num_nodes < 2) throw std::invalid_argument("working day: need >= 2 nodes");
+  if (config.num_homes < 1 || config.num_offices < 1)
+    throw std::invalid_argument("working day: need >= 1 home and office cluster");
+  if (config.day_length <= 0 || config.duration <= 0)
+    throw std::invalid_argument("working day: bad day length or duration");
+  if (!(config.work_start_fraction > 0) || !(config.work_end_fraction < 1) ||
+      config.work_start_fraction >= config.work_end_fraction)
+    throw std::invalid_argument("working day: bad work window fractions");
+  if (config.commute_fraction < 0 ||
+      config.commute_fraction >= config.work_start_fraction ||
+      config.work_end_fraction + config.commute_fraction >= 1)
+    throw std::invalid_argument("working day: bad commute fraction");
+  if (config.home_meet_mean <= 0 || config.work_meet_mean <= 0)
+    throw std::invalid_argument("working day: bad meeting means");
+
+  const Time work_start = config.work_start_fraction * config.day_length;
+  const Time work_end = config.work_end_fraction * config.day_length;
+  const Time commute = config.commute_fraction * config.day_length;
+
+  // Window set 0: office hours. Window set 1: at home, morning + evening,
+  // separated from the office by the commute slack on each side.
+  std::vector<PairStreamModel::DailyWindows> window_sets(2);
+  window_sets[0].day_length = config.day_length;
+  window_sets[0].windows = {{work_start, work_end}};
+  window_sets[1].day_length = config.day_length;
+  window_sets[1].windows = {{0.0, work_start - commute},
+                            {work_end + commute, config.day_length}};
+
+  const WorkingDayClusters clusters = working_day_clusters(config, rng);
+
+  std::vector<PairStreamModel::PairSpec> pairs;
+  for (NodeId a = 0; a < config.num_nodes; ++a) {
+    for (NodeId b = a + 1; b < config.num_nodes; ++b) {
+      const std::size_t ia = static_cast<std::size_t>(a);
+      const std::size_t ib = static_cast<std::size_t>(b);
+      PairStreamModel::PairSpec spec;
+      spec.a = a;
+      spec.b = b;
+      // Colleagues dominate: an office pair meets at work even if they also
+      // happen to live in the same neighbourhood.
+      if (clusters.office[ia] == clusters.office[ib]) {
+        spec.mean_gap = config.work_meet_mean;
+        spec.window_set = 0;
+      } else if (clusters.home[ia] == clusters.home[ib]) {
+        spec.mean_gap = config.home_meet_mean;
+        spec.window_set = 1;
+      } else {
+        continue;  // never meet directly
+      }
+      pairs.push_back(spec);
+    }
+  }
+  return std::make_unique<PairStreamModel>(config.num_nodes, config.duration,
+                                           config.mean_opportunity, config.opportunity_cv,
+                                           "wd-pair", rng, pairs, std::move(window_sets));
+}
+
+}  // namespace rapid

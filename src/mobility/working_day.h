@@ -1,0 +1,50 @@
+// Working-day community mobility: nodes belong to a home cluster and a work
+// cluster, and their day cycles through home -> commute -> office -> commute
+// -> home. Pairs that share an office meet during the work window; pairs
+// that share a home neighbourhood meet during the morning/evening home
+// windows; pairs sharing neither never meet directly (multi-hop delivery,
+// like DieselNet's far-route buses). Meetings are Poisson in *active* time,
+// so the streams are exact, not thinned.
+//
+// Built on the PairStreamModel window machinery
+// (mobility/mobility_model.h); resident state is O(co-clustered pairs),
+// independent of how many days or meetings the duration spans.
+#pragma once
+
+#include <memory>
+
+#include "mobility/mobility_model.h"
+#include "util/rng.h"
+
+namespace rapid {
+
+struct WorkingDayConfig {
+  int num_nodes = 48;
+  int num_homes = 6;    // home neighbourhoods (assigned uniformly)
+  int num_offices = 4;  // workplaces (assigned uniformly, independent of home)
+  // A compressed "day" so bench figures regenerate quickly; the structure is
+  // what matters, not the wall-clock scale.
+  Time day_length = 900.0;
+  Time duration = 1800.0;  // two compressed days by default
+  // Work window as fractions of the day; home windows are the complement
+  // minus the commute slack on each side.
+  double work_start_fraction = 0.35;
+  double work_end_fraction = 0.75;
+  double commute_fraction = 0.05;  // dead time on each side of the work window
+  double home_meet_mean = 180.0;   // mean inter-meeting in active home time
+  double work_meet_mean = 120.0;   // mean inter-meeting in active office time
+  Bytes mean_opportunity = 64_KB;
+  double opportunity_cv = 0.5;
+};
+
+std::unique_ptr<MobilityModel> make_working_day_model(const WorkingDayConfig& config,
+                                                      const Rng& rng);
+
+// Cluster assignment used by the model (exposed for tests).
+struct WorkingDayClusters {
+  std::vector<int> home;    // node -> home cluster
+  std::vector<int> office;  // node -> office cluster
+};
+WorkingDayClusters working_day_clusters(const WorkingDayConfig& config, const Rng& rng);
+
+}  // namespace rapid

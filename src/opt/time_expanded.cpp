@@ -21,7 +21,7 @@ OptimalPlan solve_optimal_routing(const MeetingSchedule& schedule, const PacketP
     throw std::invalid_argument("solve_optimal_routing: schedule must be sorted");
 
   const int num_nodes = schedule.num_nodes;
-  const auto& meetings = schedule.meetings;
+  const auto& meetings = schedule.meetings();
 
   // Per-bus meeting slots: slots[b] = indexes of meetings involving b, in
   // time order. Node (b, i) = bus b before its i-th meeting; (b, k_b) = day end.

@@ -24,6 +24,10 @@ void run_fig3_validation(const FigureDef& fig, const Options& options, SweepExec
   // The validation replays many more days than the sweep figures.
   config.days = static_cast<int>(
       options.get_int("days", options.get_bool("quick", false) ? 10 : 58));
+  // The deployment perturbation rewrites the day's materialized schedule, so
+  // this figure always runs the materialized mobility path (results on the
+  // clean side are bit-identical to streaming anyway, by test).
+  config.stream_mobility = false;
   const Scenario scenario(config);
 
   print_figure_banner(fig);
@@ -223,7 +227,7 @@ void run_fig15_fairness(const FigureDef& fig, const Options& options, SweepExecu
       ParallelCohortConfig cohorts;
       cohorts.base.packets_per_period_per_pair = 8.0;
       cohorts.base.load_period = kSecondsPerHour;
-      cohorts.base.duration = inst.schedule.duration;
+      cohorts.base.duration = inst.duration;  // valid on both mobility paths
       cohorts.base.deadline = scenario.config().deadline;
       cohorts.cohort_size = cohort_size;
       cohorts.first_cohort_at = 600.0;

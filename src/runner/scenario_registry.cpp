@@ -76,6 +76,39 @@ void register_builtins(ScenarioRegistry& registry) {
                   return config;
                 }});
 
+  // MobilityModel scenarios. The two movement models below are small and
+  // register with the default materialized path (flip
+  // ScenarioConfig::stream_mobility to pull their contacts lazily — results
+  // are bit-identical either way); powerlaw-stream registers streaming
+  // because avoiding the materialized schedule is its point.
+  registry.add({"vehicular-grid",
+                "Grid/map vehicular model: 36 vehicles on random lattice routes with "
+                "stop dwell times; contacts emerge from the movement simulation",
+                [] { return make_vehicular_grid_scenario(); }});
+  registry.add({"working-day",
+                "Working-day community model: home/work clusters with commute windows; "
+                "contacts come from windowed Poisson pair processes",
+                [] { return make_working_day_scenario(); }});
+  registry.add({"powerlaw-stream",
+                "2000-node power-law fleet streamed end-to-end (contacts pulled "
+                "lazily, never materialized; peak RSS independent of meeting "
+                "count — see bench_pr5 / BENCH_pr5.json)",
+                [] {
+                  ScenarioConfig config = make_powerlaw_scenario();
+                  config.stream_mobility = true;
+                  config.powerlaw.num_nodes = 2000;
+                  config.powerlaw.duration = 600.0;
+                  // Rank products span 1..2000^2; the base mean keeps the
+                  // fleet-wide stream in the tens of thousands of contacts
+                  // per run instead of exploding quadratically with n.
+                  config.powerlaw.base_mean = 75.0;
+                  config.powerlaw.mean_opportunity = 128_KB;
+                  config.deadline = 600.0;
+                  config.buffer_capacity = 256_KB;
+                  config.synthetic_runs = 1;
+                  return config;
+                }});
+
   // Link-policy scenarios: the trace scenario under the non-clean contacts
   // the paper's deployment notes describe (radios drop out of range
   // mid-transfer; up/down bandwidth is rarely symmetric).

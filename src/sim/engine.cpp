@@ -1,10 +1,22 @@
 #include "sim/engine.h"
 
+#include <stdexcept>
+
 namespace rapid {
 
 SimResult run_simulation(const MeetingSchedule& schedule, const PacketPool& workload,
                          const RouterFactory& factory, const SimConfig& config) {
   Simulation sim(schedule, workload, factory, config);
+  sim.run();
+  return sim.finish();
+}
+
+SimResult run_simulation(std::unique_ptr<MobilityModel> model, const PacketPool& workload,
+                         const RouterFactory& factory, const SimConfig& config) {
+  if (model == nullptr) throw std::invalid_argument("run_simulation: null model");
+  const SimBounds bounds{model->num_nodes(), model->duration()};
+  Simulation sim(bounds, workload, factory, config);
+  sim.add_event_source(make_mobility_source(std::move(model)));
   sim.run();
   return sim.finish();
 }

@@ -1,4 +1,4 @@
-// Legacy one-shot entry point for the trace-driven simulator of §5.3.
+// Legacy one-shot entry points for the trace-driven simulator of §5.3.
 // run_simulation() is now a thin wrapper over the event-driven Simulation
 // object (sim/simulation.h): construct, run(), finish(). Use Simulation
 // directly for step()/run_until() control, pluggable event sources, and
@@ -13,6 +13,13 @@ namespace rapid {
 // with shared state (RAPID's global channel, Optimal's plan) must be given a
 // fresh factory per call.
 SimResult run_simulation(const MeetingSchedule& schedule, const PacketPool& workload,
+                         const RouterFactory& factory, const SimConfig& config);
+
+// Streaming variant: contacts are pulled from the model one at a time, so
+// peak memory never scales with the total contact count. For full runs of
+// generator-produced mobility this is bit-identical to materializing the
+// model into a schedule and running the overload above.
+SimResult run_simulation(std::unique_ptr<MobilityModel> model, const PacketPool& workload,
                          const RouterFactory& factory, const SimConfig& config);
 
 }  // namespace rapid

@@ -68,6 +68,60 @@ ScenarioConfig make_powerlaw_scenario() {
   return config;
 }
 
+ScenarioConfig make_vehicular_grid_scenario() {
+  ScenarioConfig config;
+  config.mobility = MobilityKind::kVehicularGrid;
+  config.synthetic_runs = 3;
+  config.deadline = 0.25 * kSecondsPerHour;
+  config.buffer_capacity = 4_MB;
+  return config;  // VehicularGridConfig defaults: 36 vehicles, 6x6 grid, 0.5 h
+}
+
+ScenarioConfig make_working_day_scenario() {
+  ScenarioConfig config;
+  config.mobility = MobilityKind::kWorkingDay;
+  config.synthetic_runs = 3;
+  config.deadline = 600.0;
+  config.buffer_capacity = 2_MB;
+  return config;  // WorkingDayConfig defaults: 48 nodes, two 900 s days
+}
+
+namespace {
+
+// The per-run bounds and RAPID priors of the synthetic (non-trace) kinds.
+struct SyntheticTraits {
+  int num_nodes = 0;
+  Time duration = 0;
+  Bytes mean_opportunity = 0;
+};
+
+SyntheticTraits synthetic_traits(const ScenarioConfig& config) {
+  switch (config.mobility) {
+    case MobilityKind::kExponential:
+      return {config.exponential.num_nodes, config.exponential.duration,
+              config.exponential.mean_opportunity};
+    case MobilityKind::kPowerlaw:
+      return {config.powerlaw.num_nodes, config.powerlaw.duration,
+              config.powerlaw.mean_opportunity};
+    case MobilityKind::kVehicularGrid: {
+      // Expected contact size: bandwidth over roughly half a dwell overlap.
+      const double overlap =
+          std::min(config.vehicular.mean_dwell * 0.5, config.vehicular.max_contact);
+      return {config.vehicular.num_vehicles, config.vehicular.duration,
+              static_cast<Bytes>(
+                  static_cast<double>(config.vehicular.bandwidth_per_second) * overlap)};
+    }
+    case MobilityKind::kWorkingDay:
+      return {config.working_day.num_nodes, config.working_day.duration,
+              config.working_day.mean_opportunity};
+    case MobilityKind::kTrace:
+      break;
+  }
+  throw std::logic_error("synthetic_traits: trace scenarios have per-day traits");
+}
+
+}  // namespace
+
 Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)) {
   if (config_.mobility == MobilityKind::kTrace) {
     Rng rng(config_.seed);
@@ -79,11 +133,30 @@ int Scenario::runs() const {
   return config_.mobility == MobilityKind::kTrace ? config_.days : config_.synthetic_runs;
 }
 
+std::unique_ptr<MobilityModel> Scenario::model(int run) const {
+  if (run < 0 || run >= runs()) throw std::out_of_range("Scenario::model: bad run");
+  if (config_.mobility == MobilityKind::kTrace)
+    return make_replay_model(trace_.days[static_cast<std::size_t>(run)].schedule);
+
+  const Rng rng = Rng(config_.seed).split("mobility", static_cast<std::uint64_t>(run));
+  switch (config_.mobility) {
+    case MobilityKind::kExponential:
+      return make_exponential_model(config_.exponential, rng);
+    case MobilityKind::kPowerlaw:
+      return make_powerlaw_model(config_.powerlaw, rng);
+    case MobilityKind::kVehicularGrid:
+      return make_vehicular_grid_model(config_.vehicular, rng);
+    case MobilityKind::kWorkingDay:
+      return make_working_day_model(config_.working_day, rng);
+    case MobilityKind::kTrace:
+      break;
+  }
+  throw std::logic_error("Scenario::model: unknown mobility kind");
+}
+
 MeetingSchedule Scenario::synthetic_schedule(int run) const {
-  Rng rng = Rng(config_.seed).split("mobility", static_cast<std::uint64_t>(run));
-  if (config_.mobility == MobilityKind::kExponential)
-    return generate_exponential_schedule(config_.exponential, rng);
-  return generate_powerlaw_schedule(config_.powerlaw, rng).schedule;
+  const std::unique_ptr<MobilityModel> m = model(run);
+  return materialize(*m);
 }
 
 Instance Scenario::instance(int run, double load) const {
@@ -98,23 +171,36 @@ Instance Scenario::instance(int run, double load) const {
 
   if (config_.mobility == MobilityKind::kTrace) {
     const DayTrace& day = trace_.days[static_cast<std::size_t>(run)];
-    inst.schedule = day.schedule;
+    inst.num_nodes = day.schedule.num_nodes;
+    inst.duration = day.schedule.duration;
     inst.active_nodes = day.active_buses;
     // Trace load: packets per hour per source-destination pair (§5.1).
     wl.packets_per_period_per_pair = load;
     wl.load_period = kSecondsPerHour;
     wl.duration = day.schedule.duration;
+    if (config_.stream_mobility) {
+      // Replay streams from a cursor over the recorded day — no copy.
+      inst.make_model = [&day] { return make_replay_model(day.schedule); };
+    } else {
+      inst.schedule = day.schedule;
+    }
   } else {
-    inst.schedule = synthetic_schedule(run);
-    inst.active_nodes.resize(static_cast<std::size_t>(inst.schedule.num_nodes));
-    for (int n = 0; n < inst.schedule.num_nodes; ++n)
+    const SyntheticTraits traits = synthetic_traits(config_);
+    inst.num_nodes = traits.num_nodes;
+    inst.duration = traits.duration;
+    inst.active_nodes.resize(static_cast<std::size_t>(traits.num_nodes));
+    for (int n = 0; n < traits.num_nodes; ++n)
       inst.active_nodes[static_cast<std::size_t>(n)] = n;
     // Synthetic load: packets per 50 s per destination, split across the
     // n-1 possible sources (Table 4's "packet generation rate 50 sec mean").
-    wl.packets_per_period_per_pair =
-        load / static_cast<double>(inst.schedule.num_nodes - 1);
+    wl.packets_per_period_per_pair = load / static_cast<double>(traits.num_nodes - 1);
     wl.load_period = 50.0;
-    wl.duration = inst.schedule.duration;
+    wl.duration = traits.duration;
+    if (config_.stream_mobility) {
+      inst.make_model = [this, run] { return model(run); };
+    } else {
+      inst.schedule = synthetic_schedule(run);
+    }
   }
 
   Rng rng = Rng(config_.seed)
@@ -134,16 +220,17 @@ ProtocolParams Scenario::protocol_params() const {
     params.rapid_delay_cap = 2.0 * config_.dieselnet.day_duration;
     params.prophet_aging_unit = 60.0;
   } else {
-    const Time duration = config_.mobility == MobilityKind::kExponential
-                              ? config_.exponential.duration
-                              : config_.powerlaw.duration;
-    const Bytes opp = config_.mobility == MobilityKind::kExponential
-                          ? config_.exponential.mean_opportunity
-                          : config_.powerlaw.mean_opportunity;
-    params.rapid_prior_meeting_time = duration;
-    params.rapid_prior_opportunity = opp;
-    params.rapid_delay_cap = 2.0 * duration;
-    params.prophet_aging_unit = 10.0;
+    const SyntheticTraits traits = synthetic_traits(config_);
+    params.rapid_prior_meeting_time = traits.duration;
+    params.rapid_prior_opportunity = traits.mean_opportunity;
+    params.rapid_delay_cap = 2.0 * traits.duration;
+    // The hour-scale community/vehicular models age PRoPHET like the trace;
+    // the second-scale Table 4 models keep the fast synthetic unit.
+    params.prophet_aging_unit =
+        (config_.mobility == MobilityKind::kVehicularGrid ||
+         config_.mobility == MobilityKind::kWorkingDay)
+            ? 60.0
+            : 10.0;
   }
   return params;
 }
@@ -163,6 +250,8 @@ SimResult run_instance(const Scenario& scenario, const Instance& instance,
   sim.contact.charge_metadata = true;
   sim.contact.link = scenario.config().link;
   sim.contact.link.seed ^= instance.link_seed;  // per-run interruption stream
+  if (instance.make_model)
+    return run_simulation(instance.make_model(), instance.workload, factory, sim);
   return run_simulation(instance.schedule, instance.workload, factory, sim);
 }
 

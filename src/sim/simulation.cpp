@@ -32,8 +32,8 @@ class ScheduleSource : public EventSource {
   explicit ScheduleSource(const MeetingSchedule& schedule) : schedule_(&schedule) {}
 
   const SimEvent* peek() override {
-    if (next_ >= schedule_->meetings.size()) return nullptr;
-    const Meeting& m = schedule_->meetings[next_];
+    if (next_ >= schedule_->size()) return nullptr;
+    const Meeting& m = schedule_->meetings()[next_];
     event_.kind = SimEvent::Kind::kMeeting;
     event_.time = m.time;
     event_.meeting = m;
@@ -48,6 +48,42 @@ class ScheduleSource : public EventSource {
   SimEvent event_;
 };
 
+// Pulls contacts from a MobilityModel one at a time; enforces the model's
+// non-decreasing-time contract so a misbehaving model fails loudly instead
+// of corrupting the deterministic merge.
+class MobilityEventSource : public EventSource {
+ public:
+  explicit MobilityEventSource(MobilityModel& model) : model_(&model) {}
+  explicit MobilityEventSource(std::unique_ptr<MobilityModel> model)
+      : owned_(std::move(model)), model_(owned_.get()) {
+    if (model_ == nullptr)
+      throw std::invalid_argument("make_mobility_source: null model");
+  }
+
+  const SimEvent* peek() override {
+    const Meeting* m = model_->peek();
+    if (m == nullptr) return nullptr;
+    if (m->time < last_time_)
+      throw std::logic_error("MobilityModel emitted meetings out of time order");
+    event_.kind = SimEvent::Kind::kMeeting;
+    event_.time = m->time;
+    event_.meeting = *m;
+    return &event_;
+  }
+
+  void pop() override {
+    const Meeting* m = model_->peek();
+    if (m != nullptr) last_time_ = m->time;
+    model_->pop();
+  }
+
+ private:
+  std::unique_ptr<MobilityModel> owned_;
+  MobilityModel* model_;
+  Time last_time_ = 0;
+  SimEvent event_;
+};
+
 }  // namespace
 
 std::unique_ptr<EventSource> make_workload_source(const PacketPool& workload) {
@@ -58,29 +94,61 @@ std::unique_ptr<EventSource> make_schedule_source(const MeetingSchedule& schedul
   return std::make_unique<ScheduleSource>(schedule);
 }
 
+std::unique_ptr<EventSource> make_mobility_source(MobilityModel& model) {
+  return std::make_unique<MobilityEventSource>(model);
+}
+
+std::unique_ptr<EventSource> make_mobility_source(std::unique_ptr<MobilityModel> model) {
+  return std::make_unique<MobilityEventSource>(std::move(model));
+}
+
 Simulation::Simulation(const MeetingSchedule& schedule, const PacketPool& workload,
                        const RouterFactory& factory, const SimConfig& config)
-    : schedule_(schedule), workload_(workload), config_(config) {
-  if (!schedule.is_sorted())
-    throw std::invalid_argument("Simulation: schedule must be sorted");
+    : Simulation(&schedule, SimBounds{schedule.num_nodes, schedule.duration}, workload,
+                 factory, config) {}
 
-  metrics_.begin(workload, schedule);
+Simulation::Simulation(SimBounds bounds, const PacketPool& workload,
+                       const RouterFactory& factory, const SimConfig& config)
+    : Simulation(nullptr, bounds, workload, factory, config) {}
+
+Simulation::Simulation(const MeetingSchedule* schedule, SimBounds bounds,
+                       const PacketPool& workload, const RouterFactory& factory,
+                       const SimConfig& config)
+    : schedule_(schedule),
+      workload_(workload),
+      config_(config),
+      num_nodes_(bounds.num_nodes),
+      duration_(bounds.duration) {
+  if (schedule_ != nullptr && !schedule_->is_sorted())
+    throw std::invalid_argument("Simulation: schedule must be sorted");
+  if (num_nodes_ < 1) throw std::invalid_argument("Simulation: need >= 1 node");
+
+  // Materialized runs know their totals up front; streaming runs accrue them
+  // per dispatched meeting (bit-identical for full runs, since generators
+  // never emit past the duration).
+  if (schedule_ != nullptr)
+    metrics_.begin(workload, *schedule_);
+  else
+    metrics_.begin(workload);
   ctx_.pool = &workload_;
   ctx_.metrics = &metrics_;
-  ctx_.num_nodes = schedule.num_nodes;
-  oracle_.reset(schedule.num_nodes);
+  ctx_.num_nodes = num_nodes_;
+  oracle_.reset(num_nodes_);
   ctx_.oracle = &oracle_;
   ctx_.arena = &arena_;
 
-  routers_.reserve(static_cast<std::size_t>(schedule.num_nodes));
-  for (NodeId n = 0; n < schedule.num_nodes; ++n) {
+  routers_.reserve(static_cast<std::size_t>(num_nodes_));
+  for (NodeId n = 0; n < num_nodes_; ++n) {
     routers_.push_back(factory(n, ctx_));
     oracle_.set(n, routers_.back().get());
   }
 
   // Registration order is the tie-break order: packets before meetings.
   sources_.push_back(make_workload_source(workload_));
-  sources_.push_back(make_schedule_source(schedule_));
+  if (schedule_ != nullptr) {
+    sources_.push_back(make_schedule_source(*schedule_));
+    schedule_source_ = sources_.size() - 1;
+  }
 }
 
 void Simulation::add_event_source(std::unique_ptr<EventSource> source) {
@@ -102,12 +170,17 @@ std::optional<Simulation::Next> Simulation::peek_next() {
   return best;
 }
 
-void Simulation::dispatch(const SimEvent& event) {
+void Simulation::dispatch(const SimEvent& event, std::size_t source) {
   now_ = event.time;
   if (event.kind == SimEvent::Kind::kPacket) {
     routers_[static_cast<std::size_t>(event.packet->src)]->on_generate(*event.packet);
   } else {
     const Meeting& m = event.meeting;
+    // Capacity/meeting totals accrue per dispatched meeting for every source
+    // except the built-in schedule, whose totals were pre-counted by
+    // metrics_.begin() — streamed and injected opportunities are counted the
+    // moment they happen.
+    if (source != schedule_source_) metrics_.record_meeting(m.capacity);
     run_contact(*routers_[static_cast<std::size_t>(m.a)],
                 *routers_[static_cast<std::size_t>(m.b)], m, meeting_index_++,
                 config_.contact, workload_, metrics_);
@@ -123,8 +196,8 @@ bool Simulation::step() {
     sources_[next->source]->pop();
     // Events past the day end are dropped, exactly like the legacy merge loop
     // (a day's stragglers carry no weight in the figures).
-    if (event.time > schedule_.duration) continue;
-    dispatch(event);
+    if (event.time > duration_) continue;
+    dispatch(event, next->source);
     return true;
   }
 }
@@ -135,8 +208,8 @@ void Simulation::run_until(Time t) {
     if (!next.has_value() || next->event->time > t) return;
     const SimEvent event = *next->event;
     sources_[next->source]->pop();
-    if (event.time > schedule_.duration) continue;
-    dispatch(event);
+    if (event.time > duration_) continue;
+    dispatch(event, next->source);
   }
 }
 
@@ -151,11 +224,11 @@ bool Simulation::done() const {
   // effectively drained.
   for (const auto& source : sources_) {
     const SimEvent* event = source->peek();
-    if (event != nullptr && event->time <= schedule_.duration) return false;
+    if (event != nullptr && event->time <= duration_) return false;
   }
   return true;
 }
 
-SimResult Simulation::finish() const { return metrics_.finalize(workload_, schedule_.duration); }
+SimResult Simulation::finish() const { return metrics_.finalize(workload_, duration_); }
 
 }  // namespace rapid

@@ -2,17 +2,26 @@
 //
 // A Simulation replaces the old one-shot run_simulation() loop with an
 // explicit object: an event queue merged from pluggable EventSources
-// (packet-generation and meeting-schedule sources are built in; streaming
-// feeds can be added), advanced with step() / run_until(t), observed mid-run
-// through metric taps, and finished into the SimResult the figures are built
-// from. The legacy run_simulation() in sim/engine.h is a thin wrapper:
-// construct, run(), finish().
+// (packet-generation and meeting sources are built in; streaming feeds can
+// be added), advanced with step() / run_until(t), observed mid-run through
+// metric taps, and finished into the SimResult the figures are built from.
+// The legacy run_simulation() in sim/engine.h is a thin wrapper: construct,
+// run(), finish().
 //
-// Determinism contract: sources are polled in registration order and an event
-// is taken from the earliest-time source, ties broken by registration order.
-// The built-in workload source registers before the schedule source, which
-// reproduces the legacy merge rule "a packet created at time t is generated
-// before a meeting at time t".
+// Meetings reach the engine one of two ways:
+//   * materialized — a sorted MeetingSchedule, cursor-walked by the built-in
+//     schedule source (capacity totals are known up front);
+//   * streaming — a MobilityModel (mobility/mobility_model.h) pulled one
+//     contact at a time through a MobilityEventSource, so peak memory never
+//     scales with the total contact count. Capacity/meeting totals accrue
+//     per dispatched meeting; for full runs of generator-produced mobility
+//     the two paths produce bit-identical SimResults (dual-path tested).
+//
+// Determinism contract: sources are polled in registration order and an
+// event is taken from the earliest-time source, ties broken by registration
+// order. The built-in workload source registers before the meeting source,
+// which reproduces the legacy merge rule "a packet created at time t is
+// generated before a meeting at time t".
 #pragma once
 
 #include <functional>
@@ -24,6 +33,7 @@
 #include "dtn/packet.h"
 #include "dtn/router.h"
 #include "dtn/schedule.h"
+#include "mobility/mobility_model.h"
 
 namespace rapid {
 
@@ -54,6 +64,18 @@ class EventSource {
 // Built-in sources, exposed so tests and custom drivers can compose them.
 std::unique_ptr<EventSource> make_workload_source(const PacketPool& workload);
 std::unique_ptr<EventSource> make_schedule_source(const MeetingSchedule& schedule);
+// Adapts a streaming MobilityModel into a kMeeting event source. The
+// borrowing overload leaves ownership with the caller (who must keep the
+// model alive for the run); the owning overload carries it.
+std::unique_ptr<EventSource> make_mobility_source(MobilityModel& model);
+std::unique_ptr<EventSource> make_mobility_source(std::unique_ptr<MobilityModel> model);
+
+// The experiment horizon and fleet size a Simulation needs when there is no
+// materialized schedule to read them from.
+struct SimBounds {
+  int num_nodes = 0;
+  Time duration = 0;
+};
 
 class Simulation {
  public:
@@ -61,14 +83,22 @@ class Simulation {
   // deliveries/bytes without waiting for finish().
   using MetricTap = std::function<void(const SimEvent&, const MetricsCollector&)>;
 
+  // Materialized path: the schedule is the built-in meeting source.
   Simulation(const MeetingSchedule& schedule, const PacketPool& workload,
              const RouterFactory& factory, const SimConfig& config);
+
+  // Streaming path: no schedule exists; meetings arrive through the mobility
+  // source (add one with add_event_source(make_mobility_source(...)) — the
+  // run_simulation overload in sim/engine.h does this for you). Capacity and
+  // meeting-count metrics accrue per dispatched meeting.
+  Simulation(SimBounds bounds, const PacketPool& workload, const RouterFactory& factory,
+             const SimConfig& config);
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
   // Extra event feeds beyond the built-ins; add before stepping. Events past
-  // the schedule's duration are skipped like the built-ins' are.
+  // the duration are skipped like the built-ins' are.
   void add_event_source(std::unique_ptr<EventSource> source);
   void add_tap(MetricTap tap);
 
@@ -83,6 +113,7 @@ class Simulation {
   Time now() const { return now_; }
   bool done() const;
   int meetings_run() const { return meeting_index_; }
+  Time duration() const { return duration_; }
 
   Router& router(NodeId node) { return *routers_[static_cast<std::size_t>(node)]; }
   const MetricsCollector& metrics() const { return metrics_; }
@@ -91,17 +122,26 @@ class Simulation {
   SimResult finish() const;
 
  private:
+  Simulation(const MeetingSchedule* schedule, SimBounds bounds, const PacketPool& workload,
+             const RouterFactory& factory, const SimConfig& config);
+
   // (source index, event) of the next event to dispatch, or nullopt.
   struct Next {
     std::size_t source;
     const SimEvent* event;
   };
   std::optional<Next> peek_next();
-  void dispatch(const SimEvent& event);
+  void dispatch(const SimEvent& event, std::size_t source);
 
-  const MeetingSchedule& schedule_;
+  const MeetingSchedule* schedule_ = nullptr;  // null on the streaming path
+  // Index of the built-in schedule source, whose capacity/meeting totals are
+  // pre-counted at begin(); meetings from every other source accrue into the
+  // metrics as they dispatch. npos when constructed without a schedule.
+  std::size_t schedule_source_ = static_cast<std::size_t>(-1);
   const PacketPool& workload_;
   SimConfig config_;
+  int num_nodes_ = 0;
+  Time duration_ = 0;
 
   MetricsCollector metrics_;
   SimContext ctx_;

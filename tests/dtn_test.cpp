@@ -81,8 +81,52 @@ TEST(Schedule, SortAndValidate) {
   EXPECT_FALSE(s.is_sorted());
   s.sort();
   EXPECT_TRUE(s.is_sorted());
-  EXPECT_DOUBLE_EQ(s.meetings.front().time, 10.0);
+  EXPECT_DOUBLE_EQ(s.meetings().front().time, 10.0);
   EXPECT_EQ(s.total_capacity(), 3_KB);
+}
+
+TEST(Schedule, InOrderAppendsKeepSortStateWithoutResorting) {
+  // Streams append in time order; the schedule must stay known-sorted in
+  // O(1) per add, with sort() a no-op (satellite of the streaming-mobility
+  // refactor). Equal timestamps are in order too.
+  MeetingSchedule s;
+  s.num_nodes = 4;
+  s.duration = 100;
+  s.add(0, 1, 5, 1_KB);
+  s.add(1, 2, 10, 1_KB);
+  s.add(2, 3, 10, 2_KB);  // tie: still in order
+  s.add(0, 3, 20, 1_KB);
+  EXPECT_TRUE(s.is_sorted());
+  s.sort();  // no-op: the tie at t=10 must keep its insertion order
+  EXPECT_EQ(s.meetings()[1].a, 1);
+  EXPECT_EQ(s.meetings()[2].a, 2);
+
+  // One out-of-order append settles the state the other way.
+  s.add(0, 1, 1, 1_KB);
+  EXPECT_FALSE(s.is_sorted());
+  s.sort();
+  EXPECT_TRUE(s.is_sorted());
+  EXPECT_DOUBLE_EQ(s.meetings().front().time, 1.0);
+}
+
+TEST(Schedule, MutableAccessInvalidatesCachedSortState) {
+  MeetingSchedule s;
+  s.num_nodes = 3;
+  s.duration = 100;
+  s.add(0, 1, 10, 1_KB);
+  s.add(1, 2, 20, 1_KB);
+  ASSERT_TRUE(s.is_sorted());
+
+  // Direct surgery: the cached answer must be re-derived, both ways.
+  std::swap(s.mutable_meetings().front(), s.mutable_meetings().back());
+  EXPECT_FALSE(s.is_sorted());
+  std::swap(s.mutable_meetings().front(), s.mutable_meetings().back());
+  EXPECT_TRUE(s.is_sorted());
+
+  s.clear();
+  EXPECT_TRUE(s.is_sorted());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.total_capacity(), 0);
 }
 
 TEST(Schedule, RejectsBadMeetings) {

@@ -99,7 +99,7 @@ TEST(Engine, MetricInvariantsHold) {
 
 TEST(Engine, DeliveriesRequireMeetings) {
   SmallWorld world = make_world(3);
-  world.schedule.meetings.clear();  // no meetings at all
+  world.schedule.clear();  // no meetings at all
   const SimResult r = run(world, ProtocolKind::kRapid);
   EXPECT_EQ(r.delivered, 0u);
   EXPECT_EQ(r.data_bytes, 0);
@@ -110,7 +110,7 @@ TEST(Engine, EpidemicDeliversEverythingWithInfiniteResources) {
   // is an upper bound on reachability: every packet whose source connects to
   // its destination in the remaining meeting graph must arrive.
   SmallWorld world = make_world(4, 0.5);
-  for (Meeting& m : world.schedule.meetings) m.capacity = 10_MB;
+  for (Meeting& m : world.schedule.mutable_meetings()) m.capacity = 10_MB;
   const SimResult epidemic = run(world, ProtocolKind::kEpidemic);
   // All other protocols can at best match flooding's delivery count here.
   for (ProtocolKind kind : {ProtocolKind::kRapid, ProtocolKind::kMaxProp,
@@ -126,7 +126,7 @@ TEST(Engine, RapidMatchesFloodingWhenBandwidthIsFree) {
   // Work conservation: with effectively infinite opportunities RAPID should
   // deliver as much as epidemic flooding (it replicates whenever useful).
   SmallWorld world = make_world(5, 0.5);
-  for (Meeting& m : world.schedule.meetings) m.capacity = 10_MB;
+  for (Meeting& m : world.schedule.mutable_meetings()) m.capacity = 10_MB;
   const SimResult rapid_result = run(world, ProtocolKind::kRapid);
   const SimResult epidemic = run(world, ProtocolKind::kEpidemic);
   EXPECT_GE(rapid_result.delivered + 2, epidemic.delivered);
@@ -152,7 +152,8 @@ TEST(Engine, MetadataAccountedForRapidOnly) {
 TEST(Engine, UnsortedScheduleRejected) {
   SmallWorld world = make_world(8);
   ASSERT_GE(world.schedule.size(), 2u);
-  std::swap(world.schedule.meetings.front(), world.schedule.meetings.back());
+  auto& meetings = world.schedule.mutable_meetings();
+  std::swap(meetings.front(), meetings.back());
   EXPECT_THROW(run(world, ProtocolKind::kRandom), std::invalid_argument);
 }
 

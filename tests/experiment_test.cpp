@@ -61,7 +61,7 @@ TEST(Experiment, InstancesDeterministicPerRun) {
   EXPECT_EQ(ia.workload.size(), ib.workload.size());
   ASSERT_EQ(ia.schedule.size(), ib.schedule.size());
   for (std::size_t i = 0; i < ia.schedule.size(); ++i)
-    EXPECT_DOUBLE_EQ(ia.schedule.meetings[i].time, ib.schedule.meetings[i].time);
+    EXPECT_DOUBLE_EQ(ia.schedule.meetings()[i].time, ib.schedule.meetings()[i].time);
 }
 
 TEST(Experiment, RunsDiffer) {

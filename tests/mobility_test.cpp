@@ -21,7 +21,7 @@ TEST(ExponentialModel, MeetingCountMatchesRate) {
   EXPECT_TRUE(s.is_sorted());
   // 45 pairs * 10 expected meetings each = 450.
   EXPECT_NEAR(static_cast<double>(s.size()), 450.0, 80.0);
-  for (const Meeting& m : s.meetings) {
+  for (const Meeting& m : s.meetings()) {
     EXPECT_GE(m.time, 0.0);
     EXPECT_LT(m.time, config.duration);
     EXPECT_GT(m.capacity, 0);
@@ -36,7 +36,7 @@ TEST(ExponentialModel, AllPairsEventuallyMeet) {
   Rng rng(2);
   const MeetingSchedule s = generate_exponential_schedule(config, rng);
   std::set<std::pair<NodeId, NodeId>> pairs;
-  for (const Meeting& m : s.meetings) pairs.insert({std::min(m.a, m.b), std::max(m.a, m.b)});
+  for (const Meeting& m : s.meetings()) pairs.insert({std::min(m.a, m.b), std::max(m.a, m.b)});
   EXPECT_EQ(pairs.size(), 15u);
 }
 
@@ -78,7 +78,7 @@ TEST(PowerlawModel, PopularNodesMeetMore) {
 
   // Meeting counts per node should correlate negatively with rank.
   std::vector<int> count(20, 0);
-  for (const Meeting& m : ps.schedule.meetings) {
+  for (const Meeting& m : ps.schedule.meetings()) {
     ++count[static_cast<std::size_t>(m.a)];
     ++count[static_cast<std::size_t>(m.b)];
   }
@@ -115,7 +115,7 @@ TEST(DieselNet, DailyStructure) {
     EXPECT_EQ(day.schedule.num_nodes, config.fleet_size);
     // Meetings only among the day's active buses.
     const std::set<NodeId> active(day.active_buses.begin(), day.active_buses.end());
-    for (const Meeting& m : day.schedule.meetings) {
+    for (const Meeting& m : day.schedule.meetings()) {
       EXPECT_TRUE(active.count(m.a));
       EXPECT_TRUE(active.count(m.b));
     }
@@ -148,7 +148,7 @@ TEST(DieselNet, SomePairsNeverMeetDirectly) {
   const DieselNetTrace trace = generate_dieselnet_trace(config, 20, rng);
   std::set<std::pair<NodeId, NodeId>> met;
   for (const DayTrace& day : trace.days) {
-    for (const Meeting& m : day.schedule.meetings)
+    for (const Meeting& m : day.schedule.meetings())
       met.insert({std::min(m.a, m.b), std::max(m.a, m.b)});
   }
   const std::size_t all_pairs =
@@ -173,7 +173,7 @@ TEST(DieselNet, HubKeepsContactGraphConnected) {
   std::size_t same_meetings = 0, same_pairs = 0, far_meetings = 0, far_pairs = 0;
   std::map<std::pair<NodeId, NodeId>, std::size_t> counts;
   for (const DayTrace& day : trace.days)
-    for (const Meeting& m : day.schedule.meetings)
+    for (const Meeting& m : day.schedule.meetings())
       ++counts[{std::min(m.a, m.b), std::max(m.a, m.b)}];
   for (const auto& [pair, count] : counts) {
     const int diff = std::abs(routes[static_cast<std::size_t>(pair.first)] -
@@ -224,7 +224,7 @@ TEST(DieselNet, PerturbationShavesCapacityAndDropsMeetings) {
     perturbed += p.size();
     original_bytes += day.schedule.total_capacity();
     perturbed_bytes += p.total_capacity();
-    for (const Meeting& m : p.meetings) {
+    for (const Meeting& m : p.meetings()) {
       EXPECT_GE(m.time, 0.0);
       EXPECT_LE(m.time, day.schedule.duration);
     }

@@ -153,7 +153,8 @@ TEST(ScenarioRegistry, LooksUpBuiltinScenarios) {
   for (const char* name : {"trace", "trace-full", "exponential", "powerlaw",
                            "trace-large", "trace-longday", "trace-mixed-deadline",
                            "exponential-dense", "powerlaw-steep", "powerlaw-large",
-                           "trace-interrupted", "trace-asymmetric"}) {
+                           "trace-interrupted", "trace-asymmetric", "vehicular-grid",
+                           "working-day", "powerlaw-stream"}) {
     ASSERT_NE(registry.find(name), nullptr) << name;
     EXPECT_FALSE(registry.find(name)->description.empty()) << name;
   }
@@ -176,6 +177,97 @@ TEST(ScenarioRegistry, PowerlawLargeMeetsItsScaleFloor) {
   const Instance inst = scenario.instance(0, 3.0);
   EXPECT_GE(inst.workload.size(), 10000u);
   EXPECT_GT(inst.schedule.size(), 0u);
+}
+
+TEST(ScenarioRegistry, StreamingScenariosDeclareTheirShape) {
+  auto& registry = runner::ScenarioRegistry::global();
+  const ScenarioConfig vehicular = registry.make("vehicular-grid");
+  EXPECT_EQ(vehicular.mobility, MobilityKind::kVehicularGrid);
+  const ScenarioConfig working = registry.make("working-day");
+  EXPECT_EQ(working.mobility, MobilityKind::kWorkingDay);
+
+  const ScenarioConfig stream = registry.make("powerlaw-stream");
+  EXPECT_EQ(stream.mobility, MobilityKind::kPowerlaw);
+  EXPECT_TRUE(stream.stream_mobility);
+  EXPECT_GE(stream.powerlaw.num_nodes, 2000);
+  // The streaming path never materializes a schedule: the instance carries a
+  // model factory and the experiment bounds instead.
+  ScenarioConfig tiny = stream;
+  tiny.powerlaw.num_nodes = 40;  // keep the registry's shape checks fast
+  const Scenario scenario(tiny);
+  const Instance inst = scenario.instance(0, 3.0);
+  EXPECT_TRUE(static_cast<bool>(inst.make_model));
+  EXPECT_EQ(inst.schedule.size(), 0u);
+  EXPECT_EQ(inst.num_nodes, 40);
+  EXPECT_EQ(inst.duration, tiny.powerlaw.duration);
+}
+
+// One figure cell through both mobility paths: materialized MeetingSchedule
+// vs streaming MobilityModel. Every SimResult field must be bit-identical —
+// the acceptance bar for the streaming-mobility refactor, mirroring the
+// utility-cache dual-path tests below.
+SimResult run_mobility_path_cell(const std::string& scenario_name, double load,
+                                 bool streaming, ProtocolKind protocol) {
+  ScenarioConfig config = runner::ScenarioRegistry::global().make(scenario_name);
+  if (config.mobility == MobilityKind::kTrace) config.days = 1;
+  config.synthetic_runs = 1;
+  config.stream_mobility = streaming;
+  // Trim the movement models so each cell runs in well under a second.
+  config.vehicular.num_vehicles = 14;
+  config.vehicular.duration = 900.0;
+  config.working_day.num_nodes = 20;
+  config.working_day.duration = config.working_day.day_length;
+  const Scenario scenario(config);
+  RunSpec spec;
+  spec.protocol = protocol;
+  return run_instance(scenario, scenario.instance(0, load), spec);
+}
+
+TEST(MobilityPath, PowerlawCellBitIdenticalStreamedVsMaterialized) {
+  expect_results_identical(
+      run_mobility_path_cell("powerlaw", 10.0, false, ProtocolKind::kRapid),
+      run_mobility_path_cell("powerlaw", 10.0, true, ProtocolKind::kRapid));
+}
+
+TEST(MobilityPath, TraceCellBitIdenticalStreamedVsMaterialized) {
+  // Trace replay streams from a cursor over the recorded day instead of
+  // copying the day's meeting vector into the instance.
+  expect_results_identical(
+      run_mobility_path_cell("trace", 4.0, false, ProtocolKind::kRapid),
+      run_mobility_path_cell("trace", 4.0, true, ProtocolKind::kRapid));
+}
+
+TEST(MobilityPath, VehicularGridCellBitIdenticalStreamedVsMaterialized) {
+  expect_results_identical(
+      run_mobility_path_cell("vehicular-grid", 6.0, false, ProtocolKind::kMaxProp),
+      run_mobility_path_cell("vehicular-grid", 6.0, true, ProtocolKind::kMaxProp));
+}
+
+TEST(MobilityPath, WorkingDayCellBitIdenticalStreamedVsMaterialized) {
+  expect_results_identical(
+      run_mobility_path_cell("working-day", 6.0, false, ProtocolKind::kRapid),
+      run_mobility_path_cell("working-day", 6.0, true, ProtocolKind::kRapid));
+}
+
+TEST(SweepExecutor, StreamingScenarioParallelBitIdenticalToSerial) {
+  // Rng::split determinism survives the streaming path: a parallel sweep
+  // over a streaming scenario matches the serial grid bit for bit.
+  ScenarioConfig config = runner::ScenarioRegistry::global().make("working-day");
+  config.stream_mobility = true;
+  config.working_day.num_nodes = 16;
+  config.working_day.duration = config.working_day.day_length;
+  config.synthetic_runs = 2;
+  const Scenario scenario(config);
+  RunSpec spec;
+  spec.protocol = ProtocolKind::kRapid;
+
+  runner::SweepExecutor serial(1);
+  runner::SweepExecutor parallel(4);
+  const std::vector<Series> a = serial.load_sweep(scenario, {4.0, 10.0}, {spec});
+  const std::vector<Series> b = parallel.load_sweep(scenario, {4.0, 10.0}, {spec});
+  for (std::size_t i = 0; i < a[0].cells.size(); ++i)
+    for (std::size_t run = 0; run < a[0].cells[i].size(); ++run)
+      expect_results_identical(a[0].cells[i][run], b[0].cells[i][run]);
 }
 
 TEST(LinkScenarios, InterruptedTraceChargesPartialsAndRunsDeterministically) {

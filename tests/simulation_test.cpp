@@ -236,10 +236,109 @@ TEST(Simulation, MetricInvariantsHoldUnderLinkPolicies) {
   }
 }
 
+TEST(Simulation, StreamingMobilityBitIdenticalToMaterializedSchedule) {
+  // The same exponential mobility reaches the engine two ways: materialized
+  // into the world's MeetingSchedule, and pulled lazily through a
+  // MobilityEventSource. Every SimResult field — including the accrued
+  // capacity/meeting totals — must match bit for bit.
+  const SmallWorld world = make_world(31);
+  const SimResult materialized =
+      run_simulation(world.schedule, world.workload, factory_for(ProtocolKind::kRapid),
+                     SimConfig{});
+
+  ExponentialMobilityConfig mobility;
+  mobility.num_nodes = 8;
+  mobility.duration = 600;
+  mobility.pair_mean_intermeeting = 60;
+  mobility.mean_opportunity = 8_KB;
+  const SimResult streamed =
+      run_simulation(make_exponential_model(mobility, Rng(31)), world.workload,
+                     factory_for(ProtocolKind::kRapid), SimConfig{});
+
+  expect_identical(materialized, streamed);
+  EXPECT_EQ(materialized.capacity_bytes, streamed.capacity_bytes);
+  EXPECT_EQ(materialized.meetings, streamed.meetings);
+  EXPECT_EQ(materialized.avg_delay, streamed.avg_delay);
+  EXPECT_EQ(materialized.channel_utilization, streamed.channel_utilization);
+}
+
+// A hand-fed model for merge-order tests at the Simulation level.
+class VectorMobilityModel : public MobilityModel {
+ public:
+  VectorMobilityModel(int num_nodes, Time duration, std::vector<Meeting> meetings)
+      : num_nodes_(num_nodes), duration_(duration), meetings_(std::move(meetings)) {}
+  int num_nodes() const override { return num_nodes_; }
+  Time duration() const override { return duration_; }
+  const Meeting* peek() override {
+    return next_ < meetings_.size() ? &meetings_[next_] : nullptr;
+  }
+  void pop() override { ++next_; }
+
+ private:
+  int num_nodes_;
+  Time duration_;
+  std::vector<Meeting> meetings_;
+  std::size_t next_ = 0;
+};
+
+TEST(Simulation, KWayMergedMobilitySourcesKeepRegistrationOrderOnTies) {
+  // Two mobility sources with colliding timestamps: the engine must emit
+  // equal-time meetings in source-registration order (the canonical
+  // deterministic tie-break), interleaving the rest by time.
+  MeetingSchedule empty;
+  empty.num_nodes = 6;
+  empty.duration = 100;
+  PacketPool no_packets;
+  Simulation sim(empty, no_packets, factory_for(ProtocolKind::kDirect), SimConfig{});
+  sim.add_event_source(make_mobility_source(std::make_unique<VectorMobilityModel>(
+      6, 100.0, std::vector<Meeting>{{0, 1, 10.0, 1_KB}, {0, 1, 20.0, 1_KB}})));
+  sim.add_event_source(make_mobility_source(std::make_unique<VectorMobilityModel>(
+      6, 100.0, std::vector<Meeting>{{2, 3, 5.0, 1_KB}, {2, 3, 10.0, 1_KB}})));
+
+  std::vector<std::pair<Time, NodeId>> order;
+  sim.add_tap([&](const SimEvent& event, const MetricsCollector&) {
+    ASSERT_EQ(event.kind, SimEvent::Kind::kMeeting);
+    order.emplace_back(event.time, event.meeting.a);
+  });
+  sim.run();
+  const std::vector<std::pair<Time, NodeId>> expected = {
+      {5.0, 2}, {10.0, 0}, {10.0, 2}, {20.0, 0}};
+  EXPECT_EQ(order, expected);
+  EXPECT_EQ(sim.meetings_run(), 4);
+  // Streamed opportunities count toward the capacity/meeting totals even
+  // when the Simulation was constructed with a (here empty) schedule.
+  const SimResult r = sim.finish();
+  EXPECT_EQ(r.meetings, 4u);
+  EXPECT_EQ(r.capacity_bytes, 4_KB);
+}
+
+TEST(Simulation, MobilitySourceRejectsOutOfOrderModels) {
+  MeetingSchedule empty;
+  empty.num_nodes = 4;
+  empty.duration = 100;
+  PacketPool no_packets;
+  Simulation sim(empty, no_packets, factory_for(ProtocolKind::kDirect), SimConfig{});
+  sim.add_event_source(make_mobility_source(std::make_unique<VectorMobilityModel>(
+      4, 100.0, std::vector<Meeting>{{0, 1, 50.0, 1_KB}, {0, 1, 10.0, 1_KB}})));
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST(Simulation, StreamingBoundsValidateAndReportDuration) {
+  PacketPool no_packets;
+  EXPECT_THROW(Simulation(SimBounds{0, 100.0}, no_packets,
+                          factory_for(ProtocolKind::kDirect), SimConfig{}),
+               std::invalid_argument);
+  Simulation sim(SimBounds{3, 250.0}, no_packets, factory_for(ProtocolKind::kDirect),
+                 SimConfig{});
+  EXPECT_EQ(sim.duration(), 250.0);
+  EXPECT_TRUE(sim.done());  // no sources beyond the (empty) workload
+}
+
 TEST(Simulation, RejectsUnsortedScheduleAndNullSource) {
   SmallWorld world = make_world(27);
   ASSERT_GE(world.schedule.size(), 2u);
-  std::swap(world.schedule.meetings.front(), world.schedule.meetings.back());
+  auto& meetings = world.schedule.mutable_meetings();
+  std::swap(meetings.front(), meetings.back());
   EXPECT_THROW(Simulation(world.schedule, world.workload,
                           factory_for(ProtocolKind::kDirect), SimConfig{}),
                std::invalid_argument);

@@ -36,10 +36,10 @@ TEST(TraceIo, RoundTripPreservesEverything) {
     EXPECT_DOUBLE_EQ(a.schedule.duration, b.schedule.duration);
     ASSERT_EQ(a.schedule.size(), b.schedule.size());
     for (std::size_t m = 0; m < a.schedule.size(); ++m) {
-      EXPECT_EQ(a.schedule.meetings[m].a, b.schedule.meetings[m].a);
-      EXPECT_EQ(a.schedule.meetings[m].b, b.schedule.meetings[m].b);
-      EXPECT_NEAR(a.schedule.meetings[m].time, b.schedule.meetings[m].time, 1e-6);
-      EXPECT_EQ(a.schedule.meetings[m].capacity, b.schedule.meetings[m].capacity);
+      EXPECT_EQ(a.schedule.meetings()[m].a, b.schedule.meetings()[m].a);
+      EXPECT_EQ(a.schedule.meetings()[m].b, b.schedule.meetings()[m].b);
+      EXPECT_NEAR(a.schedule.meetings()[m].time, b.schedule.meetings()[m].time, 1e-6);
+      EXPECT_EQ(a.schedule.meetings()[m].capacity, b.schedule.meetings()[m].capacity);
     }
   }
 }
@@ -95,6 +95,62 @@ TEST(TraceIo, RejectsMeetingAfterDayEnd) {
 TEST(TraceIo, RejectsUnknownKeyword) {
   std::stringstream in("rapid-trace v1\nfleet 4\nbogus 1 2 3\n");
   EXPECT_THROW(read_trace(in), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncatedMeetLine) {
+  std::stringstream in(
+      "rapid-trace v1\nfleet 4\nday 100 active 0 1\nmeet 0 1 5\nend\n");
+  EXPECT_THROW(read_trace(in), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTrailingGarbage) {
+  std::stringstream meet(
+      "rapid-trace v1\nfleet 4\nday 100 active 0 1\nmeet 0 1 5 10 extra\nend\n");
+  EXPECT_THROW(read_trace(meet), std::runtime_error);
+  std::stringstream fleet("rapid-trace v1\nfleet 4 surplus\n");
+  EXPECT_THROW(read_trace(fleet), std::runtime_error);
+  std::stringstream active(
+      "rapid-trace v1\nfleet 4\nday 100 active 0 1 bogus\nmeet 0 1 5 10\nend\n");
+  EXPECT_THROW(read_trace(active), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsNonMonotonicMeetTimes) {
+  // Replayed days feed the streaming mobility path, whose time-order
+  // contract must hold at the source — out-of-order meet lines are a
+  // corrupt trace, not something to silently re-sort.
+  std::stringstream in(
+      "rapid-trace v1\nfleet 4\nday 100 active 0 1 2\n"
+      "meet 0 1 50 10\nmeet 1 2 20 10\nend\n");
+  try {
+    read_trace(in);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("non-monotonic"), std::string::npos) << what;
+  }
+  // Equal timestamps are fine (two pairs can meet at the same instant).
+  std::stringstream ties(
+      "rapid-trace v1\nfleet 4\nday 100 active 0 1 2\n"
+      "meet 0 1 20 10\nmeet 1 2 20 10\nend\n");
+  EXPECT_EQ(read_trace(ties).days.at(0).schedule.size(), 2u);
+}
+
+TEST(TraceIo, RejectsDuplicateFleetAndDayBeforeFleet) {
+  std::stringstream dup("rapid-trace v1\nfleet 4\nfleet 6\n");
+  EXPECT_THROW(read_trace(dup), std::runtime_error);
+  std::stringstream no_fleet("rapid-trace v1\nday 100 active 0 1\nend\n");
+  EXPECT_THROW(read_trace(no_fleet), std::runtime_error);
+}
+
+TEST(TraceIo, LoadedDaysReplayThroughTheStreamingInterface) {
+  const DieselNetTrace original = small_trace();
+  std::stringstream buffer;
+  write_trace(buffer, original);
+  const DieselNetTrace loaded = read_trace(buffer);
+  // Strict monotonic parsing keeps every day's sorted invariant intact, so
+  // replay models can stream it directly.
+  for (const DayTrace& day : loaded.days) EXPECT_TRUE(day.schedule.is_sorted());
 }
 
 TEST(TraceIo, FileRoundTrip) {
