@@ -1,0 +1,150 @@
+// Perf-trajectory probe for the runtime observability layer (PR 6).
+//
+// Runs the powerlaw-large scenario end to end under RAPID and writes one
+// JSON record in the bench_compare.py dialect:
+//
+//   wall_clock_ms  — best-of-N end-to-end simulation time
+//   peak_rss_kb    — getrusage(RUSAGE_SELF).ru_maxrss after the runs
+//   allocations    — operator-new count during the measured runs (exact)
+//   packets / meetings / delivered — determinism guards (exact match)
+//   obs_enabled    — whether this binary compiled the observability layer
+//   phases         — per-phase wall breakdown of one extra profiled run
+//                    (with --profile; never part of the measured region)
+//
+// The measured region runs with profiling and tracing OFF — what it prices
+// is the always-on cost of the compiled-in probes (TLS null checks plus
+// counter bumps). The CI obs job builds this binary twice, -DRAPID_OBS=ON
+// and OFF, and fails if the instrumented wall clock exceeds the stripped
+// one by more than 3% (tools/bench_compare.py --wall-tolerance 0.03).
+//
+// Usage: bench_pr6 [--json PATH] [--runs N] [--profile] [--load F]
+#include <sys/resource.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "obs/obs.h"
+#include "runner/scenario_registry.h"
+#include "sim/experiment.h"
+#include "sim/protocols.h"
+
+namespace {
+
+std::atomic<unsigned long long> g_allocations{0};
+std::atomic<bool> g_counting{false};
+
+}  // namespace
+
+// Counting allocator hook: global operator new/delete for this binary only
+// (the library is untouched). Counting is gated so setup/teardown noise
+// stays out of the number.
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+int main(int argc, char** argv) {
+  using rapid::Instance;
+  using rapid::RunSpec;
+  using rapid::Scenario;
+  using rapid::SimResult;
+
+  std::string json_path;
+  int runs = 3;
+  bool profile = false;
+  double load = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--runs" && i + 1 < argc) {
+      runs = std::atoi(argv[++i]);
+      if (runs < 1) runs = 1;
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (arg == "--load" && i + 1 < argc) {
+      load = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_pr6 [--json PATH] [--runs N] [--profile] "
+                   "[--load F]\n");
+      return 2;
+    }
+  }
+
+  const Scenario scenario(
+      rapid::runner::ScenarioRegistry::global().make("powerlaw-large"));
+  RunSpec spec;  // RAPID, avg-delay, obs knobs off: the always-on probe cost
+
+  double best_ms = 1e300;
+  unsigned long long best_allocations = ~0ULL;
+  std::size_t delivered = 0;
+  std::size_t packets = 0;
+  std::size_t meetings = 0;
+  for (int r = 0; r < runs; ++r) {
+    g_allocations.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    const Instance inst = scenario.instance(0, load);
+    const SimResult result = run_instance(scenario, inst, spec);
+    const auto t1 = std::chrono::steady_clock::now();
+    g_counting.store(false, std::memory_order_relaxed);
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const unsigned long long allocations = g_allocations.load(std::memory_order_relaxed);
+    if (ms < best_ms) best_ms = ms;
+    if (allocations < best_allocations) best_allocations = allocations;
+    delivered = result.delivered;
+    packets = inst.workload.size();
+    meetings = result.meetings;
+  }
+
+  // The profiled run is separate so its steady_clock reads never contaminate
+  // the measured region.
+  std::string phases_json = "null";
+  if (profile) {
+    RunSpec profiled = spec;
+    profiled.obs.profile = true;
+    const Instance inst = scenario.instance(0, load);
+    const SimResult result = run_instance(scenario, inst, profiled);
+    if (result.obs != nullptr)
+      phases_json = rapid::obs::phase_table_json(result.obs->profile, 4);
+  }
+
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);  // ru_maxrss is in kilobytes on Linux
+
+  const std::string json = std::string("{\n") +
+      "  \"scenario\": \"powerlaw-large\",\n" +
+      "  \"protocol\": \"rapid\",\n" +
+      "  \"load\": " + std::to_string(load) + ",\n" +
+      "  \"obs_enabled\": " + (RAPID_OBS_ENABLED ? "true" : "false") + ",\n" +
+      "  \"packets\": " + std::to_string(packets) + ",\n" +
+      "  \"meetings\": " + std::to_string(meetings) + ",\n" +
+      "  \"delivered\": " + std::to_string(delivered) + ",\n" +
+      "  \"wall_clock_ms\": " + std::to_string(best_ms) + ",\n" +
+      "  \"peak_rss_kb\": " + std::to_string(static_cast<long long>(usage.ru_maxrss)) + ",\n" +
+      "  \"allocations\": " + std::to_string(best_allocations) + ",\n" +
+      "  \"phases\": " + phases_json + "\n" +
+      "}\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (!json_path.empty()) {
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "bench_pr6: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/delay_estimator.h"
+#include "obs/obs.h"
 #include "util/slab.h"
 
 namespace rapid {
@@ -125,9 +126,33 @@ double RapidRouter::expected_total_delay_of(const Packet& p, Time now) const {
 }
 
 double RapidRouter::utility_of(const Packet& p, Time now) const {
-  return packet_utility(config_.metric, replica_rate(p), p.age(now),
-                        p.deadline == kTimeInfinity ? kTimeInfinity : p.deadline - now,
-                        config_.utility);
+#if RAPID_OBS_ENABLED
+  // Utility-recompute trace events: the cache decides hit-vs-recompute
+  // internally, so a traced run watches its per-cache stats across the
+  // evaluation and emits one event per estimator that had to recompute
+  // (value 0 = delay path, 1 = rate path). Two counter reads when tracing;
+  // nothing otherwise.
+  obs::ObsContext* obs_ctx = obs::current();
+  const bool traced = obs_ctx != nullptr && obs_ctx->trace.enabled();
+  const std::uint64_t delay_before = traced ? cache_.stats().delay_recomputes : 0;
+  const std::uint64_t rate_before = traced ? cache_.stats().rate_recomputes : 0;
+#endif
+  const double utility =
+      packet_utility(config_.metric, replica_rate(p), p.age(now),
+                     p.deadline == kTimeInfinity ? kTimeInfinity : p.deadline - now,
+                     config_.utility);
+#if RAPID_OBS_ENABLED
+  if (traced) {
+    const UtilityCacheStats& s = cache_.stats();
+    if (s.delay_recomputes != delay_before)
+      obs_ctx->trace.emit(
+          {now, obs::TraceEventKind::kUtilityRecompute, self(), kNoNode, p.id, 0});
+    if (s.rate_recomputes != rate_before)
+      obs_ctx->trace.emit(
+          {now, obs::TraceEventKind::kUtilityRecompute, self(), kNoNode, p.id, 1});
+  }
+#endif
+  return utility;
 }
 
 double RapidRouter::marginal_for(const Packet& p, RapidRouter* rapid_peer,
@@ -457,6 +482,16 @@ void RapidRouter::contact_end(const PeerView& peer, Time now) {
   Router::contact_end(peer, now);
   direct_order_.clear();
   replication_order_.clear();
+}
+
+void RapidRouter::flush_obs(obs::ObsContext& out) const {
+  const UtilityCacheStats& s = cache_.stats();
+  out.metrics.add(obs::Counter::kUtilityDelayHits, s.delay_hits);
+  out.metrics.add(obs::Counter::kUtilityDelayRecomputes, s.delay_recomputes);
+  out.metrics.add(obs::Counter::kUtilityRateHits, s.rate_hits);
+  out.metrics.add(obs::Counter::kUtilityRateRecomputes, s.rate_recomputes);
+  out.metrics.add(obs::Counter::kUtilityForgets, s.forgets);
+  out.metrics.gauge_max(obs::Gauge::kUtilityTrackedPackets, cache_.tracked_packets());
 }
 
 PacketId RapidRouter::choose_drop_victim(const Packet& incoming, Time now) {

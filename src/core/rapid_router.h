@@ -97,6 +97,9 @@ class RapidRouter : public Router {
                            Time now) override;
   void contact_end(const PeerView& peer, Time now) override;
   PacketId choose_drop_victim(const Packet& incoming, Time now) override;
+  // Pushes the utility-cache probe counters (hits, recomputes, forgets,
+  // tracked-packet high-water mark) into the run's registry.
+  void flush_obs(obs::ObsContext& out) const override;
 
   // --- Inference (exposed for tests and for peers during a contact) ---------
   // This node's own direct-delivery delay estimate for a buffered packet.

@@ -110,6 +110,7 @@ void UtilityCache::forget(PacketId id) {
   if (id < 0 || static_cast<std::size_t>(id) >= index_.size()) return;
   const std::int32_t slot = index_[static_cast<std::size_t>(id)];
   if (slot < 0) return;
+  ++stats_.forgets;
   index_[static_cast<std::size_t>(id)] = kEmptySlot;
   // Swap-remove from the packed vector and repoint the moved entry's slot.
   const auto i = static_cast<std::size_t>(slot);

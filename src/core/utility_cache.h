@@ -54,6 +54,7 @@ struct UtilityCacheStats {
   std::uint64_t delay_recomputes = 0;
   std::uint64_t rate_hits = 0;
   std::uint64_t rate_recomputes = 0;
+  std::uint64_t forgets = 0;  // entries dropped via forget() (acked packets)
 
   std::uint64_t recomputes() const { return delay_recomputes + rate_recomputes; }
   std::uint64_t lookups() const {

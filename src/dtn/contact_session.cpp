@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace rapid {
 
 namespace {
@@ -30,6 +32,13 @@ void ContactSession::open() {
   if (state_ != SessionState::kIdle)
     throw std::logic_error("ContactSession::open: session already opened");
   state_ = SessionState::kOpen;
+
+  RAPID_OBS_INC(kContactSessions);
+  RAPID_OBS_HIST(kContactCapacityBytes, meeting_.capacity);
+  RAPID_OBS_TRACE(kContactOpen, meeting_.time, a_.self(), b_.self(), kNoPacket,
+                  meeting_.capacity);
+  // Metadata exchange and the protocols' contact_begin work are routing time.
+  RAPID_OBS_PHASE(kRouting);
 
   a_.observe_opportunity(meeting_.capacity, b_.self(), meeting_.time);
   b_.observe_opportunity(meeting_.capacity, a_.self(), meeting_.time);
@@ -85,6 +94,7 @@ void ContactSession::open() {
   }
   stats_.metadata_bytes = used_a + used_b;
   metrics_.record_metadata(stats_.metadata_bytes);
+  RAPID_OBS_ADD(kContactMetadataBytes, stats_.metadata_bytes);
 
   if (effective_capacity >= 0) {
     const Bytes charged_meta = config_.charge_metadata ? stats_.metadata_bytes : 0;
@@ -100,11 +110,15 @@ bool ContactSession::exhausted() const {
   return budget_ab_ <= 0 && budget_ba_ <= 0;
 }
 
-void ContactSession::charge_partial(const Packet& /*p*/, Bytes bytes) {
+void ContactSession::charge_partial(bool from_a, const Packet& p, Bytes bytes) {
   stats_.data_bytes += bytes;
   stats_.partial_bytes += bytes;
   ++stats_.partial_transfers;
   metrics_.record_partial_transfer(bytes);
+  RAPID_OBS_INC(kContactPartialTransfers);
+  RAPID_OBS_ADD(kContactPartialBytes, bytes);
+  RAPID_OBS_TRACE(kPacketPartial, meeting_.time, sender(from_a).self(),
+                  receiver(from_a).self(), p.id, bytes);
 }
 
 void ContactSession::perform_transfer(bool from_a, const Packet& p) {
@@ -117,16 +131,26 @@ void ContactSession::perform_transfer(bool from_a, const Packet& p) {
   stats_.data_bytes += p.size;
   metrics_.record_data_transfer(p.size);
   ++stats_.transfers;
+  RAPID_OBS_INC(kContactTransfers);
+  RAPID_OBS_ADD(kContactDataBytes, p.size);
+  RAPID_OBS_HIST(kContactTransferBytes, p.size);
 
   const ReceiveOutcome outcome = rcv.receive_copy(p, snd, aux, meeting_.time);
   switch (outcome) {
     case ReceiveOutcome::kDelivered:
       metrics_.record_delivery(p.id, meeting_.time);
       ++stats_.deliveries;
+      RAPID_OBS_INC(kContactDeliveries);
+      RAPID_OBS_TRACE(kPacketDeliver, meeting_.time, snd.self(), rcv.self(), p.id,
+                      p.size);
+      snd.on_transfer_success(p, rcv, outcome, meeting_.time);
+      break;
+    case ReceiveOutcome::kStored:
+      RAPID_OBS_TRACE(kPacketCopy, meeting_.time, snd.self(), rcv.self(), p.id,
+                      p.size);
       snd.on_transfer_success(p, rcv, outcome, meeting_.time);
       break;
     case ReceiveOutcome::kDuplicateDelivery:
-    case ReceiveOutcome::kStored:
       snd.on_transfer_success(p, rcv, outcome, meeting_.time);
       break;
     case ReceiveOutcome::kDuplicate:
@@ -139,6 +163,7 @@ void ContactSession::perform_transfer(bool from_a, const Packet& p) {
 
 Bytes ContactSession::transfer(Bytes max_bytes) {
   if (state_ != SessionState::kOpen) return 0;
+  RAPID_OBS_PHASE(kTransfer);
   const Bytes slice = max_bytes < 0 ? kNoLimit : max_bytes;
   Bytes moved = 0;
 
@@ -176,8 +201,13 @@ Bytes ContactSession::transfer(Bytes max_bytes) {
       a_turn_ = !a_turn_;
       ContactContext ctx{receiver(from_a).self(), meeting_.time, send_budget(from_a),
                          meeting_index_};
-      const std::optional<PacketId> offer =
-          sender(from_a).next_transfer(ctx, receiver(from_a));
+      std::optional<PacketId> offer;
+      {
+        // The protocol's candidate evaluation is routing time, distinct from
+        // the transfer mechanics around it.
+        RAPID_OBS_PHASE(kRouting);
+        offer = sender(from_a).next_transfer(ctx, receiver(from_a));
+      }
       if (!offer.has_value()) {
         (from_a ? a_done_ : b_done_) = true;
         continue;
@@ -197,7 +227,7 @@ Bytes ContactSession::transfer(Bytes max_bytes) {
       // burned, discard the incomplete copy, and end the contact.
       const Bytes burned = data_cutoff_ - data_moved_;
       pending_.valid = false;
-      charge_partial(p, burned);
+      charge_partial(from_a, p, burned);
       moved += burned;
       data_moved_ += burned;
       stats_.interrupted = true;
@@ -225,7 +255,7 @@ void ContactSession::interrupt(Bytes in_flight) {
     const Bytes burned =
         std::min({in_flight, p.size - 1, send_budget(pending_.from_a)});
     if (burned > 0) {
-      charge_partial(p, burned);
+      charge_partial(pending_.from_a, p, burned);
       data_moved_ += burned;
     }
   }
@@ -240,9 +270,14 @@ void ContactSession::close() {
 }
 
 void ContactSession::end_hooks() {
-  a_.contact_end(b_, meeting_.time);
-  b_.contact_end(a_, meeting_.time);
+  {
+    RAPID_OBS_PHASE(kRouting);
+    a_.contact_end(b_, meeting_.time);
+    b_.contact_end(a_, meeting_.time);
+  }
   state_ = SessionState::kClosed;
+  RAPID_OBS_TRACE(kContactClose, meeting_.time, a_.self(), b_.self(),
+                  static_cast<PacketId>(stats_.interrupted ? 1 : 0), data_moved_);
 }
 
 ContactStats run_contact(Router& x, Router& y, const Meeting& meeting, int meeting_index,

@@ -125,7 +125,7 @@ class ContactSession {
   Router& receiver(bool from_a) { return from_a ? b_ : a_; }
   Bytes& send_budget(bool from_a);
   void perform_transfer(bool from_a, const Packet& p);
-  void charge_partial(const Packet& p, Bytes bytes);
+  void charge_partial(bool from_a, const Packet& p, Bytes bytes);
   void end_hooks();
 
   Router& a_;

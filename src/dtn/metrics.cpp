@@ -21,6 +21,17 @@ void MetricsCollector::begin(const PacketPool& pool, const MeetingSchedule& sche
   meetings_ = schedule.size();
 }
 
+void MetricsCollector::begin(const PacketPool& pool, const MeetingSchedule& schedule,
+                             Time horizon) {
+  begin(pool);
+  // The schedule is sorted, so the in-horizon prefix is contiguous.
+  for (const Meeting& m : schedule.meetings()) {
+    if (m.time > horizon) break;
+    capacity_bytes_ += m.capacity;
+    ++meetings_;
+  }
+}
+
 void MetricsCollector::begin(const PacketPool& pool) {
   delivery_time_.assign(pool.size(), kTimeInfinity);
   data_bytes_ = 0;

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "dtn/packet.h"
@@ -10,6 +11,10 @@
 #include "util/types.h"
 
 namespace rapid {
+
+namespace obs {
+struct ObsReport;  // obs/obs.h
+}
 
 // Aggregates for one simulated day (§6.1: each day is an independent
 // experiment; undelivered packets at day end are lost).
@@ -42,6 +47,11 @@ struct SimResult {
   // delivery_time[id] = absolute delivery time, or kTimeInfinity.
   std::vector<Time> delivery_time;
 
+  // What the run's observability layer saw (counters, phase profile, trace):
+  // populated by Simulation::finish(), shared because SimResults are copied
+  // through the sweep plumbing. Never feeds figure math — it only watches.
+  std::shared_ptr<const obs::ObsReport> obs;
+
   // Helpers over the raw per-packet data.
   double delay_of(const Packet& p) const;  // infinity if undelivered
   bool is_delivered(PacketId id) const;
@@ -51,6 +61,12 @@ class MetricsCollector {
  public:
   // Materialized-schedule runs: capacity/meeting totals are known up front.
   void begin(const PacketPool& pool, const MeetingSchedule& schedule);
+  // Materialized runs driven to a horizon: meetings past `horizon` are never
+  // dispatched (Simulation::step skips them), so they must not be pre-counted
+  // either — with the clamp, a materialized run and a streaming run of the
+  // same contacts accrue identical capacity/meeting totals whatever the
+  // schedule's tail looks like.
+  void begin(const PacketPool& pool, const MeetingSchedule& schedule, Time horizon);
   // Streaming runs: totals accrue via record_meeting() as contacts arrive.
   void begin(const PacketPool& pool);
 

@@ -1,6 +1,7 @@
 #include "dtn/router.h"
 
 #include "dtn/metrics.h"
+#include "obs/obs.h"
 #include "util/slab.h"
 
 namespace rapid {
@@ -161,10 +162,14 @@ bool Router::store_with_eviction(const Packet& p, Time now) {
     buffer_.erase(victim);
     ++drops_;
     if (ctx_->metrics != nullptr) ctx_->metrics->record_drop(self_);
+    RAPID_OBS_INC(kRouterDrops);
+    RAPID_OBS_TRACE(kPacketDrop, now, self_, kNoNode, vp.id, vp.size);
     on_dropped(vp, now);
   }
   return buffer_.insert(p.id, p.size);
 }
+
+void Router::flush_obs(obs::ObsContext& /*out*/) const {}
 
 void Router::on_stored(const Packet& /*p*/, NodeId /*from*/, std::int64_t /*aux*/,
                        Time /*now*/) {}

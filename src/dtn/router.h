@@ -47,6 +47,10 @@ class Router;
 class MetricsCollector;
 struct PacketMetadata;  // core/metadata.h
 
+namespace obs {
+class ObsContext;  // obs/obs.h
+}
+
 // Reusable per-simulation scratch storage for contact processing: the
 // buffers that used to be allocated fresh inside every contact (delta-
 // exchange walks, plan fallbacks) live here and keep their capacity across
@@ -202,6 +206,12 @@ class Router {
   // Eviction policy: which buffered packet to drop to make room for
   // `incoming` (kNoPacket = refuse to drop anything, rejecting the packet).
   virtual PacketId choose_drop_victim(const Packet& incoming, Time now) = 0;
+
+  // Observability flush, called once by Simulation::finish(): protocols that
+  // keep internal probe counters (e.g. RapidRouter's utility-cache stats)
+  // push them into the run's metrics registry here, so hot paths never pay
+  // for reporting. Must not mutate routing state. Default: nothing to flush.
+  virtual void flush_obs(obs::ObsContext& out) const;
 
   // --- shared state helpers -------------------------------------------------
 

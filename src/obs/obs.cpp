@@ -1,0 +1,22 @@
+#include "obs/obs.h"
+
+namespace rapid::obs {
+
+#if RAPID_OBS_ENABLED
+
+namespace {
+thread_local ObsContext* tls_current = nullptr;
+}  // namespace
+
+ObsContext* current() { return tls_current; }
+void set_current(ObsContext* ctx) { tls_current = ctx; }
+
+ContextScope::ContextScope(ObsContext* ctx) : prev_(tls_current) {
+  tls_current = ctx;
+}
+
+ContextScope::~ContextScope() { tls_current = prev_; }
+
+#endif  // RAPID_OBS_ENABLED
+
+}  // namespace rapid::obs

@@ -1,0 +1,35 @@
+#include "obs/trace.h"
+
+namespace rapid::obs {
+
+const char* trace_event_kind_name(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kContactOpen: return "contact_open";
+    case TraceEventKind::kContactClose: return "contact_close";
+    case TraceEventKind::kPacketCreate: return "packet_create";
+    case TraceEventKind::kPacketCopy: return "packet_copy";
+    case TraceEventKind::kPacketDeliver: return "packet_deliver";
+    case TraceEventKind::kPacketPartial: return "packet_partial";
+    case TraceEventKind::kPacketDrop: return "packet_drop";
+    case TraceEventKind::kUtilityRecompute: return "utility_recompute";
+  }
+  return "?";
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {
+  ring_.resize(capacity);
+}
+
+std::vector<TraceEvent> TraceBuffer::chronological() const {
+  std::vector<TraceEvent> out;
+  const std::size_t held = size();
+  out.reserve(held);
+  // When wrapped, the oldest held event sits at next_ (the slot about to be
+  // overwritten); otherwise the ring filled from slot 0.
+  const std::size_t start = total_ <= capacity_ ? 0 : next_;
+  for (std::size_t i = 0; i < held; ++i)
+    out.push_back(ring_[(start + i) % capacity_]);
+  return out;
+}
+
+}  // namespace rapid::obs

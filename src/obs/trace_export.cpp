@@ -1,0 +1,74 @@
+#include "obs/trace_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace rapid::obs {
+
+namespace {
+
+// Phase letter and category for one event kind.
+struct Shape {
+  char ph;
+  const char* cat;
+};
+
+Shape shape_of(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kContactOpen: return {'B', "contact"};
+    case TraceEventKind::kContactClose: return {'E', "contact"};
+    case TraceEventKind::kPacketCreate:
+    case TraceEventKind::kPacketCopy:
+    case TraceEventKind::kPacketDeliver:
+    case TraceEventKind::kPacketPartial:
+    case TraceEventKind::kPacketDrop: return {'i', "packet"};
+    case TraceEventKind::kUtilityRecompute: return {'i', "utility"};
+  }
+  return {'i', "?"};
+}
+
+void write_event(std::ostream& os, const TraceEvent& e) {
+  const Shape s = shape_of(e.kind);
+  char name[64];
+  if (s.cat[0] == 'c')  // contact span: name pairs B with E
+    std::snprintf(name, sizeof(name), "contact %d-%d", e.a, e.b);
+  else if (e.packet != kNoPacket)
+    std::snprintf(name, sizeof(name), "%s p%" PRId64,
+                  trace_event_kind_name(e.kind), e.packet);
+  else
+    std::snprintf(name, sizeof(name), "%s", trace_event_kind_name(e.kind));
+
+  char buf[384];
+  // ts in microseconds of simulation time; args carry the raw event at full
+  // precision so the export round-trips (see obs/trace_read.h).
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%c\", "
+      "\"ts\": %.3f, \"pid\": 0, \"tid\": %d%s, "
+      "\"args\": {\"kind\": \"%s\", \"t\": %.17g, \"a\": %d, \"b\": %d, "
+      "\"packet\": %" PRId64 ", \"value\": %" PRId64 "}}",
+      name, s.cat, s.ph, e.time * 1e6, e.a, s.ph == 'i' ? ", \"s\": \"t\"" : "",
+      trace_event_kind_name(e.kind), e.time, e.a, e.b, e.packet, e.value);
+  os << buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& events) {
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    write_event(os, events[i]);
+    os << (i + 1 < events.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+}
+
+std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
+  std::ostringstream os;
+  write_chrome_trace(os, events);
+  return os.str();
+}
+
+}  // namespace rapid::obs

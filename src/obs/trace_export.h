@@ -1,0 +1,28 @@
+// Chrome trace_event exporter: renders a trace (obs/trace.h) as JSON that
+// loads directly in Perfetto / chrome://tracing.
+//
+// Mapping: contact open/close become "B"/"E" span pairs on the track (tid)
+// of the contact's first node; packet lifecycle and utility events become
+// thread-scoped instant events ("i"). Timestamps are simulation seconds
+// scaled to microseconds (the trace_event unit), so the viewer's timeline IS
+// the simulation clock.
+//
+// Every entry carries the originating TraceEvent verbatim in its "args"
+// ({kind, t, a, b, packet, value} with t at full double precision), which is
+// what makes the export lossless: obs/trace_read.h parses those args back
+// into the exact event sequence, and tools/trace_query reconstructs packet
+// replication trees from the exported file alone.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace rapid::obs {
+
+void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& events);
+std::string to_chrome_trace(const std::vector<TraceEvent>& events);
+
+}  // namespace rapid::obs

@@ -1,0 +1,204 @@
+#include "obs/trace_read.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+namespace rapid::obs {
+
+namespace {
+
+// Scans `hay` from `from` for `"key": ` and returns the offset just past it,
+// or npos. Bounded to `until` so a key lookup never escapes its args object.
+std::size_t find_key(const std::string& hay, const char* key, std::size_t from,
+                     std::size_t until) {
+  const std::string needle = std::string("\"") + key + "\": ";
+  const std::size_t at = hay.find(needle, from);
+  if (at == std::string::npos || at >= until) return std::string::npos;
+  return at + needle.size();
+}
+
+bool parse_kind(const std::string& name, TraceEventKind* out) {
+  for (int k = 0; k <= static_cast<int>(TraceEventKind::kUtilityRecompute); ++k) {
+    const auto kind = static_cast<TraceEventKind>(k);
+    if (name == trace_event_kind_name(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Parses one args object spanning [begin, end) into an event.
+bool parse_args(const std::string& json, std::size_t begin, std::size_t end,
+                TraceEvent* out) {
+  std::size_t at = find_key(json, "kind", begin, end);
+  if (at == std::string::npos || json[at] != '"') return false;
+  const std::size_t name_end = json.find('"', at + 1);
+  if (name_end == std::string::npos || name_end >= end) return false;
+  if (!parse_kind(json.substr(at + 1, name_end - at - 1), &out->kind)) return false;
+
+  struct NumField {
+    const char* key;
+    double* d;
+    std::int64_t* i;
+  };
+  double t = 0;
+  std::int64_t a = kNoNode, b = kNoNode, packet = kNoPacket, value = 0;
+  const NumField fields[] = {{"t", &t, nullptr},
+                             {"a", nullptr, &a},
+                             {"b", nullptr, &b},
+                             {"packet", nullptr, &packet},
+                             {"value", nullptr, &value}};
+  for (const NumField& f : fields) {
+    at = find_key(json, f.key, begin, end);
+    if (at == std::string::npos) return false;
+    char* parse_end = nullptr;
+    const char* start = json.c_str() + at;
+    if (f.d != nullptr)
+      *f.d = std::strtod(start, &parse_end);
+    else
+      *f.i = std::strtoll(start, &parse_end, 10);
+    if (parse_end == start) return false;
+  }
+  out->time = t;
+  out->a = static_cast<NodeId>(a);
+  out->b = static_cast<NodeId>(b);
+  out->packet = packet;
+  out->value = value;
+  return true;
+}
+
+}  // namespace
+
+std::vector<TraceEvent> read_chrome_trace(const std::string& json) {
+  std::vector<TraceEvent> events;
+  const std::string marker = "\"args\": {";
+  std::size_t at = 0;
+  while ((at = json.find(marker, at)) != std::string::npos) {
+    const std::size_t begin = at + marker.size();
+    const std::size_t end = json.find('}', begin);
+    if (end == std::string::npos) break;
+    TraceEvent e;
+    if (parse_args(json, begin, end, &e)) events.push_back(e);
+    at = end;
+  }
+  return events;
+}
+
+PacketLifecycle packet_lifecycle(const std::vector<TraceEvent>& events,
+                                 PacketId packet) {
+  PacketLifecycle life;
+  life.packet = packet;
+  for (const TraceEvent& e : events) {
+    if (e.packet != packet) continue;
+    switch (e.kind) {
+      case TraceEventKind::kPacketCreate:
+        life.created = true;
+        life.src = e.a;
+        life.dst = e.b;
+        life.create_time = e.time;
+        life.size = e.value;
+        break;
+      case TraceEventKind::kPacketDeliver:
+        life.delivered = true;
+        life.deliver_time = e.time;
+        if (life.dst == kNoNode) life.dst = e.b;
+        break;
+      case TraceEventKind::kPacketCopy:
+      case TraceEventKind::kPacketPartial:
+      case TraceEventKind::kPacketDrop:
+        break;
+      default:
+        continue;  // contact/utility events are not part of a lifecycle
+    }
+    life.events.push_back(e);
+  }
+  return life;
+}
+
+namespace {
+
+struct TreeNode {
+  Time at = 0;
+  bool delivered = false;
+  std::vector<NodeId> children;
+};
+
+void render_node(std::string* out, const std::map<NodeId, TreeNode>& nodes,
+                 NodeId id, const std::string& prefix, bool origin) {
+  const TreeNode& n = nodes.at(id);
+  char buf[128];
+  if (origin)
+    std::snprintf(buf, sizeof(buf), "node %d (origin)\n", id);
+  else if (n.delivered)
+    std::snprintf(buf, sizeof(buf), "node %d (delivered t=%g)\n", id, n.at);
+  else
+    std::snprintf(buf, sizeof(buf), "node %d (copy t=%g)\n", id, n.at);
+  *out += buf;
+  for (std::size_t i = 0; i < n.children.size(); ++i) {
+    const bool last = i + 1 == n.children.size();
+    *out += prefix + "+- ";
+    render_node(out, nodes, n.children[i], prefix + (last ? "   " : "|  "),
+                false);
+  }
+}
+
+}  // namespace
+
+std::string render_replication_tree(const PacketLifecycle& life) {
+  std::string out;
+  char buf[160];
+  if (!life.created) {
+    std::snprintf(buf, sizeof(buf),
+                  "packet %" PRId64 ": no create event in trace window (%zu "
+                  "event(s) held)\n",
+                  life.packet, life.events.size());
+    out += buf;
+    return out;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "packet %" PRId64 ": %d -> %d, %" PRId64
+                " bytes, created t=%g%s\n",
+                life.packet, life.src, life.dst, life.size, life.create_time,
+                life.delivered ? "" : ", not delivered");
+  out += buf;
+
+  // Copy/deliver edges grow the tree; a node only ever receives one stored
+  // copy (duplicates are rejected on receive), so each receiver has one
+  // parent. Partial transfers and drops don't add custody; list them after.
+  std::map<NodeId, TreeNode> nodes;
+  nodes[life.src] = TreeNode{life.create_time, false, {}};
+  std::string extras;
+  for (const TraceEvent& e : life.events) {
+    if (e.kind == TraceEventKind::kPacketCopy ||
+        e.kind == TraceEventKind::kPacketDeliver) {
+      if (nodes.count(e.b) != 0) continue;  // already holds a copy
+      if (nodes.count(e.a) == 0) nodes[e.a] = TreeNode{e.time, false, {}};
+      nodes[e.a].children.push_back(e.b);
+      nodes[e.b] =
+          TreeNode{e.time, e.kind == TraceEventKind::kPacketDeliver, {}};
+    } else if (e.kind == TraceEventKind::kPacketPartial) {
+      std::snprintf(buf, sizeof(buf),
+                    "partial: %d -> %d burned %" PRId64 " bytes t=%g\n", e.a,
+                    e.b, e.value, e.time);
+      extras += buf;
+    } else if (e.kind == TraceEventKind::kPacketDrop) {
+      std::snprintf(buf, sizeof(buf), "drop: node %d evicted copy t=%g\n", e.a,
+                    e.time);
+      extras += buf;
+    }
+  }
+  render_node(&out, nodes, life.src, "", true);
+  out += extras;
+  if (life.delivered) {
+    std::snprintf(buf, sizeof(buf), "delivered t=%g (delay %g)\n",
+                  life.deliver_time, life.deliver_time - life.create_time);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace rapid::obs

@@ -1,0 +1,55 @@
+// Reader half of the trace pipeline: parses the Chrome trace JSON written by
+// obs/trace_export.h back into TraceEvents and reconstructs per-packet
+// lifecycles from them.
+//
+// The parser is deliberately not a general JSON parser — it recovers events
+// from the verbatim "args" objects the exporter embeds (each holds the full
+// TraceEvent at full precision), which keeps emit -> export -> parse a
+// lossless round trip (golden-tested). Entries without a well-formed args
+// object are skipped, so hand-edited or foreign trace files degrade
+// gracefully instead of failing.
+//
+// packet_lifecycle() filters one packet's story out of a trace and
+// render_replication_tree() prints it as the copy tree the epidemic paths
+// grew: origin at the root, one child per node that received a copy, with
+// delivery / partial-transfer / drop annotations. tools/trace_query is a
+// thin CLI over these two calls.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace rapid::obs {
+
+// Parses trace JSON produced by write_chrome_trace. Events come back in file
+// order (chronological for our exporter). Unparseable entries are skipped.
+std::vector<TraceEvent> read_chrome_trace(const std::string& json);
+
+// One packet's slice of a trace.
+struct PacketLifecycle {
+  PacketId packet = kNoPacket;
+  bool created = false;
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  Time create_time = 0;
+  std::int64_t size = 0;
+  bool delivered = false;
+  Time deliver_time = 0;
+  // Every event mentioning the packet, in trace order.
+  std::vector<TraceEvent> events;
+};
+
+PacketLifecycle packet_lifecycle(const std::vector<TraceEvent>& events,
+                                 PacketId packet);
+
+// Renders the replication tree, e.g.
+//   packet 3: 0 -> 4, 1024 bytes, created t=10
+//   node 0 (origin)
+//   +- node 2 (copy t=12.5)
+//   |  +- node 4 (delivered t=20)
+//   +- node 1 (copy t=15)
+std::string render_replication_tree(const PacketLifecycle& life);
+
+}  // namespace rapid::obs

@@ -5,6 +5,8 @@
 #include <iostream>
 #include <stdexcept>
 
+#include "runner/profile_run.h"
+
 namespace rapid::runner {
 namespace {
 
@@ -307,7 +309,10 @@ void print_usage() {
          "usage:\n"
          "  rapid_bench --figure <id> [flags]   run one figure (4, fig4, table3, ...)\n"
          "  rapid_bench --all [flags]           run every figure in the catalog\n"
-         "  rapid_bench --list                  list figures and scenarios\n\n"
+         "  rapid_bench --list                  list figures and scenarios\n"
+         "  rapid_bench --run [obs flags]       one observed (scenario, protocol, load)\n"
+         "                                      cell; also entered by --profile,\n"
+         "                                      --trace=PATH, or --metrics=PATH alone\n\n"
          "flags:\n"
          "  --threads=N        parallel sweep execution (results identical to N=1)\n"
          "  --scenario=NAME    override the figure's scenario (see --list)\n"
@@ -316,7 +321,14 @@ void print_usage() {
          "  --load=X           fixed load for buffer sweeps (default 20)\n"
          "  --quick            trimmed sweeps for smoke runs\n"
          "  --csv=PATH --json=PATH  export the printed table\n"
-         "  --raw-csv=PATH     export per-run values (sweep figures only)\n";
+         "  --raw-csv=PATH     export per-run values (sweep figures only)\n\n"
+         "observability flags (run mode; see docs/OBSERVABILITY.md):\n"
+         "  --protocol=NAME    rapid | maxprop | spray-wait | prophet | ... \n"
+         "  --profile          print the per-phase wall-clock breakdown\n"
+         "  --trace=PATH       write a Chrome trace_event JSON of the run\n"
+         "  --trace-capacity=N trace ring size in events (default 1M)\n"
+         "  --metrics=PATH     write per-run metrics-registry snapshots\n"
+         "  --metric=NAME      avg-delay | max-delay | missed-deadlines\n";
 }
 
 void print_list() {
@@ -345,6 +357,12 @@ int rapid_bench_main(int argc, char** argv) {
     print_list();
     return 0;
   }
+  // Observed-run mode: any of the obs flags (without a figure selection)
+  // runs one scenario cell through the observability driver.
+  if (!options.has("figure") && !options.get_bool("all", false) &&
+      (options.get_bool("run", false) || options.get_bool("profile", false) ||
+       options.has("trace") || options.has("metrics")))
+    return run_observed_main(options);
   if (options.get_bool("all", false)) {
     int failures = 0;
     for (const FigureDef& fig : figure_catalog()) {

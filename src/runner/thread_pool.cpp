@@ -41,7 +41,20 @@ void ThreadPool::submit(std::function<void()> task) {
   // queued_ is incremented only after the task is visible in a deque, so a
   // worker that wins the queued_ > 0 wait is guaranteed to find a task.
   ++queued_;
+  ++submitted_;
+  if (queued_ > max_queue_depth_) max_queue_depth_ = queued_;
   work_cv_.notify_one();
+}
+
+PoolStats ThreadPool::stats() const {
+  PoolStats s;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    s.submitted = submitted_;
+    s.max_queue_depth = max_queue_depth_;
+  }
+  s.steals = steals_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void ThreadPool::wait_idle() {
@@ -66,6 +79,7 @@ bool ThreadPool::try_acquire(std::size_t self, std::function<void()>& out) {
     if (!victim.tasks.empty()) {
       out = std::move(victim.tasks.back());
       victim.tasks.pop_back();
+      steals_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }

@@ -7,8 +7,10 @@
 // completion order never affects results.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -17,6 +19,16 @@
 #include <vector>
 
 namespace rapid::runner {
+
+// Lifetime scheduling counters, read after (or during) a sweep: how much
+// work went through the pool, how often idle workers had to steal, and the
+// deepest any backlog got. Purely observational — reading them never
+// perturbs scheduling.
+struct PoolStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t steals = 0;           // tasks claimed from a sibling's deque
+  std::uint64_t max_queue_depth = 0;  // peak of queued-but-unclaimed tasks
+};
 
 class ThreadPool {
  public:
@@ -34,6 +46,8 @@ class ThreadPool {
   int thread_count() const { return static_cast<int>(workers_.size()); }
   static int default_thread_count();
 
+  PoolStats stats() const;
+
  private:
   struct Worker {
     std::mutex mutex;
@@ -46,13 +60,19 @@ class ThreadPool {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
-  std::mutex state_mutex_;
+  mutable std::mutex state_mutex_;
   std::condition_variable work_cv_;   // wakes workers when tasks arrive / stop
   std::condition_variable idle_cv_;   // wakes wait_idle when pending_ hits 0
   std::size_t pending_ = 0;           // submitted but not yet finished
   std::size_t queued_ = 0;            // submitted but not yet claimed by a worker
   std::size_t next_worker_ = 0;       // round-robin submission cursor
   bool stop_ = false;
+
+  // submitted/max_queue_depth update under state_mutex_; steals_ is atomic
+  // because try_acquire deliberately runs outside it.
+  std::uint64_t submitted_ = 0;
+  std::uint64_t max_queue_depth_ = 0;
+  std::atomic<std::uint64_t> steals_{0};
 };
 
 // Runs body(i) for every i in [0, n). With a null pool (or a single worker)

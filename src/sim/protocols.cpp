@@ -1,5 +1,6 @@
 #include "sim/protocols.h"
 
+#include <cctype>
 #include <memory>
 #include <stdexcept>
 
@@ -19,6 +20,26 @@ std::string to_string(ProtocolKind kind) {
     case ProtocolKind::kDirect: return "Direct";
   }
   return "?";
+}
+
+std::optional<ProtocolKind> protocol_from_string(std::string_view name) {
+  // Canonicalize to lowercase alphanumerics so "Spray-and-Wait",
+  // "spray_wait" and "SprayAndWait" all resolve to the same kind.
+  std::string key;
+  for (char ch : name)
+    if (std::isalnum(static_cast<unsigned char>(ch)))
+      key += static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  if (key == "rapid") return ProtocolKind::kRapid;
+  if (key == "rapidglobal") return ProtocolKind::kRapidGlobal;
+  if (key == "rapidlocal") return ProtocolKind::kRapidLocal;
+  if (key == "maxprop") return ProtocolKind::kMaxProp;
+  if (key == "spraywait" || key == "sprayandwait") return ProtocolKind::kSprayWait;
+  if (key == "prophet") return ProtocolKind::kProphet;
+  if (key == "random") return ProtocolKind::kRandom;
+  if (key == "randomacks") return ProtocolKind::kRandomAcks;
+  if (key == "epidemic") return ProtocolKind::kEpidemic;
+  if (key == "direct") return ProtocolKind::kDirect;
+  return std::nullopt;
 }
 
 RouterFactory make_protocol_factory(ProtocolKind kind, const ProtocolParams& params,

@@ -2,7 +2,9 @@
 // name with the paper's parameters.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "baselines/direct.h"
 #include "baselines/epidemic.h"
@@ -29,6 +31,10 @@ enum class ProtocolKind {
 };
 
 std::string to_string(ProtocolKind kind);
+// Inverse of to_string, case-insensitive, accepting '-'/'_'/'+' and the
+// short CLI aliases ("rapid", "spray-wait", "random-acks"); nullopt when
+// the name matches no protocol.
+std::optional<ProtocolKind> protocol_from_string(std::string_view name);
 
 struct ProtocolParams {
   RoutingMetric metric = RoutingMetric::kAvgDelay;  // RAPID's target metric

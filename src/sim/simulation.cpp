@@ -61,6 +61,7 @@ class MobilityEventSource : public EventSource {
   }
 
   const SimEvent* peek() override {
+    RAPID_OBS_PHASE(kMobility);  // lazy generation happens inside peek()
     const Meeting* m = model_->peek();
     if (m == nullptr) return nullptr;
     if (m->time < last_time_)
@@ -72,6 +73,8 @@ class MobilityEventSource : public EventSource {
   }
 
   void pop() override {
+    RAPID_OBS_PHASE(kMobility);
+    RAPID_OBS_INC(kMobilityPops);
     const Meeting* m = model_->peek();
     if (m != nullptr) last_time_ = m->time;
     model_->pop();
@@ -118,16 +121,18 @@ Simulation::Simulation(const MeetingSchedule* schedule, SimBounds bounds,
       workload_(workload),
       config_(config),
       num_nodes_(bounds.num_nodes),
-      duration_(bounds.duration) {
+      duration_(bounds.duration),
+      obs_(config.obs) {
   if (schedule_ != nullptr && !schedule_->is_sorted())
     throw std::invalid_argument("Simulation: schedule must be sorted");
   if (num_nodes_ < 1) throw std::invalid_argument("Simulation: need >= 1 node");
 
-  // Materialized runs know their totals up front; streaming runs accrue them
-  // per dispatched meeting (bit-identical for full runs, since generators
-  // never emit past the duration).
+  // Materialized runs know their totals up front (clamped to the horizon,
+  // since step() never dispatches past-duration meetings); streaming runs
+  // accrue them per dispatched meeting. The two paths agree for any schedule,
+  // tail included.
   if (schedule_ != nullptr)
-    metrics_.begin(workload, *schedule_);
+    metrics_.begin(workload, *schedule_, duration_);
   else
     metrics_.begin(workload);
   ctx_.pool = &workload_;
@@ -173,8 +178,13 @@ std::optional<Simulation::Next> Simulation::peek_next() {
 void Simulation::dispatch(const SimEvent& event, std::size_t source) {
   now_ = event.time;
   if (event.kind == SimEvent::Kind::kPacket) {
+    RAPID_OBS_INC(kSimEventsPacket);
+    RAPID_OBS_TRACE(kPacketCreate, now_, event.packet->src, event.packet->dst,
+                    event.packet->id, event.packet->size);
+    RAPID_OBS_PHASE(kPacketGen);
     routers_[static_cast<std::size_t>(event.packet->src)]->on_generate(*event.packet);
   } else {
+    RAPID_OBS_INC(kSimEventsMeeting);
     const Meeting& m = event.meeting;
     // Capacity/meeting totals accrue per dispatched meeting for every source
     // except the built-in schedule, whose totals were pre-counted by
@@ -189,6 +199,8 @@ void Simulation::dispatch(const SimEvent& event, std::size_t source) {
 }
 
 bool Simulation::step() {
+  const obs::ContextScope obs_scope(&obs_);
+  RAPID_OBS_PHASE(kDispatch);
   while (true) {
     const std::optional<Next> next = peek_next();
     if (!next.has_value()) return false;
@@ -196,26 +208,41 @@ bool Simulation::step() {
     sources_[next->source]->pop();
     // Events past the day end are dropped, exactly like the legacy merge loop
     // (a day's stragglers carry no weight in the figures).
-    if (event.time > duration_) continue;
+    if (event.time > duration_) {
+      RAPID_OBS_INC(kSimEventsSkipped);
+      continue;
+    }
     dispatch(event, next->source);
     return true;
   }
 }
 
 void Simulation::run_until(Time t) {
-  while (true) {
-    const std::optional<Next> next = peek_next();
-    if (!next.has_value() || next->event->time > t) return;
-    const SimEvent event = *next->event;
-    sources_[next->source]->pop();
-    if (event.time > duration_) continue;
-    dispatch(event, next->source);
+  const obs::ContextScope obs_scope(&obs_);
+  const std::uint64_t start = obs_.profile.enabled ? obs::monotonic_ns() : 0;
+  {
+    RAPID_OBS_PHASE(kDispatch);
+    while (true) {
+      const std::optional<Next> next = peek_next();
+      if (!next.has_value() || next->event->time > t) break;
+      const SimEvent event = *next->event;
+      sources_[next->source]->pop();
+      if (event.time > duration_) {
+        RAPID_OBS_INC(kSimEventsSkipped);
+        continue;
+      }
+      dispatch(event, next->source);
+    }
   }
+  if (obs_.profile.enabled) obs_.profile.total_ns += obs::monotonic_ns() - start;
 }
 
 void Simulation::run() {
+  const obs::ContextScope obs_scope(&obs_);
+  const std::uint64_t start = obs_.profile.enabled ? obs::monotonic_ns() : 0;
   while (step()) {
   }
+  if (obs_.profile.enabled) obs_.profile.total_ns += obs::monotonic_ns() - start;
 }
 
 bool Simulation::done() const {
@@ -229,6 +256,14 @@ bool Simulation::done() const {
   return true;
 }
 
-SimResult Simulation::finish() const { return metrics_.finalize(workload_, duration_); }
+SimResult Simulation::finish() const {
+  // Routers flush their internal probe counters (utility-cache hit/miss
+  // tallies etc.) here, while they are still alive — they are destroyed
+  // after finish(), which is why the flush cannot live in their destructors.
+  for (const auto& router : routers_) router->flush_obs(obs_);
+  SimResult result = metrics_.finalize(workload_, duration_);
+  result.obs = std::make_shared<const obs::ObsReport>(obs_.report());
+  return result;
+}
 
 }  // namespace rapid

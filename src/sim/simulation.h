@@ -34,6 +34,7 @@
 #include "dtn/router.h"
 #include "dtn/schedule.h"
 #include "mobility/mobility_model.h"
+#include "obs/obs.h"
 
 namespace rapid {
 
@@ -42,6 +43,10 @@ struct SimConfig {
   // engine itself only needs the contact policy (which includes the link
   // interruption/asymmetry policy).
   ContactConfig contact;
+  // Observability knobs for this run (profiling clock, trace capacity).
+  // Counters are always collected (they cost an array increment); the
+  // defaults keep clocks and tracing off.
+  obs::ObsConfig obs;
 };
 
 struct SimEvent {
@@ -118,7 +123,13 @@ class Simulation {
   Router& router(NodeId node) { return *routers_[static_cast<std::size_t>(node)]; }
   const MetricsCollector& metrics() const { return metrics_; }
 
-  // Builds the aggregate SimResult. Call once, after the run.
+  // This run's observability context (counters, trace ring, phase profile).
+  // Installed thread-locally around every step; mutable so the const
+  // finish() can flush router-side probes into it.
+  obs::ObsContext& obs() const { return obs_; }
+
+  // Builds the aggregate SimResult (with the ObsReport attached). Call once,
+  // after the run.
   SimResult finish() const;
 
  private:
@@ -144,6 +155,7 @@ class Simulation {
   Time duration_ = 0;
 
   MetricsCollector metrics_;
+  mutable obs::ObsContext obs_;
   SimContext ctx_;
   RouterOracle oracle_;
   // Contact-processing scratch shared by this simulation's routers (contacts

@@ -1,10 +1,34 @@
 #include "util/log.h"
 
+#include <atomic>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
+#include <mutex>
+#include <utility>
+
+#include "obs/obs.h"
 
 namespace rapid {
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+// The sink and the mutex serializing calls into it. Construct-on-first-use
+// so logging from static initializers is safe.
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+void default_sink(const LogRecord& record) {
+  std::cerr << format_log_record(record) << '\n';
+}
+
+LogSink& sink_slot() {
+  static LogSink sink = default_sink;
+  return sink;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -16,14 +40,61 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogSink set_log_sink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  LogSink previous = std::move(sink_slot());
+  sink_slot() = sink ? std::move(sink) : default_sink;
+  return previous;
+}
+
+std::string format_log_record(const LogRecord& record) {
+  const std::time_t secs = std::chrono::system_clock::to_time_t(record.when);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      record.when.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char stamp[48];
+  std::snprintf(stamp, sizeof(stamp), "%04d-%02d-%02dT%02d:%02d:%02d.%03d",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  std::string out = stamp;
+  out += " [";
+  out += level_name(record.level);
+  out += "]";
+  if (!record.tag.empty()) {
+    out += " [";
+    out += record.tag;
+    out += "]";
+  }
+  out += " ";
+  out += record.message;
+  return out;
+}
 
 void log_message(LogLevel level, const std::string& message) {
-  if (level < g_level) return;
-  std::cerr << "[" << level_name(level) << "] " << message << '\n';
+  log_message(level, std::string(), message);
+}
+
+void log_message(LogLevel level, std::string tag, std::string message) {
+  if (level < log_level()) return;
+  RAPID_OBS_INC(kLogMessages);
+  LogRecord record;
+  record.level = level;
+  record.tag = std::move(tag);
+  record.message = std::move(message);
+  record.when = std::chrono::system_clock::now();
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_slot()(record);
 }
 
 }  // namespace rapid

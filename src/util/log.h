@@ -1,7 +1,17 @@
-// Minimal leveled logging. The simulator is hot-path sensitive, so debug
-// logging compiles to a cheap level check and is off by default.
+// Leveled logging with a pluggable, thread-safe sink.
+//
+// The simulator is hot-path sensitive, so a suppressed RAPID_LOG compiles to
+// one level check and builds nothing. An emitted record carries a wall-clock
+// timestamp, the level, a source tag ("runner", "sim", ...) and the message;
+// the installed sink receives it under the log mutex, so lines from
+// concurrent sweep workers never tear (locked in by the interleaving test).
+// The default sink renders format_log_record() to stderr; tests and
+// embedders swap it with set_log_sink(). Every emitted record also bumps the
+// obs layer's log.messages counter when a run context is installed.
 #pragma once
 
+#include <chrono>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -12,13 +22,35 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
+// One emitted log line, before rendering.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string tag;  // source subsystem; empty = untagged
+  std::string message;
+  std::chrono::system_clock::time_point when;
+};
+
+// A sink consumes records one at a time; calls are serialized by the log
+// mutex, so a sink needs no locking of its own.
+using LogSink = std::function<void(const LogRecord&)>;
+
+// Installs `sink` (null restores the default stderr sink) and returns the
+// previous one. Thread-safe.
+LogSink set_log_sink(LogSink sink);
+
+// "2026-08-08T12:34:56.789 [WARN] [tag] message" — what the default sink
+// writes; exposed so custom sinks and tests can render identically.
+std::string format_log_record(const LogRecord& record);
+
 void log_message(LogLevel level, const std::string& message);
+void log_message(LogLevel level, std::string tag, std::string message);
 
 namespace detail {
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { log_message(level_, stream_.str()); }
+  explicit LogLine(LogLevel level, std::string tag = {})
+      : level_(level), tag_(std::move(tag)) {}
+  ~LogLine() { log_message(level_, std::move(tag_), stream_.str()); }
   template <typename T>
   LogLine& operator<<(const T& v) {
     stream_ << v;
@@ -27,6 +59,7 @@ class LogLine {
 
  private:
   LogLevel level_;
+  std::string tag_;
   std::ostringstream stream_;
 };
 }  // namespace detail
@@ -35,5 +68,10 @@ class LogLine {
   if (::rapid::log_level() > ::rapid::LogLevel::level) { \
   } else                                                \
     ::rapid::detail::LogLine(::rapid::LogLevel::level)
+
+#define RAPID_LOG_TAGGED(level, tag)                    \
+  if (::rapid::log_level() > ::rapid::LogLevel::level) { \
+  } else                                                \
+    ::rapid::detail::LogLine(::rapid::LogLevel::level, tag)
 
 }  // namespace rapid

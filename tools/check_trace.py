@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Validate a rapid trace export against the Chrome trace_event schema.
+
+Checks the shape that docs/OBSERVABILITY.md promises and that viewers
+(chrome://tracing, Perfetto) and obs/trace_read.h rely on:
+
+  * top level is {"displayTimeUnit": "ms", "traceEvents": [...]}
+  * every event carries name/cat/ph/ts/pid/tid plus a verbatim "args"
+    echo of the originating TraceEvent ({kind, t, a, b, packet, value})
+  * ph is "B"/"E" exactly for contact_open/contact_close and "i"
+    (with a scope "s") for everything else
+  * ts is simulation-microseconds: ts == args.t * 1e6, non-decreasing
+  * "E" events close a previously opened "B" span on the same (name, tid)
+    track (spans still open at end of trace are fine: the run's horizon
+    can cut a contact)
+
+Usage: tools/check_trace.py TRACE.json [TRACE2.json ...]
+Exits non-zero listing every violation. Stdlib only.
+"""
+
+import json
+import sys
+
+INSTANT_KINDS = {
+    "packet_create",
+    "packet_copy",
+    "packet_deliver",
+    "packet_partial",
+    "packet_drop",
+    "utility_recompute",
+}
+SPAN_KINDS = {"contact_open": "B", "contact_close": "E"}
+ARG_KEYS = {"kind", "t", "a", "b", "packet", "value"}
+
+
+def check_file(path):
+    errors = []
+
+    def fail(i, msg):
+        errors.append(f"{path}: event[{i}]: {msg}")
+
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return [f"{path}: not readable JSON: {e}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top level must be an object"]
+    if doc.get("displayTimeUnit") != "ms":
+        errors.append(f"{path}: displayTimeUnit must be 'ms'")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return errors + [f"{path}: traceEvents must be a list"]
+
+    open_spans = {}  # (name, tid) -> count of open B events
+    last_ts = float("-inf")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(i, "must be an object")
+            continue
+        for key, want in (("name", str), ("cat", str), ("ph", str),
+                          ("pid", int), ("tid", int)):
+            if not isinstance(ev.get(key), want):
+                fail(i, f"missing or mistyped '{key}'")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            fail(i, "missing or mistyped 'ts'")
+            continue
+        if ts < last_ts:
+            fail(i, f"ts went backwards ({ts} after {last_ts})")
+        last_ts = ts
+
+        args = ev.get("args")
+        if not isinstance(args, dict) or set(args) != ARG_KEYS:
+            fail(i, f"'args' must echo the trace event keys {sorted(ARG_KEYS)}")
+            continue
+        kind = args["kind"]
+        ph = ev.get("ph")
+        if kind in SPAN_KINDS:
+            if ph != SPAN_KINDS[kind]:
+                fail(i, f"kind '{kind}' must export as ph '{SPAN_KINDS[kind]}', got '{ph}'")
+        elif kind in INSTANT_KINDS:
+            if ph != "i":
+                fail(i, f"kind '{kind}' must export as an instant, got ph '{ph}'")
+            if ev.get("s") not in ("t", "p", "g"):
+                fail(i, "instant events need a scope 's'")
+        else:
+            fail(i, f"unknown event kind '{kind}'")
+        t = args["t"]
+        if not isinstance(t, (int, float)) or abs(ts - t * 1e6) > 0.5:
+            fail(i, f"ts ({ts}) is not args.t ({t}) in microseconds")
+        for key in ("a", "b", "packet", "value"):
+            if not isinstance(args[key], int) or isinstance(args[key], bool):
+                fail(i, f"args.{key} must be an integer")
+
+        track = (ev.get("name"), ev.get("tid"))
+        if ph == "B":
+            open_spans[track] = open_spans.get(track, 0) + 1
+        elif ph == "E":
+            if open_spans.get(track, 0) <= 0:
+                fail(i, f"'E' with no open 'B' on track {track}")
+            else:
+                open_spans[track] -= 1
+
+    if not errors:
+        unclosed = sum(open_spans.values())
+        tail = f", {unclosed} span(s) cut by horizon" if unclosed else ""
+        print(f"{path}: OK ({len(events)} events{tail})")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    for path in argv[1:]:
+        errors += check_file(path)
+    for e in errors:
+        print(f"FAIL: {e}", file=sys.stderr)
+    if errors:
+        print(f"check_trace: {len(errors)} problem(s) found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,111 @@
+// trace_query: reconstruct packet histories from an exported trace.
+//
+//   rapid_bench --figure=fig4 --trace=trace.json   # write a trace
+//   trace_query trace.json                          # per-packet summary
+//   trace_query trace.json --packet=17              # p17's replication tree
+//
+// Reads the Chrome trace_event JSON written by obs/trace_export.h (the same
+// file Perfetto loads), so the one artifact serves both the timeline viewer
+// and this offline query tool.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "obs/trace_read.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trace_query TRACE.json [--packet=ID]\n"
+               "  no flag      one summary line per packet seen in the trace\n"
+               "  --packet=ID  replication tree for that packet\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  rapid::PacketId packet = rapid::kNoPacket;
+  bool want_packet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--packet=", 0) == 0) {
+      packet = std::strtoll(arg.c_str() + 9, nullptr, 10);
+      want_packet = true;
+    } else if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) == 0) {
+      return usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_query: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::vector<rapid::obs::TraceEvent> events =
+      rapid::obs::read_chrome_trace(buf.str());
+  if (events.empty()) {
+    std::fprintf(stderr, "trace_query: no trace events in %s\n", path.c_str());
+    return 1;
+  }
+
+  if (want_packet) {
+    const rapid::obs::PacketLifecycle life =
+        rapid::obs::packet_lifecycle(events, packet);
+    if (life.events.empty()) {
+      std::fprintf(stderr, "trace_query: packet %" PRId64 " not in trace\n",
+                   packet);
+      return 1;
+    }
+    std::fputs(rapid::obs::render_replication_tree(life).c_str(), stdout);
+    return 0;
+  }
+
+  // Summary mode: copies/delivery per packet, plus the contact count.
+  struct Row {
+    int copies = 0;
+    bool created = false;
+    bool delivered = false;
+    rapid::Time delivered_at = 0;
+  };
+  std::map<rapid::PacketId, Row> rows;
+  std::size_t contacts = 0;
+  for (const rapid::obs::TraceEvent& e : events) {
+    using K = rapid::obs::TraceEventKind;
+    switch (e.kind) {
+      case K::kContactOpen: ++contacts; break;
+      case K::kPacketCreate: rows[e.packet].created = true; break;
+      case K::kPacketCopy: ++rows[e.packet].copies; break;
+      case K::kPacketDeliver:
+        rows[e.packet].delivered = true;
+        rows[e.packet].delivered_at = e.time;
+        break;
+      default: break;
+    }
+  }
+  std::printf("%zu trace events, %zu contacts, %zu packets\n", events.size(),
+              contacts, rows.size());
+  for (const auto& [id, row] : rows) {
+    std::printf("packet %" PRId64 ": %d cop%s%s", id, row.copies,
+                row.copies == 1 ? "y" : "ies",
+                row.created ? "" : " (create outside window)");
+    if (row.delivered)
+      std::printf(", delivered t=%g\n", row.delivered_at);
+    else
+      std::printf(", not delivered\n");
+  }
+  return 0;
+}
