@@ -1,0 +1,237 @@
+// Perf-trajectory probe for the online service mode (PR 7).
+//
+// Drives a ServiceEngine through one full serve cycle — construct, ingest a
+// synthetic contact stream, advance to the midpoint, answer a mid-stream
+// query sweep over every packet, finish the run, snapshot — and writes one
+// JSON record in the bench_compare.py dialect:
+//
+//   wall_clock_ms    — best-of-N full serve cycle
+//   ingest_wall_ms   — construct + ingest + advance portions (the hot path a
+//                      live feed exercises continuously)
+//   query_wall_ms    — mid-stream sweep: delay, utility and replica-status
+//                      queries for every packet plus fleet stats and an
+//                      interim report, all at the midpoint clock
+//   snapshot_wall_ms — serializing the full engine state once
+//   snapshot_bytes   — size of that snapshot (exact; format determinism)
+//   peak_rss_kb      — getrusage(RUSAGE_SELF).ru_maxrss after the runs
+//   allocations      — operator-new count during the measured runs (exact)
+//   packets / meetings / delivered — determinism guards (exact match)
+//
+// The record declares its extra keys via "tracked_extra" / "exact_extra" so
+// tools/bench_compare.py gates them alongside the standard trio without
+// hard-coding per-PR metric lists.
+//
+// Usage: bench_pr7 [--json PATH] [--runs N] [--nodes N] [--load F]
+//                  [--contacts M] [--snapshot PATH]
+#include <sys/resource.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "dtn/workload.h"
+#include "service/service_engine.h"
+#include "util/rng.h"
+
+namespace {
+
+std::atomic<unsigned long long> g_allocations{0};
+std::atomic<bool> g_counting{false};
+
+}  // namespace
+
+// Counting allocator hook: global operator new/delete for this binary only
+// (the library is untouched). Counting is gated so setup/teardown noise
+// stays out of the number.
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using rapid::ContactEvent;
+using rapid::Time;
+
+// Deterministic rotating contact pattern: every node keeps meeting rotating
+// partners at a fixed cadence, capacities cycle so transfer queues truncate
+// differently contact to contact. A stand-in for a live feed's steady drip.
+std::vector<ContactEvent> synth_contacts(int nodes, int count, Time horizon) {
+  std::vector<ContactEvent> out;
+  out.reserve(static_cast<std::size_t>(count));
+  const Time step = horizon / (count + 1);
+  for (int i = 0; i < count; ++i) {
+    ContactEvent c;
+    c.a = i % nodes;
+    c.b = static_cast<rapid::NodeId>((c.a + 1 + i % (nodes - 1)) % nodes);
+    c.time = step * (i + 1);
+    c.capacity = 16 * 1024 + (i % 7) * 4 * 1024;
+    out.push_back(c);
+  }
+  return out;
+}
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using rapid::PacketId;
+  using rapid::PacketPool;
+  using rapid::ServiceConfig;
+  using rapid::ServiceEngine;
+  using rapid::SimResult;
+
+  std::string json_path;
+  std::string snapshot_path = "/tmp/bench_pr7_snapshot.bin";
+  int runs = 3;
+  int nodes = 30;
+  int contacts = 20000;
+  double load = 0.6;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--runs" && i + 1 < argc) {
+      runs = std::atoi(argv[++i]);
+      if (runs < 1) runs = 1;
+    } else if (arg == "--nodes" && i + 1 < argc) {
+      nodes = std::atoi(argv[++i]);
+      if (nodes < 2) nodes = 2;
+    } else if (arg == "--contacts" && i + 1 < argc) {
+      contacts = std::atoi(argv[++i]);
+      if (contacts < 1) contacts = 1;
+    } else if (arg == "--load" && i + 1 < argc) {
+      load = std::atof(argv[++i]);
+    } else if (arg == "--snapshot" && i + 1 < argc) {
+      snapshot_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_pr7 [--json PATH] [--runs N] [--nodes N] "
+                   "[--load F] [--contacts M] [--snapshot PATH]\n");
+      return 2;
+    }
+  }
+
+  const Time horizon = 4 * rapid::kSecondsPerHour;
+  const std::vector<ContactEvent> stream = synth_contacts(nodes, contacts, horizon);
+
+  ServiceConfig config;
+  config.num_nodes = nodes;
+  config.horizon = horizon;  // protocol: RAPID, avg-delay — the query-capable path
+
+  rapid::WorkloadConfig wl;
+  wl.packets_per_period_per_pair = load;
+  wl.duration = horizon;
+
+  double best_total = 1e300;
+  double best_ingest = 1e300;
+  double best_query = 1e300;
+  double best_snapshot = 1e300;
+  unsigned long long best_allocations = ~0ULL;
+  std::uint64_t snapshot_bytes = 0;
+  std::size_t packets = 0;
+  std::size_t meetings = 0;
+  std::size_t delivered = 0;
+  for (int r = 0; r < runs; ++r) {
+    g_allocations.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+
+    // Ingest + advance: the whole stream queues up, the clock chases it to
+    // the midpoint (live buffers, half the contacts still pending).
+    rapid::Rng rng(1);
+    ServiceEngine engine(config, generate_workload(wl, nodes, rng));
+    for (const ContactEvent& c : stream) engine.ingest(c);
+    engine.advance_to(horizon / 2);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    // Mid-stream sweep: every query the serve surface offers, per packet.
+    double delay_sum = 0;
+    int replica_sum = 0;
+    const auto n_packets = static_cast<PacketId>(engine.workload().size());
+    for (PacketId id = 0; id < n_packets; ++id) {
+      delay_sum += engine.query_utility(id);
+      delay_sum += engine.query_delay(id);
+      replica_sum += engine.query_status(id).replicas;
+    }
+    const rapid::FleetStats mid = engine.stats();
+    const SimResult interim = engine.report();
+    const auto t2 = std::chrono::steady_clock::now();
+
+    // Finish the run and checkpoint the final state.
+    engine.advance_to(horizon);
+    const auto t3 = std::chrono::steady_clock::now();
+    snapshot_bytes = engine.snapshot(snapshot_path);
+    const auto t4 = std::chrono::steady_clock::now();
+    g_counting.store(false, std::memory_order_relaxed);
+
+    // Keep the sweep's results observable so it cannot be optimized away.
+    if (delay_sum < -1e300 || replica_sum < 0 || mid.meetings < 0 ||
+        interim.total_packets == 0)
+      std::fprintf(stderr, "bench_pr7: degenerate sweep\n");
+
+    const double total = ms_between(t0, t4);
+    if (total < best_total) best_total = total;
+    const double ingest = ms_between(t0, t1) + ms_between(t2, t3);
+    if (ingest < best_ingest) best_ingest = ingest;
+    const double query = ms_between(t1, t2);
+    if (query < best_query) best_query = query;
+    const double snapshot = ms_between(t3, t4);
+    if (snapshot < best_snapshot) best_snapshot = snapshot;
+    const unsigned long long allocations = g_allocations.load(std::memory_order_relaxed);
+    if (allocations < best_allocations) best_allocations = allocations;
+
+    const SimResult result = engine.report();
+    packets = engine.workload().size();
+    meetings = result.meetings;
+    delivered = result.delivered;
+  }
+
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);  // ru_maxrss is in kilobytes on Linux
+
+  const std::string json = std::string("{\n") +
+      "  \"scenario\": \"service-synth\",\n" +
+      "  \"protocol\": \"rapid\",\n" +
+      "  \"nodes\": " + std::to_string(nodes) + ",\n" +
+      "  \"contacts\": " + std::to_string(contacts) + ",\n" +
+      "  \"load\": " + std::to_string(load) + ",\n" +
+      "  \"tracked_extra\": [\"ingest_wall_ms\", \"query_wall_ms\", \"snapshot_wall_ms\"],\n" +
+      "  \"exact_extra\": [\"snapshot_bytes\"],\n" +
+      "  \"packets\": " + std::to_string(packets) + ",\n" +
+      "  \"meetings\": " + std::to_string(meetings) + ",\n" +
+      "  \"delivered\": " + std::to_string(delivered) + ",\n" +
+      "  \"snapshot_bytes\": " + std::to_string(snapshot_bytes) + ",\n" +
+      "  \"wall_clock_ms\": " + std::to_string(best_total) + ",\n" +
+      "  \"ingest_wall_ms\": " + std::to_string(best_ingest) + ",\n" +
+      "  \"query_wall_ms\": " + std::to_string(best_query) + ",\n" +
+      "  \"snapshot_wall_ms\": " + std::to_string(best_snapshot) + ",\n" +
+      "  \"peak_rss_kb\": " + std::to_string(static_cast<long long>(usage.ru_maxrss)) + ",\n" +
+      "  \"allocations\": " + std::to_string(best_allocations) + "\n" +
+      "}\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (!json_path.empty()) {
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "bench_pr7: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

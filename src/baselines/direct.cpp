@@ -50,6 +50,13 @@ PacketId DirectRouter::choose_drop_victim(const Packet& /*incoming*/, Time /*now
   return kNoPacket;
 }
 
+void DirectRouter::load_state(BinReader& in) {
+  Router::load_state(in);
+  age_order_.clear();
+  buffer().for_each(
+      [&](PacketId id, Bytes /*size*/) { age_order_.insert(ctx().packet(id).created, id); });
+}
+
 RouterFactory make_direct_factory(Bytes buffer_capacity) {
   return [buffer_capacity](NodeId node, const SimContext& ctx) {
     return std::make_unique<DirectRouter>(node, buffer_capacity, &ctx);

@@ -18,6 +18,10 @@ class DirectRouter : public Router {
   std::optional<PacketId> next_transfer(const ContactContext& contact, const PeerView& peer) override;
   PacketId choose_drop_victim(const Packet& incoming, Time now) override;
 
+  // No state beyond the base router's; the age order is rebuilt from the
+  // restored buffer (it is canonical).
+  void load_state(BinReader& in) override;
+
  protected:
   void on_stored(const Packet& p, NodeId from, std::int64_t aux, Time now) override;
   void on_dropped(const Packet& p, Time now) override;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/binio.h"
 #include "util/slab.h"
 
 namespace rapid {
@@ -96,6 +97,35 @@ PacketId EpidemicRouter::choose_drop_victim(const Packet& /*incoming*/, Time /*n
     }
   });
   return victim;
+}
+
+void EpidemicRouter::save_state(BinWriter& out) {
+  Router::save_state(out);
+  out.tag("EPID");
+  out.u64(arrival_seq_);
+  // Arrival sequence numbers matter only for packets still on board (the
+  // FIFO victim scan reads nothing else; re-storing reassigns).
+  out.u64(buffer().count());
+  buffer().for_each([&](PacketId id, Bytes /*size*/) {
+    out.i64(id);
+    out.u64(static_cast<std::size_t>(id) < arrival_.size()
+                ? arrival_[static_cast<std::size_t>(id)]
+                : 0);
+  });
+}
+
+void EpidemicRouter::load_state(BinReader& in) {
+  Router::load_state(in);
+  in.expect_tag("EPID");
+  arrival_seq_ = in.u64();
+  const std::uint64_t buffered = in.u64();
+  for (std::uint64_t i = 0; i < buffered; ++i) {
+    const PacketId id = static_cast<PacketId>(in.i64());
+    grow_slot(arrival_, id, std::uint64_t{0}) = in.u64();
+  }
+  age_order_.clear();
+  buffer().for_each(
+      [&](PacketId id, Bytes /*size*/) { age_order_.insert(ctx().packet(id).created, id); });
 }
 
 RouterFactory make_epidemic_factory(const EpidemicConfig& config, Bytes buffer_capacity) {

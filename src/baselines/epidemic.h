@@ -27,6 +27,11 @@ class EpidemicRouter : public Router {
                            Time now) override;
   PacketId choose_drop_victim(const Packet& incoming, Time now) override;
 
+  // Snapshot/restore: arrival sequence numbers for the FIFO drop order; the
+  // age order is rebuilt from the restored buffer (it is canonical).
+  void save_state(BinWriter& out) override;
+  void load_state(BinReader& in) override;
+
  protected:
   void on_stored(const Packet& p, NodeId from, std::int64_t aux, Time now) override;
   void on_dropped(const Packet& p, Time now) override;

@@ -7,6 +7,7 @@
 #include <queue>
 
 #include "core/metadata.h"  // wire-size constants
+#include "util/binio.h"
 
 namespace rapid {
 
@@ -231,6 +232,45 @@ PacketId MaxPropRouter::choose_drop_victim(const Packet& /*incoming*/, Time /*no
   const std::vector<PacketId>& order = priority_order();
   if (order.empty()) return kNoPacket;
   return order.back();
+}
+
+void MaxPropRouter::save_state(BinWriter& out) {
+  Router::save_state(out);
+  out.tag("MAXP");
+  out.u64(f_.size());
+  for (std::size_t u = 0; u < f_.size(); ++u) {
+    for (double v : f_[u]) out.f64(v);
+    out.f64(f_stamp_[u]);
+  }
+  std::uint64_t tracked = 0;
+  for (std::int32_t h : hops_) tracked += h != 0 ? 1 : 0;
+  out.u64(tracked);
+  for (std::size_t id = 0; id < hops_.size(); ++id) {
+    if (hops_[id] == 0) continue;
+    out.i64(static_cast<std::int64_t>(id));
+    out.i64(hops_[id]);
+  }
+  out.f64(avg_transfer_bytes_);
+  out.u64(transfers_seen_);
+}
+
+void MaxPropRouter::load_state(BinReader& in) {
+  Router::load_state(in);
+  in.expect_tag("MAXP");
+  if (in.u64() != f_.size()) BinReader::fail("maxprop fleet size differs from the snapshot's");
+  for (std::size_t u = 0; u < f_.size(); ++u) {
+    for (double& v : f_[u]) v = in.f64();
+    f_stamp_[u] = in.f64();
+  }
+  const std::uint64_t tracked = in.u64();
+  for (std::uint64_t i = 0; i < tracked; ++i) {
+    const PacketId id = static_cast<PacketId>(in.i64());
+    set_hops(id, static_cast<int>(in.i64()));
+  }
+  avg_transfer_bytes_ = in.f64();
+  transfers_seen_ = in.u64();
+  costs_dirty_ = true;
+  priority_dirty_ = true;
 }
 
 RouterFactory make_maxprop_factory(const MaxPropConfig& config, Bytes buffer_capacity) {

@@ -52,6 +52,12 @@ class MaxPropRouter : public Router {
   double meeting_likelihood(NodeId peer) const;
   int hop_count(PacketId id) const;
 
+  // Snapshot/restore: likelihood vectors with their stamps, hop counts and
+  // the transfer-size average; the cost/priority memos restore cold behind
+  // their dirty flags (a fresh router starts dirty anyway).
+  void save_state(BinWriter& out) override;
+  void load_state(BinReader& in) override;
+
  protected:
   void on_stored(const Packet& p, NodeId from, std::int64_t aux, Time now) override;
   void on_dropped(const Packet& p, Time now) override;

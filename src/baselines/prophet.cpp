@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/metadata.h"  // wire-size constants for metadata accounting
+#include "util/binio.h"
 
 namespace rapid {
 
@@ -128,6 +129,25 @@ PacketId ProphetRouter::choose_drop_victim(const Packet& /*incoming*/, Time now)
     }
   });
   return victim;
+}
+
+void ProphetRouter::save_state(BinWriter& out) {
+  Router::save_state(out);
+  out.tag("PRPH");
+  out.u64(p_.size());
+  for (double v : p_) out.f64(v);
+  out.f64(last_aged_);
+}
+
+void ProphetRouter::load_state(BinReader& in) {
+  Router::load_state(in);
+  in.expect_tag("PRPH");
+  if (in.u64() != p_.size()) BinReader::fail("prophet vector size differs from the snapshot's");
+  for (double& v : p_) v = in.f64();
+  last_aged_ = in.f64();
+  age_order_.clear();
+  buffer().for_each(
+      [&](PacketId id, Bytes /*size*/) { age_order_.insert(ctx().packet(id).created, id); });
 }
 
 RouterFactory make_prophet_factory(const ProphetConfig& config, Bytes buffer_capacity) {

@@ -40,6 +40,11 @@ class ProphetRouter : public Router {
   // Aged predictability towards `dst` as of `now`.
   double predictability(NodeId dst, Time now) const;
 
+  // Snapshot/restore: predictability vector and its aging clock; the age
+  // order is rebuilt from the restored buffer (it is canonical).
+  void save_state(BinWriter& out) override;
+  void load_state(BinReader& in) override;
+
  protected:
   void on_stored(const Packet& p, NodeId from, std::int64_t aux, Time now) override;
   void on_dropped(const Packet& p, Time now) override;

@@ -89,6 +89,13 @@ PacketId RandomRouter::choose_drop_victim(const Packet& /*incoming*/, Time /*now
       .id;
 }
 
+void RandomRouter::load_state(BinReader& in) {
+  Router::load_state(in);
+  age_order_.clear();
+  buffer().for_each(
+      [&](PacketId id, Bytes /*size*/) { age_order_.insert(ctx().packet(id).created, id); });
+}
+
 RouterFactory make_random_factory(const RandomConfig& config, Bytes buffer_capacity) {
   return [config, buffer_capacity](NodeId node, const SimContext& ctx) {
     return std::make_unique<RandomRouter>(node, buffer_capacity, &ctx, config);

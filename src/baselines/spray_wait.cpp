@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/binio.h"
 #include "util/slab.h"
 
 namespace rapid {
@@ -108,6 +109,32 @@ PacketId SprayWaitRouter::choose_drop_victim(const Packet& /*incoming*/, Time /*
   return entries[static_cast<std::size_t>(
                      rng().uniform_int(0, static_cast<std::int64_t>(entries.size()) - 1))]
       .id;
+}
+
+void SprayWaitRouter::save_state(BinWriter& out) {
+  Router::save_state(out);
+  out.tag("SPRY");
+  std::uint64_t tracked = 0;
+  for (std::int32_t c : copies_) tracked += c != 0 ? 1 : 0;
+  out.u64(tracked);
+  for (std::size_t id = 0; id < copies_.size(); ++id) {
+    if (copies_[id] == 0) continue;
+    out.i64(static_cast<std::int64_t>(id));
+    out.i64(copies_[id]);
+  }
+}
+
+void SprayWaitRouter::load_state(BinReader& in) {
+  Router::load_state(in);
+  in.expect_tag("SPRY");
+  const std::uint64_t tracked = in.u64();
+  for (std::uint64_t i = 0; i < tracked; ++i) {
+    const PacketId id = static_cast<PacketId>(in.i64());
+    set_copies(id, static_cast<int>(in.i64()));
+  }
+  age_order_.clear();
+  buffer().for_each(
+      [&](PacketId id, Bytes /*size*/) { age_order_.insert(ctx().packet(id).created, id); });
 }
 
 RouterFactory make_spray_wait_factory(const SprayWaitConfig& config, Bytes buffer_capacity) {

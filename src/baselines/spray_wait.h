@@ -31,6 +31,11 @@ class SprayWaitRouter : public Router {
 
   int copies_of(PacketId id) const;
 
+  // Snapshot/restore: logical copy counts; the age order is rebuilt from the
+  // restored buffer (it is canonical).
+  void save_state(BinWriter& out) override;
+  void load_state(BinReader& in) override;
+
  protected:
   void on_stored(const Packet& p, NodeId from, std::int64_t aux, Time now) override;
   void on_dropped(const Packet& p, Time now) override;

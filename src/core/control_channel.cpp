@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/binio.h"
 #include "util/slab.h"
 
 namespace rapid {
@@ -34,6 +35,28 @@ void GlobalChannel::remove_holder(PacketId id, NodeId node) {
 void GlobalChannel::mark_delivered(PacketId id) {
   if (id < 0) return;
   grow_slot(delivered_, id, std::uint8_t{0}) = 1;
+}
+
+void GlobalChannel::save(BinWriter& out) const {
+  out.tag("GCHN");
+  out.u64(holders_.size());
+  for (const std::vector<NodeId>& v : holders_) {
+    out.u64(v.size());
+    for (NodeId node : v) out.i64(node);
+  }
+  out.u64(delivered_.size());
+  for (std::uint8_t flag : delivered_) out.u8(flag);
+}
+
+void GlobalChannel::load(BinReader& in) {
+  in.expect_tag("GCHN");
+  holders_.assign(in.u64(), {});
+  for (std::vector<NodeId>& v : holders_) {
+    v.resize(in.u64());
+    for (NodeId& node : v) node = static_cast<NodeId>(in.i64());
+  }
+  delivered_.resize(in.u64());
+  for (std::uint8_t& flag : delivered_) flag = in.u8();
 }
 
 }  // namespace rapid

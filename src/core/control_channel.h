@@ -21,6 +21,9 @@
 
 namespace rapid {
 
+class BinReader;  // util/binio.h
+class BinWriter;
+
 enum class ControlChannelMode { kInBand, kLocalOnly, kGlobalOracle };
 
 const char* to_string(ControlChannelMode mode);
@@ -49,6 +52,12 @@ class GlobalChannel {
     const std::vector<NodeId>& v = holders_[static_cast<std::size_t>(id)];
     return Span<NodeId>(v.data(), v.size());
   }
+
+  // Snapshot/restore: holder sets keep their insertion order (the global-
+  // oracle rate sum iterates them). The owning RAPID routers share one
+  // channel, so the snapshot writer serializes it once via interning.
+  void save(BinWriter& out) const;
+  void load(BinReader& in);
 
  private:
   std::vector<std::vector<NodeId>> holders_;  // slab: id -> current holders

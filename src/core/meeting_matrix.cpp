@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/binio.h"
+
 namespace rapid {
 
 MeetingMatrix::MeetingMatrix(NodeId owner, int num_nodes, int max_hops)
@@ -151,6 +153,58 @@ int MeetingMatrix::peers_met() const {
   for (int count : meet_count_)
     if (count > 0) ++met;
   return met;
+}
+
+void MeetingMatrix::save(BinWriter& out) const {
+  out.tag("MMTX");
+  out.u64(generation_);
+  const auto n = static_cast<std::size_t>(num_nodes_);
+  for (std::size_t u = 0; u < n; ++u) out.f64(stamps_[u]);
+  for (std::size_t u = 0; u < n; ++u) out.f64(last_met_[u]);
+  for (std::size_t u = 0; u < n; ++u) out.i64(meet_count_[u]);
+  for (std::size_t u = 0; u < n; ++u) {
+    const RowPtr& v = rows_[u];
+    if (v == nullptr) {
+      out.u8(0);
+      continue;
+    }
+    out.u8(1);
+    std::uint64_t id = 0;
+    if (out.intern(v.get(), id)) {
+      out.f64(v->stamp);
+      for (Time cell : v->cells) out.f64(cell);
+    }
+  }
+}
+
+void MeetingMatrix::load(BinReader& in) {
+  in.expect_tag("MMTX");
+  generation_ = in.u64();
+  const auto n = static_cast<std::size_t>(num_nodes_);
+  for (std::size_t u = 0; u < n; ++u) stamps_[u] = in.f64();
+  for (std::size_t u = 0; u < n; ++u) last_met_[u] = in.f64();
+  for (std::size_t u = 0; u < n; ++u) meet_count_[u] = static_cast<int>(in.i64());
+  for (std::size_t u = 0; u < n; ++u) {
+    if (in.u8() == 0) {
+      rows_[u] = nullptr;
+      continue;
+    }
+    const std::uint64_t id = in.intern_id();
+    if (std::shared_ptr<void> known = in.interned(id)) {
+      rows_[u] = std::static_pointer_cast<const RowVersion>(known);
+      continue;
+    }
+    auto version = std::make_shared<RowVersion>();
+    version->stamp = in.f64();
+    version->cells.resize(n);
+    for (std::size_t c = 0; c < n; ++c) {
+      version->cells[c] = in.f64();
+      if (version->cells[c] != kTimeInfinity)
+        version->finite_cols.push_back(static_cast<NodeId>(c));
+    }
+    in.register_interned(id, version);
+    rows_[u] = std::move(version);
+  }
 }
 
 }  // namespace rapid

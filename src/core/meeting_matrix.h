@@ -32,6 +32,9 @@
 
 namespace rapid {
 
+class BinReader;  // util/binio.h
+class BinWriter;
+
 // One node's meeting-time table. Contract: expected_meeting_time(X, Z) is
 // the E[M_XZ] term that Algorithm 2 multiplies into the per-replica direct
 // delay d_j = E[M_jZ] * n_j(i), which Eq. 7-9 then aggregate and Eqs. 1-3
@@ -101,6 +104,15 @@ class MeetingMatrix {
   // Bumped on every accepted mutation (observe_meeting, accepted merge_row);
   // the utility cache keys meeting-time-dependent estimates on this.
   std::uint64_t generation() const { return generation_; }
+
+  // Snapshot/restore. Shared RowVersions are serialized once through the
+  // writer's interning table and re-shared on load, so the gossip sharing
+  // graph (and therefore the clone-vs-edit-in-place decisions of
+  // observe_meeting) replays exactly; finite-column lists are rebuilt from
+  // the cells (their order is not behavioral) and the h-hop memo restores
+  // cold — it refills from identical inputs.
+  void save(BinWriter& out) const;
+  void load(BinReader& in);
 
  private:
   NodeId owner_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/binio.h"
 #include "util/slab.h"
 
 namespace rapid {
@@ -86,6 +87,53 @@ std::vector<std::pair<PacketId, const PacketMetadata*>> MetadataStore::changed_s
 Bytes MetadataStore::record_bytes(const PacketMetadata& meta) {
   return kPacketRecordHeaderBytes +
          kReplicaEntryBytes * static_cast<Bytes>(meta.replicas.size());
+}
+
+void MetadataStore::save(BinWriter& out) const {
+  out.tag("META");
+  out.u64(next_generation_);
+  out.u64(occupied_.size());
+  for (std::size_t i = 0; i < occupied_.size(); ++i) {
+    const PacketMetadata& meta = records_[i];
+    out.i64(occupied_[i]);
+    out.f64(meta.last_changed);
+    out.u64(meta.generation);
+    out.u64(meta.replicas.size());
+    for (const ReplicaEstimate& r : meta.replicas) {
+      out.i64(r.holder);
+      out.f64(r.direct_delay);
+      out.f64(r.stamp);
+    }
+  }
+}
+
+void MetadataStore::load(BinReader& in) {
+  in.expect_tag("META");
+  next_generation_ = in.u64();
+  const std::uint64_t count = in.u64();
+  records_.clear();
+  occupied_.clear();
+  records_.reserve(count);
+  occupied_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const PacketId id = static_cast<PacketId>(in.i64());
+    if (id < 0) BinReader::fail("negative packet id in metadata record");
+    PacketMetadata meta;
+    meta.last_changed = in.f64();
+    meta.generation = in.u64();
+    const std::uint64_t replicas = in.u64();
+    meta.replicas.reserve(replicas);
+    for (std::uint64_t j = 0; j < replicas; ++j) {
+      ReplicaEstimate r;
+      r.holder = static_cast<NodeId>(in.i64());
+      r.direct_delay = in.f64();
+      r.stamp = in.f64();
+      meta.replicas.push_back(r);
+    }
+    grow_slot(pos_, id, std::int32_t{-1}) = static_cast<std::int32_t>(occupied_.size());
+    occupied_.push_back(id);
+    records_.push_back(std::move(meta));
+  }
 }
 
 }  // namespace rapid

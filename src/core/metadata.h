@@ -23,6 +23,9 @@
 
 namespace rapid {
 
+class BinReader;  // util/binio.h
+class BinWriter;
+
 struct ReplicaEstimate {
   NodeId holder = kNoNode;
   double direct_delay = 0;  // holder's own estimate of its direct-delivery time
@@ -104,6 +107,13 @@ class MetadataStore {
   void for_each(Fn&& fn) const {
     for (std::size_t i = 0; i < occupied_.size(); ++i) fn(occupied_[i], records_[i]);
   }
+
+  // Snapshot/restore: serializes the packed record order exactly (it drives
+  // the changed_since output order, whose stable-sort tie-break is
+  // behavioral) along with every stamp and generation, so a restored store
+  // is indistinguishable from the original.
+  void save(BinWriter& out) const;
+  void load(BinReader& in);
 
  private:
   std::size_t record_index(PacketId id) const {

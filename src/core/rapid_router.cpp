@@ -5,6 +5,7 @@
 
 #include "core/delay_estimator.h"
 #include "obs/obs.h"
+#include "util/binio.h"
 #include "util/slab.h"
 
 namespace rapid {
@@ -536,6 +537,59 @@ PacketId RapidRouter::choose_drop_victim(const Packet& incoming, Time now) {
   // If the incoming packet would itself be the least useful, reject it.
   if (incoming.src != self() && keep_priority(incoming) <= victim_priority) return kNoPacket;
   return victim;
+}
+
+void RapidRouter::save_state(BinWriter& out) {
+  Router::save_state(out);
+  out.tag("RAPD");
+  matrix_.save(out);
+  meta_.save(out);
+  for (Time t : last_sync_) out.f64(t);
+  out.f64(avg_opportunity_.value());
+  out.u64(avg_opportunity_.count());
+  for (const MovingAverage& m : per_peer_opportunity_) {
+    out.f64(m.value());
+    out.u64(m.count());
+  }
+  out.u8(global_ != nullptr ? 1 : 0);
+  if (global_ != nullptr) {
+    // One channel is shared by every RAPID router; the first saver writes
+    // the body, the rest write only the intern id.
+    std::uint64_t id = 0;
+    if (out.intern(global_.get(), id)) global_->save(out);
+  }
+}
+
+void RapidRouter::load_state(BinReader& in) {
+  Router::load_state(in);
+  in.expect_tag("RAPD");
+  matrix_.load(in);
+  meta_.load(in);
+  for (Time& t : last_sync_) t = in.f64();
+  {
+    const double value = in.f64();
+    avg_opportunity_.restore(value, in.u64());
+  }
+  for (MovingAverage& m : per_peer_opportunity_) {
+    const double value = in.f64();
+    m.restore(value, in.u64());
+  }
+  const bool had_global = in.u8() != 0;
+  if (had_global != (global_ != nullptr))
+    BinReader::fail("control-channel mode differs from the snapshot's");
+  if (global_ != nullptr) {
+    // The factory already wired every restored router to one shared channel;
+    // the first loader fills it, the rest just consume the intern id.
+    const std::uint64_t id = in.intern_id();
+    if (in.interned(id) == nullptr) {
+      global_->load(in);
+      in.register_interned(id, global_);
+    }
+  }
+  // Rebuild the per-destination queues from the restored buffer. Insertion
+  // is by (created, id) age rank, so the rebuilt queues match the originals
+  // regardless of arrival order; memoized estimates refill on demand.
+  buffer().for_each([&](PacketId id, Bytes /*size*/) { queue_insert(ctx().packet(id)); });
 }
 
 RouterFactory make_rapid_factory(const RapidConfig& config, Bytes buffer_capacity,

@@ -101,6 +101,14 @@ class RapidRouter : public Router {
   // tracked-packet high-water mark) into the run's registry.
   void flush_obs(obs::ObsContext& out) const override;
 
+  // Snapshot/restore: meeting matrix (with shared row versions interned),
+  // metadata ledger, sync stamps, opportunity averages and — in global-oracle
+  // mode — the shared channel, serialized once by whichever router saves
+  // first. The utility cache restores cold and refills from identical inputs
+  // (the cached and eager paths are bit-identical by contract).
+  void save_state(BinWriter& out) override;
+  void load_state(BinReader& in) override;
+
   // --- Inference (exposed for tests and for peers during a contact) ---------
   // This node's own direct-delivery delay estimate for a buffered packet.
   double self_direct_delay(const Packet& p) const;
@@ -114,6 +122,9 @@ class RapidRouter : public Router {
   // Expected inter-meeting time with `node` (<= h hops, prior-substituted).
   double effective_meeting_time(NodeId node) const;
   Bytes expected_opportunity(NodeId peer) const;
+  // The configured metric's utility of `p` under the current view — the
+  // mid-stream query surface of the service engine (src/service).
+  double utility_now(const Packet& p, Time now) const { return utility_of(p, now); }
 
  protected:
   void on_stored(const Packet& p, NodeId from, std::int64_t aux, Time now) override;

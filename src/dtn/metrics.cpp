@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/binio.h"
+
 namespace rapid {
 
 double SimResult::delay_of(const Packet& p) const {
@@ -60,6 +62,44 @@ bool MetricsCollector::is_delivered(PacketId id) const {
 
 Time MetricsCollector::delivery_time(PacketId id) const {
   return delivery_time_.at(static_cast<std::size_t>(id));
+}
+
+void MetricsCollector::save(BinWriter& out) const {
+  out.tag("METR");
+  std::uint64_t delivered = 0;
+  for (Time t : delivery_time_) delivered += t != kTimeInfinity ? 1 : 0;
+  out.u64(delivered);
+  for (std::size_t id = 0; id < delivery_time_.size(); ++id) {
+    if (delivery_time_[id] == kTimeInfinity) continue;
+    out.u64(id);
+    out.f64(delivery_time_[id]);
+  }
+  out.i64(data_bytes_);
+  out.i64(metadata_bytes_);
+  out.i64(capacity_bytes_);
+  out.u64(meetings_);
+  out.u64(drops_);
+  out.u64(ack_purges_);
+  out.u64(partial_transfers_);
+  out.i64(partial_bytes_);
+}
+
+void MetricsCollector::load(BinReader& in) {
+  in.expect_tag("METR");
+  const std::uint64_t delivered = in.u64();
+  for (std::uint64_t i = 0; i < delivered; ++i) {
+    const std::uint64_t id = in.u64();
+    if (id >= delivery_time_.size()) BinReader::fail("delivery record outside the packet pool");
+    delivery_time_[id] = in.f64();
+  }
+  data_bytes_ = in.i64();
+  metadata_bytes_ = in.i64();
+  capacity_bytes_ = in.i64();
+  meetings_ = in.u64();
+  drops_ = in.u64();
+  ack_purges_ = in.u64();
+  partial_transfers_ = in.u64();
+  partial_bytes_ = in.i64();
 }
 
 SimResult MetricsCollector::finalize(const PacketPool& pool, Time end_time) const {

@@ -12,6 +12,9 @@
 
 namespace rapid {
 
+class BinReader;  // util/binio.h
+class BinWriter;
+
 namespace obs {
 struct ObsReport;  // obs/obs.h
 }
@@ -94,6 +97,17 @@ class MetricsCollector {
   // Builds the aggregate view; `end_time` is the day end used to charge
   // undelivered packets their in-system residence time.
   SimResult finalize(const PacketPool& pool, Time end_time) const;
+
+  // Interim aggregate view of a still-running simulation as of time `t`.
+  // Pure: finalize reads nothing destructively, so any number of mid-stream
+  // reports leaves the eventual final report untouched (regression-tested).
+  SimResult report_at(const PacketPool& pool, Time t) const { return finalize(pool, t); }
+
+  // Snapshot/restore. Delivery times are stored sparsely (delivered packets
+  // only); the id-indexed table itself is sized by begin() on the restoring
+  // side before load() runs.
+  void save(BinWriter& out) const;
+  void load(BinReader& in);
 
  private:
   std::vector<Time> delivery_time_;

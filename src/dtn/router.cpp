@@ -2,6 +2,7 @@
 
 #include "dtn/metrics.h"
 #include "obs/obs.h"
+#include "util/binio.h"
 #include "util/slab.h"
 
 namespace rapid {
@@ -170,6 +171,56 @@ bool Router::store_with_eviction(const Packet& p, Time now) {
 }
 
 void Router::flush_obs(obs::ObsContext& /*out*/) const {}
+
+void Router::save_state(BinWriter& out) {
+  out.tag("ROUT");
+  for (std::uint64_t word : rng_.state()) out.u64(word);
+  // Buffer in packed order: restore replays the inserts, reproducing the
+  // swap-erase-perturbed layout exactly (drop-victim scans and stable-sort
+  // tie-breaks iterate it).
+  out.u64(buffer_.count());
+  buffer_.for_each([&](PacketId id, Bytes size) {
+    out.i64(id);
+    out.i64(size);
+  });
+  // Delivery receipts as a sparse id list (the bitmask order is immaterial).
+  std::uint64_t received_count = 0;
+  for (std::uint8_t flag : received_) received_count += flag != 0 ? 1 : 0;
+  out.u64(received_count);
+  for (std::size_t id = 0; id < received_.size(); ++id)
+    if (received_[id] != 0) out.i64(static_cast<std::int64_t>(id));
+  // Ack table in insertion order (the delta exchange walks it in place, and
+  // the walk order shapes what the peer's table looks like afterwards).
+  out.u64(acked_.size());
+  acked_.for_each([&](PacketId id, Time when) {
+    out.i64(id);
+    out.f64(when);
+  });
+  out.u64(drops_);
+}
+
+void Router::load_state(BinReader& in) {
+  in.expect_tag("ROUT");
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) word = in.u64();
+  rng_.set_state(rng_state);
+  const std::uint64_t buffered = in.u64();
+  for (std::uint64_t i = 0; i < buffered; ++i) {
+    const PacketId id = static_cast<PacketId>(in.i64());
+    const Bytes size = in.i64();
+    if (!buffer_.insert(id, size)) BinReader::fail("buffered packet does not fit on restore");
+  }
+  const std::uint64_t received_count = in.u64();
+  for (std::uint64_t i = 0; i < received_count; ++i)
+    grow_slot(received_, static_cast<PacketId>(in.i64()), std::uint8_t{0}) = 1;
+  const std::uint64_t acks = in.u64();
+  for (std::uint64_t i = 0; i < acks; ++i) {
+    const PacketId id = static_cast<PacketId>(in.i64());
+    const Time when = in.f64();
+    acked_.insert(id, when);
+  }
+  drops_ = in.u64();
+}
 
 void Router::on_stored(const Packet& /*p*/, NodeId /*from*/, std::int64_t /*aux*/,
                        Time /*now*/) {}

@@ -43,6 +43,8 @@
 
 namespace rapid {
 
+class BinReader;  // util/binio.h
+class BinWriter;
 class Router;
 class MetricsCollector;
 struct PacketMetadata;  // core/metadata.h
@@ -212,6 +214,19 @@ class Router {
   // push them into the run's metrics registry here, so hot paths never pay
   // for reporting. Must not mutate routing state. Default: nothing to flush.
   virtual void flush_obs(obs::ObsContext& out) const;
+
+  // --- snapshot/restore -------------------------------------------------------
+  // Serializes the behaviorally significant state (buffer in packed order,
+  // delivery receipts, ack table in insertion order, drop count, RNG state);
+  // protocol subclasses extend with their own state. Called only between
+  // events (no open contact sessions), so per-contact plan caches and
+  // epoch-stamped skip marks — stale by design between contacts — are not
+  // serialized and restore cold. save_state must not perturb behavior:
+  // restored-and-continued runs are bit-identical to uninterrupted ones
+  // (the snapshot tests enforce this across every protocol).
+  virtual void save_state(BinWriter& out);
+  // Restores into a freshly constructed router (same factory, same ctx).
+  virtual void load_state(BinReader& in);
 
   // --- shared state helpers -------------------------------------------------
 

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/binio.h"
 #include "util/strings.h"
 
 namespace rapid {
@@ -141,6 +142,133 @@ DieselNetTrace read_trace_file(const std::string& path) {
   std::ifstream f(path);
   if (!f) throw std::runtime_error("cannot open trace file: " + path);
   return read_trace(f);
+}
+
+TraceTailCursor::TraceTailCursor(std::string path) : path_(std::move(path)) {}
+
+void TraceTailCursor::parse_line(const std::string& line) {
+  const std::string_view sv = trim(line);
+  if (sv.empty() || sv.front() == '#') return;
+
+  if (!saw_header_) {
+    if (sv != "rapid-trace v1") fail(line_no_, "missing 'rapid-trace v1' header");
+    saw_header_ = true;
+    return;
+  }
+  std::istringstream ss{std::string(sv)};
+  std::string keyword;
+  ss >> keyword;
+  if (finished_) fail(line_no_, "content after 'end' in tailed trace");
+  if (keyword == "fleet") {
+    if (saw_fleet_) fail(line_no_, "duplicate fleet line");
+    int n = 0;
+    if (!(ss >> n) || n < 2) fail(line_no_, "bad fleet size");
+    reject_trailing(ss, line_no_, "fleet");
+    fleet_ = n;
+    saw_fleet_ = true;
+  } else if (keyword == "day") {
+    if (in_day_) fail(line_no_, "nested day block");
+    if (!saw_fleet_) fail(line_no_, "day before fleet");
+    double duration = 0;
+    std::string active_kw;
+    if (!(ss >> duration >> active_kw) || active_kw != "active" || duration <= 0)
+      fail(line_no_, "bad day line");
+    active_.clear();
+    int bus = 0;
+    while (ss >> bus) {
+      if (bus < 0 || bus >= fleet_) fail(line_no_, "active bus out of range");
+      active_.push_back(bus);
+    }
+    if (!ss.eof()) fail(line_no_, "malformed active bus list");
+    if (active_.size() < 2) fail(line_no_, "day needs >= 2 active buses");
+    duration_ = duration;
+    in_day_ = true;
+    last_meet_ = 0;
+  } else if (keyword == "meet") {
+    if (!in_day_) fail(line_no_, "meet outside day block");
+    int a = 0, b = 0;
+    double t = 0;
+    long long bytes = 0;
+    if (!(ss >> a >> b >> t >> bytes)) fail(line_no_, "truncated or malformed meet line");
+    reject_trailing(ss, line_no_, "meet");
+    if (t < 0 || t > duration_) fail(line_no_, "meeting time out of range");
+    if (t < last_meet_) {
+      std::ostringstream why;
+      why << "non-monotonic meeting time " << t << " after " << last_meet_
+          << " (trace days must be time-ordered)";
+      fail(line_no_, why.str());
+    }
+    if (bytes < 0) fail(line_no_, "negative capacity");
+    if (a == b) fail(line_no_, "self meeting");
+    if (a < 0 || b < 0 || a >= fleet_ || b >= fleet_)
+      fail(line_no_, "meeting node out of range");
+    out_->push_back(Meeting{a, b, t, bytes});
+    last_meet_ = t;
+  } else if (keyword == "end") {
+    if (!in_day_) fail(line_no_, "end outside day block");
+    reject_trailing(ss, line_no_, "end");
+    in_day_ = false;
+    finished_ = true;
+  } else {
+    fail(line_no_, "unknown keyword '" + keyword + "'");
+  }
+}
+
+std::size_t TraceTailCursor::poll(std::vector<Meeting>& out) {
+  std::ifstream f(path_, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open trace file: " + path_);
+  f.seekg(static_cast<std::streamoff>(offset_));
+  if (!f) throw std::runtime_error("cannot seek in trace file: " + path_);
+
+  const std::size_t before = out.size();
+  out_ = &out;
+  std::string line;
+  while (std::getline(f, line)) {
+    // A final line without its newline is a writer mid-append: leave it for
+    // the next poll, whole. getline only sets eofbit (without failbit) when
+    // it stopped at end-of-file rather than at a delimiter.
+    if (f.eof()) break;
+    ++line_no_;
+    offset_ += static_cast<std::uint64_t>(line.size()) + 1;
+    try {
+      parse_line(line);
+    } catch (...) {
+      out_ = nullptr;
+      throw;
+    }
+  }
+  out_ = nullptr;
+  return out.size() - before;
+}
+
+void TraceTailCursor::save(BinWriter& out) const {
+  out.tag("TAIL");
+  out.u64(offset_);
+  out.i64(line_no_);
+  out.u8(saw_header_ ? 1 : 0);
+  out.u8(saw_fleet_ ? 1 : 0);
+  out.u8(in_day_ ? 1 : 0);
+  out.u8(finished_ ? 1 : 0);
+  out.i64(fleet_);
+  out.f64(duration_);
+  out.f64(last_meet_);
+  out.u64(active_.size());
+  for (NodeId bus : active_) out.i64(bus);
+}
+
+void TraceTailCursor::load(BinReader& in) {
+  in.expect_tag("TAIL");
+  offset_ = in.u64();
+  line_no_ = static_cast<int>(in.i64());
+  saw_header_ = in.u8() != 0;
+  saw_fleet_ = in.u8() != 0;
+  in_day_ = in.u8() != 0;
+  finished_ = in.u8() != 0;
+  fleet_ = static_cast<int>(in.i64());
+  duration_ = in.f64();
+  last_meet_ = in.f64();
+  active_.resize(in.u64());
+  for (NodeId& bus : active_) bus = static_cast<NodeId>(in.i64());
 }
 
 }  // namespace rapid

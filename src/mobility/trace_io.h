@@ -19,12 +19,17 @@
 // contract must hold at the source.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "mobility/dieselnet.h"
 
 namespace rapid {
+
+class BinReader;  // util/binio.h
+class BinWriter;
 
 void write_trace(std::ostream& os, const DieselNetTrace& trace);
 bool write_trace_file(const std::string& path, const DieselNetTrace& trace);
@@ -32,5 +37,59 @@ bool write_trace_file(const std::string& path, const DieselNetTrace& trace);
 // Throws std::runtime_error with a line-numbered message on malformed input.
 DieselNetTrace read_trace(std::istream& is);
 DieselNetTrace read_trace_file(const std::string& path);
+
+// Resumable tail reader over a live-appended contact trace, feeding the
+// online service engine (src/service). Each poll() re-opens the file, seeks
+// to the last parsed offset, and consumes every *complete* line appended
+// since — a trailing line without its newline yet (a writer mid-append)
+// stays pending and is re-read whole on the next poll. Parsing mirrors
+// read_trace exactly: same keywords, same validations, same line-numbered
+// errors against the absolute line number in the file. The live feed is one
+// day block (`day` opens it, `end` closes the stream for good); a second
+// day block or content after `end` is rejected.
+class TraceTailCursor {
+ public:
+  explicit TraceTailCursor(std::string path);
+
+  // Parses everything complete and new, appending meetings to `out` in file
+  // (= time) order; returns how many were appended. Non-blocking: returns 0
+  // when nothing complete arrived. Throws std::runtime_error on malformed
+  // input or when the file cannot be opened.
+  std::size_t poll(std::vector<Meeting>& out);
+
+  const std::string& path() const { return path_; }
+  // Byte offset of the first unparsed content (resume point).
+  std::uint64_t offset() const { return offset_; }
+  bool header_seen() const { return saw_fleet_ && in_day_stream(); }
+  int fleet() const { return fleet_; }
+  Time day_duration() const { return duration_; }
+  const std::vector<NodeId>& active_buses() const { return active_; }
+  // True once `end` was read: the feed is over, no further contacts come.
+  bool finished() const { return finished_; }
+  Time last_meet_time() const { return last_meet_; }
+
+  // Snapshot/restore of the parse progress (offset, line number, day
+  // header). The path itself is not stored — the restoring side re-attaches
+  // to whatever file it is told to tail.
+  void save(BinWriter& out) const;
+  void load(BinReader& in);
+
+ private:
+  bool in_day_stream() const { return in_day_ || finished_; }
+  void parse_line(const std::string& line);
+
+  std::string path_;
+  std::uint64_t offset_ = 0;
+  int line_no_ = 0;
+  bool saw_header_ = false;
+  bool saw_fleet_ = false;
+  bool in_day_ = false;
+  bool finished_ = false;
+  int fleet_ = 0;
+  Time duration_ = 0;
+  Time last_meet_ = 0;
+  std::vector<NodeId> active_;
+  std::vector<Meeting>* out_ = nullptr;  // poll()'s sink, during parse only
+};
 
 }  // namespace rapid

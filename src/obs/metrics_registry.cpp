@@ -18,6 +18,10 @@ const char* counter_name(Counter c) {
     case Counter::kPoolSteals: return "pool.steals";
     case Counter::kPoolSubmitted: return "pool.submitted";
     case Counter::kRouterDrops: return "router.drops";
+    case Counter::kServiceContactsIngested: return "service.contacts_ingested";
+    case Counter::kServiceQueries: return "service.queries";
+    case Counter::kServiceSnapshotBytes: return "service.snapshot_bytes";
+    case Counter::kServiceSnapshots: return "service.snapshots";
     case Counter::kSimEventsMeeting: return "sim.events.meeting";
     case Counter::kSimEventsPacket: return "sim.events.packet";
     case Counter::kSimEventsSkipped: return "sim.events.skipped";

@@ -33,6 +33,10 @@ enum class Counter : std::uint16_t {
   kPoolSteals,
   kPoolSubmitted,
   kRouterDrops,
+  kServiceContactsIngested,
+  kServiceQueries,
+  kServiceSnapshotBytes,
+  kServiceSnapshots,
   kSimEventsMeeting,
   kSimEventsPacket,
   kSimEventsSkipped,

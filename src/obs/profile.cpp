@@ -12,6 +12,9 @@ const char* phase_name(Phase p) {
     case Phase::kPacketGen: return "packet_gen";
     case Phase::kRouting: return "routing";
     case Phase::kTransfer: return "transfer";
+    case Phase::kIngest: return "ingest";
+    case Phase::kQuery: return "query";
+    case Phase::kSnapshot: return "snapshot";
     case Phase::kCount: break;
   }
   return "?";

@@ -31,6 +31,9 @@ enum class Phase : std::uint8_t {
   kRouting = 3,    // contact open/metadata exchange, next_transfer decisions,
                    // contact_end hooks
   kTransfer = 4,   // copies crossing the air (perform_transfer + loop checks)
+  kIngest = 5,     // service engine: contact ingest (tail polls included)
+  kQuery = 6,      // service engine: mid-stream queries
+  kSnapshot = 7,   // service engine: snapshot save/restore
   kCount
 };
 inline constexpr std::size_t kPhaseCount = static_cast<std::size_t>(Phase::kCount);

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "runner/profile_run.h"
+#include "runner/serve_run.h"
 
 namespace rapid::runner {
 namespace {
@@ -312,7 +313,12 @@ void print_usage() {
          "  rapid_bench --list                  list figures and scenarios\n"
          "  rapid_bench --run [obs flags]       one observed (scenario, protocol, load)\n"
          "                                      cell; also entered by --profile,\n"
-         "                                      --trace=PATH, or --metrics=PATH alone\n\n"
+         "                                      --trace=PATH, or --metrics=PATH alone\n"
+         "  rapid_bench serve --trace=PATH      online service mode: tail a contact\n"
+         "                                      trace, answer mid-stream queries\n"
+         "                                      (--queries=PATH), checkpoint and resume\n"
+         "                                      (--snapshot-every=T, --restore=PATH);\n"
+         "                                      see docs/SERVICE.md\n\n"
          "flags:\n"
          "  --threads=N        parallel sweep execution (results identical to N=1)\n"
          "  --scenario=NAME    override the figure's scenario (see --list)\n"
@@ -349,6 +355,12 @@ void print_list() {
 
 int rapid_bench_main(int argc, char** argv) {
   const Options options(argc, argv);
+  // Service mode is selected by the bare `serve` token (or --serve), so its
+  // --trace flag (the contact input) never collides with the observed-run
+  // mode's --trace (the Chrome trace output).
+  for (int i = 1; i < argc; ++i)
+    if (std::string_view(argv[i]) == "serve") return run_serve_main(options);
+  if (options.get_bool("serve", false)) return run_serve_main(options);
   if (options.get_bool("help", false)) {
     print_usage();
     return 0;

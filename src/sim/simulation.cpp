@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/binio.h"
+
 namespace rapid {
 
 namespace {
@@ -254,6 +256,39 @@ bool Simulation::done() const {
     if (event != nullptr && event->time <= duration_) return false;
   }
   return true;
+}
+
+void Simulation::save_state(BinWriter& out) {
+  out.tag("SIMU");
+  out.f64(now_);
+  out.i64(meeting_index_);
+  metrics_.save(out);
+  out.u64(routers_.size());
+  for (const auto& router : routers_) router->save_state(out);
+}
+
+void Simulation::load_state(BinReader& in) {
+  in.expect_tag("SIMU");
+  now_ = in.f64();
+  meeting_index_ = static_cast<int>(in.i64());
+  metrics_.load(in);
+  if (in.u64() != routers_.size())
+    BinReader::fail("fleet size differs from the snapshot's");
+  for (const auto& router : routers_) router->load_state(in);
+}
+
+void Simulation::fast_forward_sources(Time cutoff) {
+  // Per-source skipping is equivalent to replaying the merge: run_until pops
+  // every event with time <= cutoff from every source, in whatever order —
+  // including past-duration events, which it pops and then skips.
+  const obs::ContextScope obs_scope(&obs_);
+  for (const auto& source : sources_) {
+    while (true) {
+      const SimEvent* event = source->peek();
+      if (event == nullptr || event->time > cutoff) break;
+      source->pop();
+    }
+  }
 }
 
 SimResult Simulation::finish() const {

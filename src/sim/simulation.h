@@ -119,6 +119,11 @@ class Simulation {
   bool done() const;
   int meetings_run() const { return meeting_index_; }
   Time duration() const { return duration_; }
+  int num_nodes() const { return num_nodes_; }
+  // Open-ended drivers (the service engine) move the horizon as contacts
+  // stream in; events past the current duration are skipped, exactly as on a
+  // fixed-horizon run.
+  void set_duration(Time duration) { duration_ = duration; }
 
   Router& router(NodeId node) { return *routers_[static_cast<std::size_t>(node)]; }
   const MetricsCollector& metrics() const { return metrics_; }
@@ -131,6 +136,25 @@ class Simulation {
   // Builds the aggregate SimResult (with the ObsReport attached). Call once,
   // after the run.
   SimResult finish() const;
+
+  // Interim aggregate as of time `t`, without finishing the run (no obs
+  // flush; the run continues unperturbed).
+  SimResult report_at(Time t) const { return metrics_.report_at(workload_, t); }
+
+  // --- snapshot/restore -------------------------------------------------------
+  // Serializes clock, meeting counter, metrics and every router's state.
+  // Must be called between events (contacts run to completion inside
+  // dispatch, so there is never session state to capture). Deterministic
+  // event sources are not serialized: the restoring side re-creates them
+  // from the same inputs and fast-forwards.
+  void save_state(BinWriter& out);
+  // Restores into a freshly constructed simulation (same schedule/bounds,
+  // workload, factory and config). Call fast_forward_sources afterwards with
+  // the time the saved run had been driven to.
+  void load_state(BinReader& in);
+  // Drops every queued event with time <= cutoff from every source — the
+  // events a run driven with run_until(cutoff) would already have consumed.
+  void fast_forward_sources(Time cutoff);
 
  private:
   Simulation(const MeetingSchedule* schedule, SimBounds bounds, const PacketPool& workload,

@@ -45,6 +45,13 @@ class MovingAverage {
   double value() const { return value_; }
   double value_or(double fallback) const { return n_ == 0 ? fallback : value_; }
 
+  // Snapshot/restore: reinstates the exact (value, count) pair so subsequent
+  // add() calls continue the same running estimate bit-for-bit.
+  void restore(double value, std::size_t n) {
+    value_ = value;
+    n_ = n;
+  }
+
  private:
   double alpha_;
   double value_ = 0;

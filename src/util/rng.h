@@ -6,6 +6,7 @@
 // every experiment is exactly reproducible from its seed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <random>
 #include <string_view>
@@ -52,6 +53,15 @@ class Rng {
   std::size_t weighted_index(const std::vector<double>& weights);
 
   std::uint64_t next_u64();
+
+  // The raw xoshiro256** state, for snapshot/restore: set_state(state())
+  // reproduces the stream exactly from where it stood.
+  std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s[static_cast<std::size_t>(i)];
+  }
 
  private:
   std::uint64_t state_[4];

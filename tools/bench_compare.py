@@ -48,21 +48,37 @@ def main():
     current = load(args.current)
     baseline = load(args.baseline)
 
+    # A baseline may declare PR-specific metrics on top of the standard trio:
+    # "tracked_extra" lists extra lower-is-better metrics, "exact_extra" lists
+    # extra exact-match determinism guards (e.g. bench_pr7's snapshot_bytes).
+    tracked = list(TRACKED) + [k for k in baseline.get("tracked_extra", ())
+                               if k not in TRACKED]
+    exact = list(EXACT) + [k for k in baseline.get("exact_extra", ())
+                           if k not in EXACT]
+
     failures = []
-    for key in EXACT:
+    for key in exact:
         if current.get(key) != baseline.get(key):
             failures.append(
                 f"{key}: {current.get(key)} != baseline {baseline.get(key)} "
                 "(determinism guard; the workload or protocol behaviour changed)")
 
-    hardware_dependent = ("wall_clock_ms", "peak_rss_kb")
-    for key in TRACKED:
+    # Wall-clock and RSS-style metrics vary with the machine; any *_ms or
+    # *_kb metric gets the wide --wall-tolerance when one is given.
+    def is_hardware_dependent(key):
+        return key.endswith("_ms") or key.endswith("_kb")
+
+    for key in tracked:
+        if key not in current or key not in baseline:
+            failures.append(f"{key}: missing from "
+                            f"{'current' if key not in current else 'baseline'} record")
+            continue
         cur = float(current[key])
         base = float(baseline[key])
         if base <= 0:
             continue
         tolerance = args.tolerance
-        if key in hardware_dependent and args.wall_tolerance is not None:
+        if is_hardware_dependent(key) and args.wall_tolerance is not None:
             tolerance = args.wall_tolerance
         delta = (cur - base) / base
         marker = "REGRESSION" if delta > tolerance else "ok"

@@ -5,9 +5,9 @@
 #      repo-rooted) in tracked *.md files must resolve to an existing file
 #      or directory. External (scheme://), mailto: and pure-anchor (#...)
 #      links are ignored; a trailing #anchor is stripped before resolution.
-#   2. Every public header in src/core/ and src/obs/ must open with a
-#      file-level doc comment (its first line is a // comment), so the core
-#      and observability APIs stay self-describing.
+#   2. Every public header in src/core/, src/obs/ and src/service/ must open
+#      with a file-level doc comment (its first line is a // comment), so the
+#      core, observability and service APIs stay self-describing.
 #
 # Exits non-zero listing every violation. No dependencies beyond bash +
 # coreutils + grep/sed.
@@ -52,9 +52,9 @@ for file in $md_files; do
   done < <(grep -o '\[[^]]*\]([^)]*)' "$file" 2> /dev/null | sed 's/^\[[^]]*\](\([^)]*\))$/\1/')
 done
 
-# --- 2. file-level doc comments on core/obs public headers --------------------
+# --- 2. file-level doc comments on core/obs/service public headers ------------
 
-for header in src/core/*.h src/obs/*.h; do
+for header in src/core/*.h src/obs/*.h src/service/*.h; do
   first_line=$(head -n 1 "$header")
   case "$first_line" in
     //*) ;;
@@ -66,4 +66,4 @@ if [ "$failures" -gt 0 ]; then
   echo "check_docs: $failures problem(s) found" >&2
   exit 1
 fi
-echo "check_docs: OK (markdown links + core/obs header doc comments)"
+echo "check_docs: OK (markdown links + core/obs/service header doc comments)"
