@@ -7,6 +7,29 @@
 
 namespace rapid {
 
+namespace {
+
+thread_local const ShardBindings* tls_shard_bindings = nullptr;
+
+// The metrics sink for the calling thread: the shard binding's collector
+// while a shard worker phase is active, the SimContext's otherwise.
+MetricsCollector* metrics_sink(const SimContext* ctx) {
+  const ShardBindings* bindings = tls_shard_bindings;
+  if (bindings != nullptr && bindings->metrics != nullptr) return bindings->metrics;
+  return ctx != nullptr ? ctx->metrics : nullptr;
+}
+
+}  // namespace
+
+ShardBindingScope::ShardBindingScope(const ShardBindings* bindings)
+    : prev_(tls_shard_bindings) {
+  tls_shard_bindings = bindings;
+}
+
+ShardBindingScope::~ShardBindingScope() { tls_shard_bindings = prev_; }
+
+const ShardBindings* current_shard_bindings() { return tls_shard_bindings; }
+
 Router::Router(NodeId self, Bytes buffer_capacity, const SimContext* ctx)
     : self_(self),
       buffer_(buffer_capacity),
@@ -21,6 +44,8 @@ Router::Router(NodeId self, Bytes buffer_capacity, const SimContext* ctx)
 }
 
 ScratchArena& Router::arena() const {
+  const ShardBindings* bindings = tls_shard_bindings;
+  if (bindings != nullptr && bindings->arena != nullptr) return *bindings->arena;
   if (ctx_ != nullptr && ctx_->arena != nullptr) return *ctx_->arena;
   if (own_arena_ == nullptr) own_arena_ = std::make_unique<ScratchArena>();
   return *own_arena_;
@@ -125,7 +150,7 @@ bool Router::peer_wants(const PeerView& peer, const Packet& p) const {
 void Router::learn_ack(PacketId id, Time when) {
   if (!acked_.insert(id, when)) return;
   if (buffer_.erase(id)) {
-    if (ctx_ != nullptr && ctx_->metrics != nullptr) ctx_->metrics->record_ack_purge(self_);
+    if (MetricsCollector* metrics = metrics_sink(ctx_)) metrics->record_ack_purge(self_);
   }
   on_acked(ctx_->pool->get(id), when);
 }
@@ -162,7 +187,7 @@ bool Router::store_with_eviction(const Packet& p, Time now) {
     const Packet& vp = ctx_->pool->get(victim);
     buffer_.erase(victim);
     ++drops_;
-    if (ctx_->metrics != nullptr) ctx_->metrics->record_drop(self_);
+    if (MetricsCollector* metrics = metrics_sink(ctx_)) metrics->record_drop(self_);
     RAPID_OBS_INC(kRouterDrops);
     RAPID_OBS_TRACE(kPacketDrop, now, self_, kNoNode, vp.id, vp.size);
     on_dropped(vp, now);

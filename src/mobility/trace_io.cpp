@@ -217,6 +217,17 @@ void TraceTailCursor::parse_line(const std::string& line) {
 std::size_t TraceTailCursor::poll(std::vector<Meeting>& out) {
   std::ifstream f(path_, std::ios::binary);
   if (!f) throw std::runtime_error("cannot open trace file: " + path_);
+  // A file shorter than the resume offset means it was truncated or replaced
+  // since the last poll. Seeking past EOF succeeds silently, so without this
+  // check a truncated-then-regrown file would be resumed mid-record and parsed
+  // as garbage (or worse, as plausible meetings). Fail loudly instead.
+  f.seekg(0, std::ios::end);
+  const auto size = static_cast<std::uint64_t>(f.tellg());
+  if (size < offset_)
+    throw std::runtime_error(
+        path_ + ":" + std::to_string(line_no_) + ": trace file truncated below the " +
+        std::to_string(line_no_) + " line(s) already consumed (size " + std::to_string(size) +
+        " < resume offset " + std::to_string(offset_) + ")");
   f.seekg(static_cast<std::streamoff>(offset_));
   if (!f) throw std::runtime_error("cannot seek in trace file: " + path_);
 

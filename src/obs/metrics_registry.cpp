@@ -22,6 +22,8 @@ const char* counter_name(Counter c) {
     case Counter::kServiceQueries: return "service.queries";
     case Counter::kServiceSnapshotBytes: return "service.snapshot_bytes";
     case Counter::kServiceSnapshots: return "service.snapshots";
+    case Counter::kShardCrossMeetings: return "shard.cross_meetings";
+    case Counter::kShardWindows: return "shard.windows";
     case Counter::kSimEventsMeeting: return "sim.events.meeting";
     case Counter::kSimEventsPacket: return "sim.events.packet";
     case Counter::kSimEventsSkipped: return "sim.events.skipped";

@@ -37,6 +37,8 @@ enum class Counter : std::uint16_t {
   kServiceQueries,
   kServiceSnapshotBytes,
   kServiceSnapshots,
+  kShardCrossMeetings,
+  kShardWindows,
   kSimEventsMeeting,
   kSimEventsPacket,
   kSimEventsSkipped,

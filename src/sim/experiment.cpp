@@ -251,6 +251,7 @@ SimResult run_instance(const Scenario& scenario, const Instance& instance,
   sim.contact.link = scenario.config().link;
   sim.contact.link.seed ^= instance.link_seed;  // per-run interruption stream
   sim.obs = spec.obs;
+  sim.sim_threads = spec.sim_threads;
   if (instance.make_model)
     return run_simulation(instance.make_model(), instance.workload, factory, sim);
   return run_simulation(instance.schedule, instance.workload, factory, sim);

@@ -1,0 +1,161 @@
+#include "sim/shard_exec.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace rapid {
+
+namespace {
+constexpr std::size_t kNoHorizon = std::numeric_limits<std::size_t>::max();
+}
+
+ShardExecutor::ShardExecutor(int num_shards) : num_shards_(num_shards) {
+  if (num_shards < 1) throw std::invalid_argument("ShardExecutor: need >= 1 shard");
+  shards_.resize(static_cast<std::size_t>(num_shards));
+}
+
+ShardExecutor::~ShardExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ShardExecutor::start_workers() {
+  workers_.reserve(static_cast<std::size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s) workers_.emplace_back([this, s] { worker_loop(s); });
+}
+
+bool ShardExecutor::drain_shard(int s) {
+  ShardState& st = shards_[static_cast<std::size_t>(s)];
+  // The safe horizon: this shard's earliest unprocessed cross item. Intra
+  // items beyond it must wait until the coordinator has run that cross item
+  // (the peer router's state is not yet what the serial order requires).
+  const std::size_t horizon =
+      st.next_block < st.blocking.size() ? st.blocking[st.next_block] : kNoHorizon;
+  bool moved = false;
+  while (st.pos < st.intra.size() && st.intra[st.pos] < horizon) {
+    (*fn_)(st.intra[st.pos], s);
+    ++st.pos;
+    moved = true;
+  }
+  return moved;
+}
+
+void ShardExecutor::worker_loop(int s) {
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    try {
+      drain_shard(s);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error_ == nullptr) error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ShardExecutor::run_window(const std::vector<Item>& items, const DispatchFn& fn) {
+  for (ShardState& st : shards_) {
+    st.intra.clear();
+    st.blocking.clear();
+    st.pos = 0;
+    st.next_block = 0;
+  }
+  cross_.clear();
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const Item& item = items[i];
+    if (item.shard_a == item.shard_b) {
+      shards_[static_cast<std::size_t>(item.shard_a)].intra.push_back(i);
+    } else {
+      cross_.push_back(i);
+      shards_[static_cast<std::size_t>(item.shard_a)].blocking.push_back(i);
+      shards_[static_cast<std::size_t>(item.shard_b)].blocking.push_back(i);
+    }
+  }
+  fn_ = &fn;
+
+  // A shard has caught up to cross item `c` when every intra item of its
+  // range with a smaller sequence index has been dispatched. (Every earlier
+  // cross item involving it is already processed: the coordinator runs the
+  // cross list in ascending order.)
+  const auto caught_up = [&](int s, std::size_t c) {
+    const ShardState& st = shards_[static_cast<std::size_t>(s)];
+    return st.pos == st.intra.size() || st.intra[st.pos] > c;
+  };
+  const auto shard_ready = [&](int s) {
+    const ShardState& st = shards_[static_cast<std::size_t>(s)];
+    const std::size_t horizon =
+        st.next_block < st.blocking.size() ? st.blocking[st.next_block] : kNoHorizon;
+    return st.pos < st.intra.size() && st.intra[st.pos] < horizon;
+  };
+
+  std::size_t cross_pos = 0;
+  while (true) {
+    bool any_ready = false;
+    for (int s = 0; s < num_shards_ && !any_ready; ++s) any_ready = shard_ready(s);
+
+    if (any_ready) {
+      if (workers_.empty()) start_workers();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending_ = num_shards_;
+        ++generation_;
+      }
+      start_cv_.notify_all();
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [&] { return pending_ == 0; });
+      }
+      if (error_ != nullptr) {
+        const std::exception_ptr error = error_;
+        error_ = nullptr;
+        fn_ = nullptr;
+        std::rethrow_exception(error);
+      }
+    }
+
+    bool progressed = false;
+    while (cross_pos < cross_.size()) {
+      const std::size_t c = cross_[cross_pos];
+      const Item& item = items[c];
+      if (!caught_up(item.shard_a, c) || !caught_up(item.shard_b, c)) break;
+      try {
+        fn(c, num_shards_);
+      } catch (...) {
+        fn_ = nullptr;
+        throw;
+      }
+      ++shards_[static_cast<std::size_t>(item.shard_a)].next_block;
+      ++shards_[static_cast<std::size_t>(item.shard_b)].next_block;
+      ++cross_pos;
+      progressed = true;
+    }
+
+    if (cross_pos == cross_.size()) {
+      bool remaining = false;
+      for (int s = 0; s < num_shards_ && !remaining; ++s) {
+        const ShardState& st = shards_[static_cast<std::size_t>(s)];
+        remaining = st.pos < st.intra.size();
+      }
+      if (!remaining) break;
+      continue;  // horizonless tail: one more parallel phase drains it
+    }
+    if (!any_ready && !progressed)
+      throw std::logic_error("ShardExecutor: window deadlocked");  // unreachable by design
+  }
+  fn_ = nullptr;
+}
+
+}  // namespace rapid

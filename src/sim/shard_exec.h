@@ -1,0 +1,97 @@
+// The sharded window executor: runs one time-windowed batch of events
+// across per-shard worker threads while preserving the serial per-node
+// event order exactly.
+//
+// The caller (Simulation) pumps events through the serial source merge,
+// assigns each a window-local sequence index (its position in the batch),
+// and classifies it: an *intra* item involves nodes of a single shard, a
+// *cross* item spans two shards. run_window() then alternates two phases:
+//
+//   parallel phase — every shard worker processes its intra items in
+//   sequence order, stopping at its safe horizon: the sequence index of
+//   its earliest unprocessed cross item. No shard ever observes (or
+//   advances past) an event beyond that horizon.
+//
+//   serial phase — after the barrier, the coordinating thread processes
+//   cross items in global sequence order; a cross item runs only once both
+//   involved shards have drained every intra item with a smaller index.
+//
+// Each event is therefore dispatched exactly once, per-node dispatch order
+// equals the serial order, and a shard's routers are touched either by its
+// own worker (parallel phase) or by the coordinator while the workers sit
+// at the barrier — never concurrently. Those invariants (exactly-once,
+// per-node order, safe horizon) are what the property tests pin down; the
+// shard differential matrix then shows the end-to-end consequence:
+// bit-identical SimResults and snapshots at every thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+namespace rapid {
+
+class ShardExecutor {
+ public:
+  // One batched event: the shards it involves (shard_b == shard_a for an
+  // intra item, including single-node events such as packet generation).
+  struct Item {
+    int shard_a = 0;
+    int shard_b = 0;
+  };
+
+  // `fn(index, slot)` dispatches batch item `index`. Intra items run on the
+  // owning shard's worker with slot == shard id; cross items run on the
+  // coordinating thread with slot == num_shards() (a dedicated slot, so the
+  // caller can give the coordinator its own scratch/metrics bindings).
+  using DispatchFn = std::function<void(std::size_t index, int slot)>;
+
+  explicit ShardExecutor(int num_shards);
+  ~ShardExecutor();
+
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+  int num_shards() const { return num_shards_; }
+
+  // Dispatches every item of the window. Shard ids must be in
+  // [0, num_shards()). Rethrows the first exception a dispatch raised (the
+  // window is abandoned at that point; the executor stays usable).
+  void run_window(const std::vector<Item>& items, const DispatchFn& fn);
+
+ private:
+  struct ShardState {
+    std::vector<std::size_t> intra;     // item indices owned by this shard
+    std::vector<std::size_t> blocking;  // cross item indices involving it
+    std::size_t pos = 0;                // next unprocessed entry of intra
+    std::size_t next_block = 0;         // next unprocessed entry of blocking
+  };
+
+  // All intra items of shard `s` with index below its safe horizon are
+  // processed; true when the shard's cursor moved.
+  bool drain_shard(int s);
+  void worker_loop(int s);
+  void start_workers();
+
+  const int num_shards_;
+  std::vector<ShardState> shards_;
+  std::vector<std::size_t> cross_;  // cross item indices, ascending
+  const DispatchFn* fn_ = nullptr;
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;  // bumped to release workers into a phase
+  int pending_ = 0;               // workers still inside the current phase
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace rapid

@@ -1,0 +1,18 @@
+#include "sim/shard_plan.h"
+
+#include <stdexcept>
+
+namespace rapid {
+
+ShardPlan ShardPlan::make(int num_nodes, int shards) {
+  if (num_nodes < 1) throw std::invalid_argument("ShardPlan: need >= 1 node");
+  if (shards < 1) throw std::invalid_argument("ShardPlan: need >= 1 shard");
+  ShardPlan plan;
+  plan.num_nodes_ = num_nodes;
+  plan.num_shards_ = shards < num_nodes ? shards : num_nodes;
+  plan.base_ = num_nodes / plan.num_shards_;
+  plan.rem_ = num_nodes % plan.num_shards_;
+  return plan;
+}
+
+}  // namespace rapid

@@ -1,0 +1,50 @@
+// Shard partitioning for in-run parallelism: a ShardPlan splits the fleet
+// into contiguous node ranges, one per sim thread. Each shard owns the
+// routers of its range; events whose endpoints fall inside one range are
+// intra-shard (processed by that shard's worker), events spanning two
+// ranges are cross-shard (processed at window barriers by the coordinator —
+// see sim/shard_exec.h). Ranges are balanced to within one node and cover
+// every node exactly once, which the property tests enforce.
+#pragma once
+
+#include <vector>
+
+#include "util/types.h"
+
+namespace rapid {
+
+class ShardPlan {
+ public:
+  // An empty plan (num_shards() == 0); assign from make().
+  ShardPlan() = default;
+
+  // Partitions `num_nodes` nodes into min(shards, num_nodes) contiguous
+  // ranges whose sizes differ by at most one: the first num_nodes % k
+  // shards get one extra node. Throws on num_nodes < 1 or shards < 1.
+  static ShardPlan make(int num_nodes, int shards);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_shards() const { return num_shards_; }
+
+  // The shard owning `node`. O(1) arithmetic over the balanced layout.
+  int shard_of(NodeId node) const {
+    const int wide = static_cast<int>(node) / (base_ + 1);
+    if (wide < rem_) return wide;
+    return rem_ + (static_cast<int>(node) - rem_ * (base_ + 1)) / base_;
+  }
+
+  // First node of shard `s`; shard s owns [begin(s), begin(s + 1)).
+  NodeId begin(int s) const {
+    const int wide = s < rem_ ? s : rem_;
+    return static_cast<NodeId>(s * base_ + wide);
+  }
+  NodeId end(int s) const { return begin(s + 1); }
+
+ private:
+  int num_nodes_ = 0;
+  int num_shards_ = 0;
+  int base_ = 0;  // nodes per shard before remainder distribution
+  int rem_ = 0;   // first rem_ shards own base_ + 1 nodes
+};
+
+}  // namespace rapid

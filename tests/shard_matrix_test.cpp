@@ -1,0 +1,193 @@
+// The sharded-vs-serial differential matrix: the determinism contract of
+// SimConfig::sim_threads, enforced the way snapshot_matrix_test.cpp enforces
+// restore-then-continue bit-identity.
+//
+// Every protocol in the registry runs under every sim-thread width in
+// {1, 2, 4, 8} on three mobility families — the DieselNet trace, streamed
+// power-law, and the vehicular grid — with the shard window shrunk far below
+// its default so each run crosses many window barriers. Each sharded run
+// must produce the byte-identical SimResult (delivery times compared
+// element-wise, every counter equal) AND the byte-identical engine snapshot
+// of the serial run: if any router's RNG stream, meeting matrix, ack table
+// or buffer order shifted under sharding, the serialized state diverges and
+// the snapshot comparison catches what aggregate metrics could miss.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/simulation.h"
+#include "util/binio.h"
+
+namespace rapid {
+namespace {
+
+const std::vector<ProtocolKind>& all_protocols() {
+  static const std::vector<ProtocolKind> kinds = {
+      ProtocolKind::kRapid,    ProtocolKind::kRapidGlobal, ProtocolKind::kRapidLocal,
+      ProtocolKind::kMaxProp,  ProtocolKind::kSprayWait,   ProtocolKind::kProphet,
+      ProtocolKind::kRandom,   ProtocolKind::kRandomAcks,  ProtocolKind::kEpidemic,
+      ProtocolKind::kDirect};
+  return kinds;
+}
+
+const int kThreadWidths[] = {1, 2, 4, 8};
+
+struct ScenarioCase {
+  const char* name;
+  ScenarioConfig config;
+  double load;
+};
+
+// Trimmed to keep the 10 x 4 x 3 matrix fast while still producing
+// deliveries, drops and (at widths > 1) a healthy cross-shard fraction.
+std::vector<ScenarioCase> scenario_cases() {
+  std::vector<ScenarioCase> cases;
+
+  ScenarioConfig trace = make_trace_scenario();
+  trace.days = 1;
+  cases.push_back({"trace", trace, 2.0});
+
+  ScenarioConfig powerlaw = make_powerlaw_scenario();
+  powerlaw.stream_mobility = true;
+  powerlaw.synthetic_runs = 1;
+  cases.push_back({"powerlaw-stream", powerlaw, 2.0});
+
+  ScenarioConfig vehicular = make_vehicular_grid_scenario();
+  vehicular.synthetic_runs = 1;
+  cases.push_back({"vehicular-grid", vehicular, 2.0});
+
+  return cases;
+}
+
+struct RunOutput {
+  SimResult result;
+  std::string snapshot;
+};
+
+// Mirrors run_instance (sim/experiment.cpp) but drives the Simulation
+// directly so the test controls shard_window and can serialize the final
+// engine state — the part of the contract run_instance's SimResult alone
+// cannot witness.
+RunOutput run_case(const Scenario& scenario, const Instance& instance, ProtocolKind protocol,
+                   int sim_threads) {
+  ProtocolParams params = scenario.protocol_params();
+  const RouterFactory factory =
+      make_protocol_factory(protocol, params, scenario.config().buffer_capacity);
+
+  SimConfig sim;
+  sim.contact.charge_metadata = true;
+  sim.contact.link = scenario.config().link;
+  sim.contact.link.seed ^= instance.link_seed;
+  sim.sim_threads = sim_threads;
+  sim.shard_window = 61;  // far below default: many windows, many barriers
+
+  RunOutput out;
+  if (instance.make_model) {
+    Simulation simulation(SimBounds{instance.num_nodes, instance.duration}, instance.workload,
+                          factory, sim);
+    simulation.add_event_source(make_mobility_source(instance.make_model()));
+    simulation.run();
+    out.result = simulation.finish();
+    std::ostringstream bytes;
+    BinWriter writer(bytes);
+    simulation.save_state(writer);
+    out.snapshot = bytes.str();
+  } else {
+    Simulation simulation(instance.schedule, instance.workload, factory, sim);
+    simulation.run();
+    out.result = simulation.finish();
+    std::ostringstream bytes;
+    BinWriter writer(bytes);
+    simulation.save_state(writer);
+    out.snapshot = bytes.str();
+  }
+  return out;
+}
+
+void expect_bit_identical(const RunOutput& serial, const RunOutput& sharded,
+                          const std::string& label) {
+  EXPECT_EQ(serial.result.total_packets, sharded.result.total_packets) << label;
+  EXPECT_EQ(serial.result.delivered, sharded.result.delivered) << label;
+  EXPECT_EQ(serial.result.delivery_rate, sharded.result.delivery_rate) << label;
+  EXPECT_EQ(serial.result.avg_delay, sharded.result.avg_delay) << label;
+  EXPECT_EQ(serial.result.avg_delay_with_undelivered,
+            sharded.result.avg_delay_with_undelivered)
+      << label;
+  EXPECT_EQ(serial.result.max_delay, sharded.result.max_delay) << label;
+  EXPECT_EQ(serial.result.deadline_rate, sharded.result.deadline_rate) << label;
+  EXPECT_EQ(serial.result.data_bytes, sharded.result.data_bytes) << label;
+  EXPECT_EQ(serial.result.metadata_bytes, sharded.result.metadata_bytes) << label;
+  EXPECT_EQ(serial.result.capacity_bytes, sharded.result.capacity_bytes) << label;
+  EXPECT_EQ(serial.result.channel_utilization, sharded.result.channel_utilization) << label;
+  EXPECT_EQ(serial.result.drops, sharded.result.drops) << label;
+  EXPECT_EQ(serial.result.ack_purges, sharded.result.ack_purges) << label;
+  EXPECT_EQ(serial.result.meetings, sharded.result.meetings) << label;
+  EXPECT_EQ(serial.result.partial_transfers, sharded.result.partial_transfers) << label;
+  EXPECT_EQ(serial.result.partial_bytes, sharded.result.partial_bytes) << label;
+  EXPECT_EQ(serial.result.delivery_time, sharded.result.delivery_time) << label;
+  ASSERT_FALSE(serial.snapshot.empty()) << label;
+  EXPECT_EQ(serial.snapshot == sharded.snapshot, true)
+      << label << ": sharded run's engine snapshot bytes diverged";
+}
+
+TEST(ShardMatrix, ShardedIsBitIdenticalToSerialForEveryProtocol) {
+  for (const ScenarioCase& sc : scenario_cases()) {
+    const Scenario scenario(sc.config);
+    const Instance instance = scenario.instance(0, sc.load);
+    for (ProtocolKind kind : all_protocols()) {
+      const RunOutput serial = run_case(scenario, instance, kind, 1);
+      // The comparison is vacuous on a silent fleet.
+      EXPECT_GT(serial.result.meetings, 0u) << sc.name << "/" << to_string(kind);
+      EXPECT_GT(serial.result.total_packets, 0u) << sc.name << "/" << to_string(kind);
+      for (int threads : kThreadWidths) {
+        const RunOutput sharded = run_case(scenario, instance, kind, threads);
+        expect_bit_identical(serial, sharded,
+                             std::string(sc.name) + "/" + to_string(kind) + "/threads=" +
+                                 std::to_string(threads));
+      }
+    }
+  }
+}
+
+// Mid-run horizon moves (the service engine's advance_to pattern) must hit
+// the same window boundaries deterministically: a sharded run driven in
+// many small run_until steps equals the serial run driven in one.
+TEST(ShardMatrix, SteppedRunUntilMatchesSerialSingleShot) {
+  ScenarioConfig config = make_powerlaw_scenario();
+  config.stream_mobility = true;
+  config.synthetic_runs = 1;
+  const Scenario scenario(config);
+  const Instance instance = scenario.instance(0, 2.0);
+
+  const RunOutput serial = run_case(scenario, instance, ProtocolKind::kRapid, 1);
+
+  ProtocolParams params = scenario.protocol_params();
+  const RouterFactory factory = make_protocol_factory(ProtocolKind::kRapid, params,
+                                                      scenario.config().buffer_capacity);
+  SimConfig sim;
+  sim.contact.charge_metadata = true;
+  sim.contact.link = scenario.config().link;
+  sim.contact.link.seed ^= instance.link_seed;
+  sim.sim_threads = 4;
+  sim.shard_window = 61;
+  Simulation stepped(SimBounds{instance.num_nodes, instance.duration}, instance.workload,
+                     factory, sim);
+  stepped.add_event_source(make_mobility_source(instance.make_model()));
+  const Time slice = instance.duration / 23;
+  for (Time t = slice; t < instance.duration; t += slice) stepped.run_until(t);
+  stepped.run();
+
+  RunOutput out;
+  out.result = stepped.finish();
+  std::ostringstream bytes;
+  BinWriter writer(bytes);
+  stepped.save_state(writer);
+  out.snapshot = bytes.str();
+  expect_bit_identical(serial, out, "stepped run_until");
+}
+
+}  // namespace
+}  // namespace rapid

@@ -144,6 +144,34 @@ TEST_F(TraceTailTest, SaveLoadResumesAtTheExactOffset) {
   EXPECT_DOUBLE_EQ(resumed.last_meet_time(), 20);
 }
 
+TEST_F(TraceTailTest, TruncatedFileFailsLoudlyInsteadOfResumingPastEof) {
+  append(std::string(kHeader) + "meet 0 1 10 1000\nmeet 1 2 20 2000\n");
+  TraceTailCursor cursor(path_);
+  std::vector<Meeting> out;
+  EXPECT_EQ(cursor.poll(out), 2u);
+
+  // The file shrinks below the cursor's resume offset — truncated or swapped
+  // for a shorter one. seekg past EOF succeeds silently, so without the size
+  // check the next poll would quietly resume mid-nothing (and, once the file
+  // regrows, mid-record). It must throw, and name how far the cursor had read.
+  std::ofstream rewrite(path_, std::ios::trunc | std::ios::binary);
+  rewrite << "rapid-trace v1\n";
+  rewrite.close();
+  try {
+    cursor.poll(out);
+    FAIL() << "poll on a truncated file should throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("5 line(s)"), std::string::npos) << e.what();
+  }
+  EXPECT_EQ(out.size(), 2u);  // nothing bogus was appended
+
+  // A regrown file is just as unreadable from a stale offset: the cursor must
+  // keep refusing rather than resume inside the new content.
+  append("fleet 4\nday 3600 active 0 1 2 3\nmeet 0 1 1 1\n");
+  EXPECT_THROW(cursor.poll(out), std::runtime_error);
+}
+
 TEST_F(TraceTailTest, TailedMeetingsMatchReadTrace) {
   const std::string body = std::string(kHeader) +
                            "meet 0 1 10 1000\n"
