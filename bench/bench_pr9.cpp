@@ -1,0 +1,222 @@
+// Perf-trajectory probe for the fault-injection subsystem (PR 9).
+//
+// Three operating points on the 2000-node powerlaw-stream scenario, all
+// serial (sim_threads = 1; the sharded widths are bench_pr8's contract):
+//
+//   clean    — the registry scenario untouched (fault machinery present but
+//              disabled: the zero-fault-rate path every pre-existing bench
+//              also exercises);
+//   zeroed   — same scenario with non-default fault seeds/spreads but zero
+//              rates. Must reproduce `clean` bit for bit: a disabled fault
+//              config takes zero extra RNG draws (`zero_fault_identical` is
+//              the exact CI guard for that claim);
+//   faulted  — the registry powerlaw-stream-faulty operating point (node
+//              crashes, buffer drops, link corruption), the scenario the
+//              delivery-vs-failure figure is built on.
+//
+// JSON record:
+//   wall_clock_ms          — best-of-N clean simulation time (the zero-rate
+//                            trajectory; bench_pr4/pr5/pr8 gate the same
+//                            paths, so a fault-machinery slowdown on clean
+//                            runs is caught from several directions)
+//   wall_clock_ms_faulted  — best-of-N faulted simulation time
+//   fault_overhead_pct     — faulted vs clean wall (report only: faulted
+//                            runs do real extra work — crashes, drops,
+//                            suppressed meetings — so this is not a
+//                            regression gate, just the trajectory)
+//   zero_fault_identical   — 1 iff `zeroed` == `clean` bit for bit (exact)
+//   packets/meetings/delivered            — clean-run determinism trio
+//   delivered_faulted, crashes, recoveries, meetings_suppressed,
+//   fault_lost_packets, corrupted_transfers, corrupted_bytes
+//                          — the faulted operating point, all exact
+//   peak_rss_kb, allocations — as in the other bench_pr* probes
+//
+// CI runs this in Release; tools/bench_compare.py fails the job when an
+// exact key diverges from the committed BENCH_pr9.json or a tracked metric
+// regresses past the tolerance.
+//
+// Usage: bench_pr9 [--json PATH] [--runs N] [--protocol NAME] [--load F]
+#include <sys/resource.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <optional>
+#include <string>
+
+#include "runner/scenario_registry.h"
+#include "sim/experiment.h"
+#include "sim/protocols.h"
+
+namespace {
+
+std::atomic<unsigned long long> g_allocations{0};
+std::atomic<bool> g_counting{false};
+
+}  // namespace
+
+// Counting allocator hook: global operator new/delete for this binary only
+// (the library is untouched). Counting is gated so setup/teardown noise
+// stays out of the number.
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+bool same_result(const rapid::SimResult& a, const rapid::SimResult& b) {
+  return a.total_packets == b.total_packets && a.delivered == b.delivered &&
+         a.delivery_rate == b.delivery_rate && a.avg_delay == b.avg_delay &&
+         a.max_delay == b.max_delay && a.data_bytes == b.data_bytes &&
+         a.metadata_bytes == b.metadata_bytes && a.drops == b.drops &&
+         a.meetings == b.meetings && a.crashes == b.crashes &&
+         a.corrupted_transfers == b.corrupted_transfers &&
+         a.delivery_time == b.delivery_time;
+}
+
+struct Measured {
+  rapid::SimResult result;
+  double best_ms = 1e300;
+  std::size_t packets = 0;
+  unsigned long long best_allocations = ~0ULL;
+};
+
+Measured measure(const rapid::Scenario& scenario, double load, rapid::ProtocolKind protocol,
+                 int runs, bool count_allocs) {
+  Measured m;
+  rapid::RunSpec spec;
+  spec.protocol = protocol;
+  for (int r = 0; r < runs; ++r) {
+    if (count_allocs) {
+      g_allocations.store(0, std::memory_order_relaxed);
+      g_counting.store(true, std::memory_order_relaxed);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const rapid::Instance inst = scenario.instance(0, load);
+    m.result = run_instance(scenario, inst, spec);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (count_allocs) {
+      g_counting.store(false, std::memory_order_relaxed);
+      const unsigned long long allocations = g_allocations.load(std::memory_order_relaxed);
+      if (allocations < m.best_allocations) m.best_allocations = allocations;
+    }
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < m.best_ms) m.best_ms = ms;
+    m.packets = inst.workload.size();
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using rapid::ProtocolKind;
+  using rapid::Scenario;
+  using rapid::ScenarioConfig;
+
+  std::string json_path;
+  int runs = 1;
+  std::string protocol_name = "rapid";
+  double load = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--runs" && i + 1 < argc) {
+      runs = std::atoi(argv[++i]);
+      if (runs < 1) runs = 1;
+    } else if (arg == "--protocol" && i + 1 < argc) {
+      protocol_name = argv[++i];
+    } else if (arg == "--load" && i + 1 < argc) {
+      load = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_pr9 [--json PATH] [--runs N] [--protocol NAME] "
+                   "[--load F]\n");
+      return 2;
+    }
+  }
+
+  const std::optional<ProtocolKind> protocol = rapid::protocol_from_string(protocol_name);
+  if (!protocol) {
+    std::fprintf(stderr, "bench_pr9: unknown --protocol %s\n", protocol_name.c_str());
+    return 2;
+  }
+
+  const ScenarioConfig clean_config =
+      rapid::runner::ScenarioRegistry::global().make("powerlaw-stream");
+  const ScenarioConfig faulty_config =
+      rapid::runner::ScenarioRegistry::global().make("powerlaw-stream-faulty");
+  // Zero rates, non-default seeds and spread: enabled() stays false, so this
+  // must not shift the run by a single RNG draw.
+  ScenarioConfig zeroed_config = clean_config;
+  zeroed_config.link_fault.seed = 0xDEAD;
+  zeroed_config.link_fault.loss_spread = 0.7;
+  zeroed_config.node_faults.seed = 0xBEEF;
+
+  const Scenario clean_scenario(clean_config);
+  const Scenario zeroed_scenario(zeroed_config);
+  const Scenario faulty_scenario(faulty_config);
+
+  const Measured clean = measure(clean_scenario, load, *protocol, runs, true);
+  std::fprintf(stderr, "bench_pr9: clean wall=%.1f ms\n", clean.best_ms);
+  const Measured zeroed = measure(zeroed_scenario, load, *protocol, 1, false);
+  const bool zero_identical = same_result(clean.result, zeroed.result);
+  if (!zero_identical)
+    std::fprintf(stderr, "bench_pr9: zero-rate fault config perturbed the run\n");
+  const Measured faulted = measure(faulty_scenario, load, *protocol, runs, false);
+  std::fprintf(stderr, "bench_pr9: faulted wall=%.1f ms (crashes=%llu corrupted=%llu)\n",
+               faulted.best_ms,
+               static_cast<unsigned long long>(faulted.result.crashes),
+               static_cast<unsigned long long>(faulted.result.corrupted_transfers));
+
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);  // ru_maxrss is in kilobytes on Linux
+
+  const double overhead_pct = 100.0 * (faulted.best_ms - clean.best_ms) / clean.best_ms;
+  const std::string json = std::string("{\n") +
+      "  \"scenario\": \"powerlaw-stream(-faulty)\",\n" +
+      "  \"protocol\": \"" + protocol_name + "\",\n" +
+      "  \"load\": " + std::to_string(load) + ",\n" +
+      "  \"packets\": " + std::to_string(clean.packets) + ",\n" +
+      "  \"meetings\": " + std::to_string(clean.result.meetings) + ",\n" +
+      "  \"delivered\": " + std::to_string(clean.result.delivered) + ",\n" +
+      "  \"zero_fault_identical\": " + (zero_identical ? "1" : "0") + ",\n" +
+      "  \"delivered_faulted\": " + std::to_string(faulted.result.delivered) + ",\n" +
+      "  \"crashes\": " + std::to_string(faulted.result.crashes) + ",\n" +
+      "  \"recoveries\": " + std::to_string(faulted.result.recoveries) + ",\n" +
+      "  \"meetings_suppressed\": " + std::to_string(faulted.result.meetings_suppressed) + ",\n" +
+      "  \"fault_lost_packets\": " + std::to_string(faulted.result.fault_lost_packets) + ",\n" +
+      "  \"corrupted_transfers\": " + std::to_string(faulted.result.corrupted_transfers) + ",\n" +
+      "  \"corrupted_bytes\": " + std::to_string(faulted.result.corrupted_bytes) + ",\n" +
+      "  \"wall_clock_ms\": " + std::to_string(clean.best_ms) + ",\n" +
+      "  \"wall_clock_ms_faulted\": " + std::to_string(faulted.best_ms) + ",\n" +
+      "  \"fault_overhead_pct\": " + std::to_string(overhead_pct) + ",\n" +
+      "  \"peak_rss_kb\": " + std::to_string(static_cast<long long>(usage.ru_maxrss)) + ",\n" +
+      "  \"allocations\": " + std::to_string(clean.best_allocations) + ",\n" +
+      "  \"exact_extra\": [\"zero_fault_identical\", \"delivered_faulted\", \"crashes\", " +
+      "\"recoveries\", \"meetings_suppressed\", \"fault_lost_packets\", " +
+      "\"corrupted_transfers\", \"corrupted_bytes\"],\n" +
+      "  \"tracked_extra\": [\"wall_clock_ms_faulted\"]\n" +
+      "}\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (!json_path.empty()) {
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "bench_pr9: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return zero_identical ? 0 : 1;
+}

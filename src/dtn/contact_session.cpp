@@ -57,6 +57,39 @@ void ContactSession::open() {
     }
   }
 
+  // Link-fault arming. The per-pair loss process scales the configured loss
+  // rate by a pair-keyed uniform in [1-spread, 1+spread], so some pairs run
+  // lossier links than others but every run agrees on which. The per-copy
+  // draws then come from a stream keyed by meeting index, independent of
+  // execution order and thread count.
+  if (config_.fault.loss_rate > 0.0) {
+    const std::uint64_t lo = static_cast<std::uint64_t>(
+        static_cast<std::uint32_t>(std::min(a_.self(), b_.self())));
+    const std::uint64_t hi = static_cast<std::uint64_t>(
+        static_cast<std::uint32_t>(std::max(a_.self(), b_.self())));
+    Rng pair_rng = Rng(config_.fault.seed).split("pair-loss", (lo << 32) | hi);
+    const double scale = pair_rng.uniform(1.0 - config_.fault.loss_spread,
+                                          1.0 + config_.fault.loss_spread);
+    loss_prob_ = std::clamp(config_.fault.loss_rate * scale, 0.0, 1.0);
+    corrupt_rng_ = Rng(config_.fault.seed)
+                       .split("corrupt", static_cast<std::uint64_t>(meeting_index_));
+    corrupt_enabled_ = loss_prob_ > 0.0;
+  }
+
+  // Metadata-channel degradation: a degraded contact keeps only
+  // meta_survive_fraction of its metadata budget (the control channel fades
+  // before the data channel does).
+  double meta_survive = 1.0;
+  if (config_.fault.meta_degrade_rate > 0.0) {
+    Rng meta_rng = Rng(config_.fault.seed)
+                       .split("meta", static_cast<std::uint64_t>(meeting_index_));
+    if (meta_rng.bernoulli(config_.fault.meta_degrade_rate)) {
+      meta_survive = std::clamp(config_.fault.meta_survive_fraction, 0.0, 1.0);
+      stats_.metadata_degraded = true;
+      RAPID_OBS_INC(kFaultMetaDegraded);
+    }
+  }
+
   // --- Step 1: metadata exchange -------------------------------------------
   Bytes used_a = 0;
   Bytes used_b = 0;
@@ -68,6 +101,8 @@ void ContactSession::open() {
           budget_ab_, static_cast<Bytes>(config_.metadata_cap_fraction *
                                          static_cast<double>(meeting_.capacity)));
     }
+    if (meta_survive < 1.0)
+      meta_budget = static_cast<Bytes>(meta_survive * static_cast<double>(meta_budget));
     used_a = std::min(a_.contact_begin(b_, meeting_.time, meta_budget), meta_budget);
     used_b = std::min(b_.contact_begin(a_, meeting_.time, meta_budget - used_a),
                       meta_budget - used_a);
@@ -83,8 +118,12 @@ void ContactSession::open() {
                              static_cast<Bytes>(config_.metadata_cap_fraction *
                                                 static_cast<double>(dir_budget)));
     };
-    const Bytes meta_a = dir_meta_budget(budget_ab_);
-    const Bytes meta_b = dir_meta_budget(budget_ba_);
+    Bytes meta_a = dir_meta_budget(budget_ab_);
+    Bytes meta_b = dir_meta_budget(budget_ba_);
+    if (meta_survive < 1.0) {
+      meta_a = static_cast<Bytes>(meta_survive * static_cast<double>(meta_a));
+      meta_b = static_cast<Bytes>(meta_survive * static_cast<double>(meta_b));
+    }
     used_a = std::min(a_.contact_begin(b_, meeting_.time, meta_a), meta_a);
     used_b = std::min(b_.contact_begin(a_, meeting_.time, meta_b), meta_b);
     if (config_.charge_metadata) {
@@ -129,11 +168,27 @@ void ContactSession::perform_transfer(bool from_a, const Packet& p) {
   send_budget(from_a) -= p.size;
   data_moved_ += p.size;
   stats_.data_bytes += p.size;
+  RAPID_OBS_ADD(kContactDataBytes, p.size);
+  RAPID_OBS_HIST(kContactTransferBytes, p.size);
+
+  if (corrupt_enabled_ && corrupt_rng_.bernoulli(loss_prob_)) {
+    // The copy arrives corrupted: the bytes are burned in full, the receiver
+    // discards the slice (accounting stays exact — nothing was stored), and
+    // the sender moves past the packet as it would after a rejection.
+    ++stats_.corrupted_transfers;
+    stats_.corrupted_bytes += p.size;
+    metrics_.record_corrupted_transfer(p.size);
+    RAPID_OBS_INC(kFaultCorruptedTransfers);
+    RAPID_OBS_ADD(kFaultCorruptedBytes, p.size);
+    RAPID_OBS_TRACE(kPacketCorrupt, meeting_.time, snd.self(), rcv.self(), p.id,
+                    p.size);
+    snd.on_transfer_failed(p, rcv, meeting_.time);
+    return;
+  }
+
   metrics_.record_data_transfer(p.size);
   ++stats_.transfers;
   RAPID_OBS_INC(kContactTransfers);
-  RAPID_OBS_ADD(kContactDataBytes, p.size);
-  RAPID_OBS_HIST(kContactTransferBytes, p.size);
 
   const ReceiveOutcome outcome = rcv.receive_copy(p, snd, aux, meeting_.time);
   switch (outcome) {

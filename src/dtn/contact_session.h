@@ -27,6 +27,8 @@
 #include "dtn/packet.h"
 #include "dtn/router.h"
 #include "dtn/schedule.h"
+#include "fault/fault_config.h"
+#include "util/rng.h"
 
 namespace rapid {
 
@@ -58,6 +60,12 @@ struct ContactConfig {
   // channel of §6.2.3, whose cost is out of band).
   bool charge_metadata = true;
   LinkPolicy link;
+  // Byte-level link faults (src/fault): per-copy corruption with a loss
+  // probability drawn per node pair, and metadata-channel degradation. All
+  // draws use streams split off fault.seed, disjoint from the link-policy
+  // interruption stream, so a zero-rate fault config is bit-identical to no
+  // fault config at all.
+  LinkFaultConfig fault;
 };
 
 struct ContactStats {
@@ -69,6 +77,12 @@ struct ContactStats {
   int partial_transfers = 0;  // copies cut mid-air (discarded but charged)
   Bytes partial_bytes = 0;
   bool interrupted = false;
+  // Link-fault accounting: copies that crossed the air corrupted (charged in
+  // full, discarded by the receiver) and whether the metadata channel was
+  // degraded for this contact.
+  int corrupted_transfers = 0;
+  Bytes corrupted_bytes = 0;
+  bool metadata_degraded = false;
 };
 
 enum class SessionState { kIdle, kOpen, kClosed };
@@ -151,6 +165,13 @@ class ContactSession {
   bool b_done_ = false;
   bool a_turn_ = true;
   PendingOffer pending_;
+
+  // Link-fault state, armed in open() only when config_.fault is live for
+  // this pair: the per-pair loss probability and the per-meeting corruption
+  // stream (split by meeting index, like the interruption draw).
+  bool corrupt_enabled_ = false;
+  double loss_prob_ = 0.0;
+  Rng corrupt_rng_{0};
 };
 
 ContactStats run_contact(Router& x, Router& y, const Meeting& meeting, int meeting_index,

@@ -44,6 +44,12 @@ void MetricsCollector::begin(const PacketPool& pool) {
   ack_purges_ = 0;
   partial_transfers_ = 0;
   partial_bytes_ = 0;
+  crashes_ = 0;
+  recoveries_ = 0;
+  meetings_suppressed_ = 0;
+  fault_lost_packets_ = 0;
+  corrupted_transfers_ = 0;
+  corrupted_bytes_ = 0;
 }
 
 void MetricsCollector::record_delivery(PacketId id, Time when) {
@@ -83,6 +89,12 @@ void MetricsCollector::drain_from(MetricsCollector& shard) {
   ack_purges_ += shard.ack_purges_;
   partial_transfers_ += shard.partial_transfers_;
   partial_bytes_ += shard.partial_bytes_;
+  crashes_ += shard.crashes_;
+  recoveries_ += shard.recoveries_;
+  meetings_suppressed_ += shard.meetings_suppressed_;
+  fault_lost_packets_ += shard.fault_lost_packets_;
+  corrupted_transfers_ += shard.corrupted_transfers_;
+  corrupted_bytes_ += shard.corrupted_bytes_;
   shard.data_bytes_ = 0;
   shard.metadata_bytes_ = 0;
   shard.capacity_bytes_ = 0;
@@ -91,6 +103,12 @@ void MetricsCollector::drain_from(MetricsCollector& shard) {
   shard.ack_purges_ = 0;
   shard.partial_transfers_ = 0;
   shard.partial_bytes_ = 0;
+  shard.crashes_ = 0;
+  shard.recoveries_ = 0;
+  shard.meetings_suppressed_ = 0;
+  shard.fault_lost_packets_ = 0;
+  shard.corrupted_transfers_ = 0;
+  shard.corrupted_bytes_ = 0;
 }
 
 void MetricsCollector::save(BinWriter& out) const {
@@ -111,6 +129,12 @@ void MetricsCollector::save(BinWriter& out) const {
   out.u64(ack_purges_);
   out.u64(partial_transfers_);
   out.i64(partial_bytes_);
+  out.u64(crashes_);
+  out.u64(recoveries_);
+  out.u64(meetings_suppressed_);
+  out.u64(fault_lost_packets_);
+  out.u64(corrupted_transfers_);
+  out.i64(corrupted_bytes_);
 }
 
 void MetricsCollector::load(BinReader& in) {
@@ -129,6 +153,12 @@ void MetricsCollector::load(BinReader& in) {
   ack_purges_ = in.u64();
   partial_transfers_ = in.u64();
   partial_bytes_ = in.i64();
+  crashes_ = in.u64();
+  recoveries_ = in.u64();
+  meetings_suppressed_ = in.u64();
+  fault_lost_packets_ = in.u64();
+  corrupted_transfers_ = in.u64();
+  corrupted_bytes_ = in.i64();
 }
 
 SimResult MetricsCollector::finalize(const PacketPool& pool, Time end_time) const {
@@ -143,6 +173,12 @@ SimResult MetricsCollector::finalize(const PacketPool& pool, Time end_time) cons
   r.ack_purges = ack_purges_;
   r.partial_transfers = partial_transfers_;
   r.partial_bytes = partial_bytes_;
+  r.crashes = crashes_;
+  r.recoveries = recoveries_;
+  r.meetings_suppressed = meetings_suppressed_;
+  r.fault_lost_packets = fault_lost_packets_;
+  r.corrupted_transfers = corrupted_transfers_;
+  r.corrupted_bytes = corrupted_bytes_;
 
   double delay_sum = 0;
   double delay_sum_all = 0;

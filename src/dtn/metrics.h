@@ -47,6 +47,17 @@ struct SimResult {
   std::size_t partial_transfers = 0;
   Bytes partial_bytes = 0;
 
+  // Fault-injection accounting (src/fault/): node crash/recover events,
+  // meetings a dead endpoint missed, packets generated at a dead node, and
+  // copies corrupted on the air (charged like partials, included in
+  // data_bytes, never received). All zero on fault-free runs.
+  std::size_t crashes = 0;
+  std::size_t recoveries = 0;
+  std::size_t meetings_suppressed = 0;
+  std::size_t fault_lost_packets = 0;
+  std::size_t corrupted_transfers = 0;
+  Bytes corrupted_bytes = 0;
+
   // delivery_time[id] = absolute delivery time, or kTimeInfinity.
   std::vector<Time> delivery_time;
 
@@ -91,6 +102,18 @@ class MetricsCollector {
   void record_drop(NodeId node);
   void record_ack_purge(NodeId node);
 
+  // Fault-injection events (see SimResult's fault block).
+  void record_crash() { ++crashes_; }
+  void record_recovery() { ++recoveries_; }
+  void record_suppressed_meeting() { ++meetings_suppressed_; }
+  void record_fault_lost_packet() { ++fault_lost_packets_; }
+  // A copy corrupted on the air: charged to the channel, never received.
+  void record_corrupted_transfer(Bytes bytes) {
+    data_bytes_ += bytes;
+    corrupted_bytes_ += bytes;
+    ++corrupted_transfers_;
+  }
+
   bool is_delivered(PacketId id) const;
   Time delivery_time(PacketId id) const;
 
@@ -128,6 +151,12 @@ class MetricsCollector {
   std::size_t ack_purges_ = 0;
   std::size_t partial_transfers_ = 0;
   Bytes partial_bytes_ = 0;
+  std::size_t crashes_ = 0;
+  std::size_t recoveries_ = 0;
+  std::size_t meetings_suppressed_ = 0;
+  std::size_t fault_lost_packets_ = 0;
+  std::size_t corrupted_transfers_ = 0;
+  Bytes corrupted_bytes_ = 0;
 };
 
 }  // namespace rapid

@@ -195,6 +195,23 @@ bool Router::store_with_eviction(const Packet& p, Time now) {
   return buffer_.insert(p.id, p.size);
 }
 
+void Router::on_crash(bool drop_buffers, Time now) {
+  if (!drop_buffers) return;
+  // Drain back-to-front (erase of the last packed entry never swaps), firing
+  // the exact per-drop accounting the eviction path fires, so a crash is
+  // indistinguishable from a burst of drops to every downstream consumer.
+  while (!buffer_.empty()) {
+    const PacketId victim = buffer_.entries()[buffer_.count() - 1].id;
+    const Packet& vp = ctx_->pool->get(victim);
+    buffer_.erase(victim);
+    ++drops_;
+    if (MetricsCollector* metrics = metrics_sink(ctx_)) metrics->record_drop(self_);
+    RAPID_OBS_INC(kRouterDrops);
+    RAPID_OBS_TRACE(kPacketDrop, now, self_, kNoNode, vp.id, vp.size);
+    on_dropped(vp, now);
+  }
+}
+
 void Router::flush_obs(obs::ObsContext& /*out*/) const {}
 
 void Router::save_state(BinWriter& out) {

@@ -229,6 +229,17 @@ class Router {
 
   virtual void contact_end(const PeerView& peer, Time now);
 
+  // Node crash (fault injection; SimConfig::node_faults). With
+  // `drop_buffers` the whole in-transit store is lost: the base class
+  // drains it through the same accounting path as eviction (drop counters,
+  // on_dropped hooks), so protocol metadata stays consistent with the
+  // now-empty buffer. Without it, a crash is a pure connectivity loss —
+  // state survives like a persisted disk. Delivery receipts and acks
+  // survive either way (§3.1's destination storage is not the in-transit
+  // buffer). Recovery needs no hook: the node simply rejoins with whatever
+  // (stale) state it kept, and contacts refresh it.
+  virtual void on_crash(bool drop_buffers, Time now);
+
   // Protocol-specific extra word carried with a transfer (e.g. Spray and
   // Wait's token count). Called right before the copy crosses.
   virtual std::int64_t transfer_aux(const Packet& p, const PeerView& peer);

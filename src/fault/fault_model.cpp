@@ -1,0 +1,66 @@
+#include "fault/fault_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rapid {
+
+FaultModel::FaultModel(const NodeFaultConfig& config, int num_nodes) : config_(config) {
+  if (!config_.enabled())
+    throw std::invalid_argument("FaultModel: node faults are not enabled");
+  if (num_nodes < 1) throw std::invalid_argument("FaultModel: need >= 1 node");
+  heap_.reserve(static_cast<std::size_t>(num_nodes));
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    NodeStream s{FaultEvent{}, Rng(config_.seed).split("node-fault",
+                                                       static_cast<std::uint64_t>(n))};
+    // Every node starts up; its first transition is a crash at the end of the
+    // first uptime phase.
+    s.event.node = n;
+    s.event.up = false;
+    s.event.time = s.rng.exponential_mean(config_.mean_uptime);
+    heap_.push_back(s);
+  }
+  std::make_heap(heap_.begin(), heap_.end());
+}
+
+void FaultModel::pop() {
+  std::pop_heap(heap_.begin(), heap_.end());
+  NodeStream& s = heap_.back();
+  // The popped transition flips the node's phase; the next one ends it.
+  s.event.time += s.rng.exponential_mean(s.event.up ? config_.mean_uptime
+                                                    : config_.mean_downtime);
+  s.event.up = !s.event.up;
+  std::push_heap(heap_.begin(), heap_.end());
+}
+
+namespace {
+
+class FaultEventSource final : public EventSource {
+ public:
+  FaultEventSource(const NodeFaultConfig& config, int num_nodes)
+      : model_(config, num_nodes) {}
+
+  const SimEvent* peek() override {
+    const FaultEvent& f = model_.peek();
+    event_.kind = SimEvent::Kind::kFault;
+    event_.time = f.time;
+    event_.packet = nullptr;
+    event_.fault = f;
+    return &event_;
+  }
+
+  void pop() override { model_.pop(); }
+
+ private:
+  FaultModel model_;
+  SimEvent event_;
+};
+
+}  // namespace
+
+std::unique_ptr<EventSource> make_fault_source(const NodeFaultConfig& config,
+                                               int num_nodes) {
+  return std::make_unique<FaultEventSource>(config, num_nodes);
+}
+
+}  // namespace rapid

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "util/binio.h"
 #include "util/strings.h"
 
@@ -216,7 +217,22 @@ void TraceTailCursor::parse_line(const std::string& line) {
 
 std::size_t TraceTailCursor::poll(std::vector<Meeting>& out) {
   std::ifstream f(path_, std::ios::binary);
-  if (!f) throw std::runtime_error("cannot open trace file: " + path_);
+  if (!f) {
+    // A file we have read from before that suddenly refuses to open is most
+    // likely a transient IO blip; back off (the caller polls again later)
+    // within a bounded budget rather than killing a long-lived service.
+    if (opened_ok_ && ++open_failures_ <= kMaxTransientOpenFailures) {
+      RAPID_OBS_INC(kFaultTailRetries);
+      return 0;
+    }
+    if (opened_ok_)
+      throw std::runtime_error("cannot open trace file after " +
+                               std::to_string(open_failures_) +
+                               " consecutive attempts: " + path_);
+    throw std::runtime_error("cannot open trace file: " + path_);
+  }
+  opened_ok_ = true;
+  open_failures_ = 0;
   // A file shorter than the resume offset means it was truncated or replaced
   // since the last poll. Seeking past EOF succeeds silently, so without this
   // check a truncated-then-regrown file would be resumed mid-record and parsed

@@ -51,10 +51,18 @@ class TraceTailCursor {
  public:
   explicit TraceTailCursor(std::string path);
 
+  // Consecutive open failures tolerated on a file that opened fine before
+  // (an NFS hiccup, a log rotation in flight): poll() reports 0 new contacts
+  // and retries next time. The budget resets on any successful open; a file
+  // that NEVER opened, or one that stays unopenable past the budget, still
+  // throws — a wrong path must not look like a quiet feed.
+  static constexpr int kMaxTransientOpenFailures = 5;
+
   // Parses everything complete and new, appending meetings to `out` in file
   // (= time) order; returns how many were appended. Non-blocking: returns 0
   // when nothing complete arrived. Throws std::runtime_error on malformed
-  // input or when the file cannot be opened.
+  // input or when the file cannot be opened (subject to the bounded
+  // transient-failure retry above).
   std::size_t poll(std::vector<Meeting>& out);
 
   const std::string& path() const { return path_; }
@@ -81,6 +89,9 @@ class TraceTailCursor {
   std::string path_;
   std::uint64_t offset_ = 0;
   int line_no_ = 0;
+  // Transient-IO retry state; runtime only, not part of the snapshot.
+  bool opened_ok_ = false;
+  int open_failures_ = 0;
   bool saw_header_ = false;
   bool saw_fleet_ = false;
   bool in_day_ = false;

@@ -13,6 +13,14 @@ const char* counter_name(Counter c) {
     case Counter::kContactPartialTransfers: return "contact.partial_transfers";
     case Counter::kContactSessions: return "contact.sessions";
     case Counter::kContactTransfers: return "contact.transfers";
+    case Counter::kFaultCorruptedBytes: return "fault.corrupted_bytes";
+    case Counter::kFaultCorruptedTransfers: return "fault.corrupted_transfers";
+    case Counter::kFaultCrashes: return "fault.crashes";
+    case Counter::kFaultMeetingsSuppressed: return "fault.meetings_suppressed";
+    case Counter::kFaultMetaDegraded: return "fault.meta_degraded";
+    case Counter::kFaultPacketsLost: return "fault.packets_lost";
+    case Counter::kFaultRecoveries: return "fault.recoveries";
+    case Counter::kFaultTailRetries: return "fault.tail_retries";
     case Counter::kLogMessages: return "log.messages";
     case Counter::kMobilityPops: return "mobility.pops";
     case Counter::kPoolSteals: return "pool.steals";
@@ -24,6 +32,7 @@ const char* counter_name(Counter c) {
     case Counter::kServiceSnapshots: return "service.snapshots";
     case Counter::kShardCrossMeetings: return "shard.cross_meetings";
     case Counter::kShardWindows: return "shard.windows";
+    case Counter::kSimEventsFault: return "sim.events.fault";
     case Counter::kSimEventsMeeting: return "sim.events.meeting";
     case Counter::kSimEventsPacket: return "sim.events.packet";
     case Counter::kSimEventsSkipped: return "sim.events.skipped";

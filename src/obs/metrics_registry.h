@@ -28,6 +28,14 @@ enum class Counter : std::uint16_t {
   kContactPartialTransfers,
   kContactSessions,
   kContactTransfers,
+  kFaultCorruptedBytes,
+  kFaultCorruptedTransfers,
+  kFaultCrashes,
+  kFaultMeetingsSuppressed,
+  kFaultMetaDegraded,
+  kFaultPacketsLost,
+  kFaultRecoveries,
+  kFaultTailRetries,
   kLogMessages,
   kMobilityPops,
   kPoolSteals,
@@ -39,6 +47,7 @@ enum class Counter : std::uint16_t {
   kServiceSnapshots,
   kShardCrossMeetings,
   kShardWindows,
+  kSimEventsFault,
   kSimEventsMeeting,
   kSimEventsPacket,
   kSimEventsSkipped,

@@ -12,6 +12,9 @@ const char* trace_event_kind_name(TraceEventKind kind) {
     case TraceEventKind::kPacketPartial: return "packet_partial";
     case TraceEventKind::kPacketDrop: return "packet_drop";
     case TraceEventKind::kUtilityRecompute: return "utility_recompute";
+    case TraceEventKind::kNodeCrash: return "node_crash";
+    case TraceEventKind::kNodeRecover: return "node_recover";
+    case TraceEventKind::kPacketCorrupt: return "packet_corrupt";
   }
   return "?";
 }

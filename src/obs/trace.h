@@ -31,7 +31,13 @@ enum class TraceEventKind : std::uint32_t {
   kPacketPartial = 5, // a = sender, b = receiver; value = bytes burned mid-air
   kPacketDrop = 6,    // a = dropping node; value = size
   kUtilityRecompute = 7,  // a = node; packet = packet id; value = 0 delay / 1 rate
+  kNodeCrash = 8,         // a = node; value = 1 when buffers were dropped
+  kNodeRecover = 9,       // a = node (rejoins with stale state)
+  kPacketCorrupt = 10,    // a = sender, b = receiver; value = bytes burned
 };
+
+// Last enumerator, for exhaustive iteration (obs/trace_read.h).
+inline constexpr TraceEventKind kLastTraceEventKind = TraceEventKind::kPacketCorrupt;
 
 const char* trace_event_kind_name(TraceEventKind kind);
 

@@ -23,8 +23,11 @@ Shape shape_of(TraceEventKind kind) {
     case TraceEventKind::kPacketCopy:
     case TraceEventKind::kPacketDeliver:
     case TraceEventKind::kPacketPartial:
-    case TraceEventKind::kPacketDrop: return {'i', "packet"};
+    case TraceEventKind::kPacketDrop:
+    case TraceEventKind::kPacketCorrupt: return {'i', "packet"};
     case TraceEventKind::kUtilityRecompute: return {'i', "utility"};
+    case TraceEventKind::kNodeCrash:
+    case TraceEventKind::kNodeRecover: return {'i', "fault"};
   }
   return {'i', "?"};
 }

@@ -21,7 +21,7 @@ std::size_t find_key(const std::string& hay, const char* key, std::size_t from,
 }
 
 bool parse_kind(const std::string& name, TraceEventKind* out) {
-  for (int k = 0; k <= static_cast<int>(TraceEventKind::kUtilityRecompute); ++k) {
+  for (int k = 0; k <= static_cast<int>(kLastTraceEventKind); ++k) {
     const auto kind = static_cast<TraceEventKind>(k);
     if (name == trace_event_kind_name(kind)) {
       *out = kind;

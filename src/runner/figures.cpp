@@ -152,6 +152,9 @@ std::vector<FigureDef> build_catalog() {
   catalog.push_back(custom_fig("table3", "Deployment: average daily statistics (full-scale trace)",
                                "statistic", "mean over days", "trace-full",
                                detail::run_table3_deployment));
+  catalog.push_back(custom_fig("fault", "Delivery rate vs failure intensity (crashes + corruption)",
+                               "downtime fraction", "% delivered", "trace",
+                               detail::run_fault_sweep));
   return catalog;
 }
 

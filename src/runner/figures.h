@@ -85,6 +85,7 @@ void run_fig9_channel_utilization(const FigureDef&, const Options&, SweepExecuto
 void run_fig13_optimal(const FigureDef&, const Options&, SweepExecutor&);
 void run_fig15_fairness(const FigureDef&, const Options&, SweepExecutor&);
 void run_table3_deployment(const FigureDef&, const Options&, SweepExecutor&);
+void run_fault_sweep(const FigureDef&, const Options&, SweepExecutor&);
 }  // namespace detail
 
 }  // namespace rapid::runner

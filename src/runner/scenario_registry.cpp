@@ -130,6 +130,66 @@ void register_builtins(ScenarioRegistry& registry) {
                   config.link.forward_fraction = 0.8;
                   return config;
                 }});
+
+  // Fault-injection scenarios (src/fault): the trace scenario under node
+  // crash/recover processes and lossy links. Crashed buses miss their
+  // contacts and lose their buffers; corrupted copies burn bandwidth without
+  // delivering. See docs/EXPERIMENTS.md for the measured ranking shifts.
+  registry.add({"trace-faulty",
+                "Trace scenario with node crashes (mean 1.5 h up / 0.4 h down, "
+                "buffers lost) and 10% per-copy link corruption",
+                [] {
+                  ScenarioConfig config = make_trace_scenario();
+                  config.node_faults.mean_uptime = 1.5 * kSecondsPerHour;
+                  config.node_faults.mean_downtime = 0.4 * kSecondsPerHour;
+                  config.node_faults.drop_buffers = true;
+                  config.link_fault.loss_rate = 0.1;
+                  config.link_fault.loss_spread = 0.5;
+                  return config;
+                }});
+  registry.add({"trace-faulty-preserve",
+                "trace-faulty, but crashed buses keep their buffers and rejoin "
+                "with stale routing state (reboot, not wipe)",
+                [] {
+                  ScenarioConfig config = make_trace_scenario();
+                  config.node_faults.mean_uptime = 1.5 * kSecondsPerHour;
+                  config.node_faults.mean_downtime = 0.4 * kSecondsPerHour;
+                  config.node_faults.drop_buffers = false;
+                  config.link_fault.loss_rate = 0.1;
+                  config.link_fault.loss_spread = 0.5;
+                  return config;
+                }});
+  registry.add({"trace-degraded-meta",
+                "Trace scenario where 30% of contacts open with a metadata "
+                "channel degraded to a quarter of its budget",
+                [] {
+                  ScenarioConfig config = make_trace_scenario();
+                  config.link_fault.meta_degrade_rate = 0.3;
+                  config.link_fault.meta_survive_fraction = 0.25;
+                  return config;
+                }});
+  registry.add({"powerlaw-stream-faulty",
+                "powerlaw-stream under node crashes and 5% link corruption: "
+                "the fault probes' operating point for bench_pr9",
+                [] {
+                  // Same operating point as powerlaw-stream (keep in sync),
+                  // with the fault processes switched on.
+                  ScenarioConfig config = make_powerlaw_scenario();
+                  config.stream_mobility = true;
+                  config.powerlaw.num_nodes = 2000;
+                  config.powerlaw.duration = 600.0;
+                  config.powerlaw.base_mean = 75.0;
+                  config.powerlaw.mean_opportunity = 128_KB;
+                  config.deadline = 600.0;
+                  config.buffer_capacity = 256_KB;
+                  config.synthetic_runs = 1;
+                  config.node_faults.mean_uptime = 200.0;
+                  config.node_faults.mean_downtime = 40.0;
+                  config.node_faults.drop_buffers = true;
+                  config.link_fault.loss_rate = 0.05;
+                  config.link_fault.loss_spread = 0.5;
+                  return config;
+                }});
 }
 
 }  // namespace

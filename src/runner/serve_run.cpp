@@ -17,6 +17,7 @@
 #include "mobility/trace_io.h"
 #include "runner/figures.h"
 #include "service/service_engine.h"
+#include "service/supervise.h"
 #include "util/rng.h"
 
 namespace rapid::runner {
@@ -220,12 +221,30 @@ int run_serve_main(const Options& options) {
     config.sim.sim_threads = sim_thread_count(options);
 
     const std::string restore_path = options.get_string("restore", "");
+    const bool supervise = options.get_bool("supervise", false);
+    const std::string snapshot_dir = options.get_string("snapshot-dir", ".");
     std::unique_ptr<ServiceEngine> engine;
-    if (restore_path.empty()) {
+    if (!restore_path.empty()) {
+      engine = ServiceEngine::restore(restore_path, config, std::move(workload), trace_path);
+    } else if (supervise) {
+      // Crash recovery: resume from the newest snapshot that validates
+      // (corrupt or torn ones are skipped), else start fresh.
+      SuperviseResult recovered =
+          restore_latest_valid(snapshot_dir, config, workload, trace_path);
+      for (const std::string& skip : recovered.skipped)
+        std::cerr << "supervise: skipping snapshot " << skip << "\n";
+      if (recovered.engine != nullptr) {
+        std::cout << "supervise: restored " << recovered.restored_from << "\n";
+        engine = std::move(recovered.engine);
+      } else {
+        std::cout << "supervise: no valid snapshot in " << snapshot_dir
+                  << ", starting fresh\n";
+        engine = std::make_unique<ServiceEngine>(config, std::move(workload));
+        engine->ingest_file_tail(trace_path);
+      }
+    } else {
       engine = std::make_unique<ServiceEngine>(config, std::move(workload));
       engine->ingest_file_tail(trace_path);
-    } else {
-      engine = ServiceEngine::restore(restore_path, config, std::move(workload), trace_path);
     }
 
     std::vector<Query> queries;
@@ -233,7 +252,7 @@ int run_serve_main(const Options& options) {
     if (!queries_path.empty() && queries_path != "true") queries = read_queries(queries_path);
 
     ServeDriver driver(*engine, options.get_double("snapshot-every", 0.0),
-                       options.get_string("snapshot-dir", "."));
+                       snapshot_dir);
 
     std::cout << "serve: fleet=" << header.fleet << " horizon=" << header.duration
               << " protocol=" << to_string(*protocol) << " packets=" << engine->workload().size()

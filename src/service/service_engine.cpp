@@ -5,16 +5,24 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 #include "core/rapid_router.h"
 #include "obs/obs.h"
+#include "util/atomic_file.h"
 #include "util/binio.h"
+#include "util/crc32.h"
 
 namespace rapid {
 
 namespace {
 
-constexpr std::uint32_t kSnapshotVersion = 1;
+// v2: the file ends in an 8-byte integrity footer ("CRC2" + CRC32 of the
+// body, little-endian) and is published with an atomic write-temp + fsync +
+// rename, so a process killed mid-snapshot can never leave a torn file that
+// parses. The loader validates the footer before reading a single field.
+constexpr std::uint32_t kSnapshotVersion = 2;
+constexpr std::size_t kFooterSize = 8;
 
 [[noreturn]] void fail(const std::string& why) { throw std::runtime_error("service: " + why); }
 
@@ -189,6 +197,25 @@ std::uint64_t ServiceEngine::config_fingerprint() const {
   mix(config_.params.rapid_incremental_cache ? 1 : 0);
   mix_f(config_.params.prophet_aging_unit);
   mix(static_cast<std::uint64_t>(config_.params.spray_copies));
+  // Link policy and fault injection change what the restored run would do
+  // with the same contacts, so they are part of the config identity too.
+  const ContactConfig& contact = config_.sim.contact;
+  mix_f(contact.metadata_cap_fraction);
+  mix(contact.charge_metadata ? 1 : 0);
+  mix_f(contact.link.interruption_rate);
+  mix_f(contact.link.min_completion);
+  mix_f(contact.link.max_completion);
+  mix_f(contact.link.forward_fraction);
+  mix(contact.link.seed);
+  mix_f(contact.fault.loss_rate);
+  mix_f(contact.fault.loss_spread);
+  mix_f(contact.fault.meta_degrade_rate);
+  mix_f(contact.fault.meta_survive_fraction);
+  mix(contact.fault.seed);
+  mix_f(config_.sim.node_faults.mean_uptime);
+  mix_f(config_.sim.node_faults.mean_downtime);
+  mix(config_.sim.node_faults.drop_buffers ? 1 : 0);
+  mix(config_.sim.node_faults.seed);
   mix_f(config_.horizon);
   mix(workload_.size());
   for (const Packet& p : workload_.all()) {
@@ -261,13 +288,22 @@ void ServiceEngine::load(BinReader& in, const std::string& tail_path) {
 std::uint64_t ServiceEngine::snapshot(const std::string& path) {
   const obs::ContextScope scope(&sim_->obs());
   RAPID_OBS_PHASE(kSnapshot);
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  if (!f) fail("cannot open snapshot file for writing: " + path);
-  BinWriter out(f);
+  // Serialize the body in memory, foot it with its CRC32, and publish the
+  // whole file atomically: a kill -9 at any instant leaves either the
+  // previous snapshot or this one, never a torn file.
+  std::ostringstream body_os(std::ios::binary);
+  BinWriter out(body_os);
   save(out);
-  f.flush();
-  if (!out.ok() || !f) fail("writing snapshot failed: " + path);
-  const auto bytes = static_cast<std::uint64_t>(f.tellp());
+  if (!out.ok()) fail("serializing snapshot failed: " + path);
+  std::string blob = body_os.str();
+  const std::uint32_t crc = crc32(blob);
+  const char footer[kFooterSize] = {
+      'C', 'R', 'C', '2',
+      static_cast<char>(crc & 0xff), static_cast<char>((crc >> 8) & 0xff),
+      static_cast<char>((crc >> 16) & 0xff), static_cast<char>((crc >> 24) & 0xff)};
+  blob.append(footer, kFooterSize);
+  write_file_atomic(path, blob);
+  const auto bytes = static_cast<std::uint64_t>(blob.size());
   RAPID_OBS_INC(kServiceSnapshots);
   RAPID_OBS_ADD(kServiceSnapshotBytes, bytes);
   return bytes;
@@ -279,7 +315,28 @@ std::unique_ptr<ServiceEngine> ServiceEngine::restore(const std::string& snapsho
                                                       const std::string& tail_path) {
   std::ifstream f(snapshot_path, std::ios::binary);
   if (!f) fail("cannot open snapshot file: " + snapshot_path);
-  BinReader in(f);
+  std::ostringstream slurp;
+  slurp << f.rdbuf();
+  if (!f) fail("reading snapshot failed: " + snapshot_path);
+  const std::string blob = slurp.str();
+  // Integrity gate: validate the CRC32 footer over the whole body BEFORE
+  // parsing any field, so a truncated or bit-flipped snapshot is rejected
+  // with a clean error instead of deserializing garbage.
+  if (blob.size() < kFooterSize)
+    fail("snapshot too short to carry its integrity footer: " + snapshot_path);
+  const char* foot = blob.data() + blob.size() - kFooterSize;
+  if (std::memcmp(foot, "CRC2", 4) != 0)
+    fail("snapshot integrity footer missing (pre-v2 or corrupt file): " +
+         snapshot_path);
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i)
+    stored |= static_cast<std::uint32_t>(static_cast<unsigned char>(foot[4 + i]))
+              << (8 * i);
+  const std::string_view body(blob.data(), blob.size() - kFooterSize);
+  if (crc32(body) != stored)
+    fail("snapshot CRC mismatch (torn or corrupted file): " + snapshot_path);
+  std::istringstream body_is(std::string(body), std::ios::binary);
+  BinReader in(body_is);
   auto engine = std::make_unique<ServiceEngine>(config, std::move(workload));
   const obs::ContextScope scope(&engine->sim_->obs());
   RAPID_OBS_PHASE(kSnapshot);

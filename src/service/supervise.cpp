@@ -1,0 +1,71 @@
+#include "service/supervise.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include <dirent.h>
+
+namespace rapid {
+
+namespace {
+
+// Parses `snapshot-<t>.bin` and yields <t>, or nullopt for anything else
+// (including the writer's transient `.tmp` files).
+std::optional<double> snapshot_mark(const std::string& name) {
+  const std::string prefix = "snapshot-";
+  const std::string suffix = ".bin";
+  if (name.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (name.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+    return std::nullopt;
+  const std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  char* end = nullptr;
+  const double t = std::strtod(digits.c_str(), &end);
+  if (end != digits.c_str() + digits.size()) return std::nullopt;
+  return t;
+}
+
+}  // namespace
+
+std::vector<std::string> list_snapshots_newest_first(const std::string& dir) {
+  std::vector<std::pair<double, std::string>> marks;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return {};
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (const auto t = snapshot_mark(name))
+      marks.emplace_back(*t, dir + "/" + name);
+  }
+  ::closedir(d);
+  std::sort(marks.begin(), marks.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first > b.first : a.second > b.second;
+            });
+  std::vector<std::string> out;
+  out.reserve(marks.size());
+  for (auto& m : marks) out.push_back(std::move(m.second));
+  return out;
+}
+
+SuperviseResult restore_latest_valid(const std::string& dir,
+                                     const ServiceConfig& config,
+                                     const PacketPool& workload,
+                                     const std::string& tail_path) {
+  SuperviseResult result;
+  for (const std::string& path : list_snapshots_newest_first(dir)) {
+    try {
+      result.engine = ServiceEngine::restore(path, config, workload, tail_path);
+      result.restored_from = path;
+      return result;
+    } catch (const std::exception& e) {
+      result.skipped.push_back(path + ": " + e.what());
+    }
+  }
+  return result;
+}
+
+}  // namespace rapid

@@ -1,0 +1,45 @@
+// Crash-recovery supervisor for the online service mode.
+//
+// `serve --supervise` must come back after a hard kill from whatever durable
+// state survived. The snapshot writer (service_engine.cpp) publishes
+// `snapshot-<t>.bin` files atomically with a CRC32 footer, so on disk there
+// are only two kinds of snapshot: complete-and-valid, and rejectable. The
+// supervisor scans the snapshot directory, orders candidates newest first by
+// the clock embedded in the filename, and restores the first one that
+// validates — CRC failures, version/fingerprint mismatches and torn files
+// are skipped (recorded, not fatal), and an empty or fully corrupt directory
+// falls back to a fresh start. Restart-then-resume is bit-identical to the
+// uninterrupted run from the restored clock onward (the snapshot contract).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/service_engine.h"
+
+namespace rapid {
+
+// `snapshot-<t>.bin` files under `dir`, newest (largest t) first. Files that
+// do not match the pattern are ignored; a missing directory yields an empty
+// list. Ties on t cannot happen (one file per mark); lexicographic order
+// breaks them deterministically anyway.
+std::vector<std::string> list_snapshots_newest_first(const std::string& dir);
+
+struct SuperviseResult {
+  // Null when no snapshot in the directory restored cleanly: start fresh.
+  std::unique_ptr<ServiceEngine> engine;
+  std::string restored_from;  // path of the winning snapshot, empty when fresh
+  // Snapshots that were tried and rejected (newest first), with the reason.
+  std::vector<std::string> skipped;
+};
+
+// Tries every snapshot in `dir`, newest first, until one restores under this
+// config and workload. Never throws for a bad snapshot — a snapshot that
+// fails to restore is skipped; only truly unexpected errors propagate.
+SuperviseResult restore_latest_valid(const std::string& dir,
+                                     const ServiceConfig& config,
+                                     const PacketPool& workload,
+                                     const std::string& tail_path);
+
+}  // namespace rapid

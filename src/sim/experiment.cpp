@@ -209,6 +209,8 @@ Instance Scenario::instance(int run, double load) const {
   inst.workload = generate_workload(wl, inst.active_nodes, rng);
   inst.link_seed =
       Rng(config_.seed).split("link", static_cast<std::uint64_t>(run)).next_u64();
+  inst.fault_seed =
+      Rng(config_.seed).split("fault", static_cast<std::uint64_t>(run)).next_u64();
   return inst;
 }
 
@@ -250,6 +252,14 @@ SimResult run_instance(const Scenario& scenario, const Instance& instance,
   sim.contact.charge_metadata = true;
   sim.contact.link = scenario.config().link;
   sim.contact.link.seed ^= instance.link_seed;  // per-run interruption stream
+  sim.contact.fault = scenario.config().link_fault;
+  sim.node_faults = scenario.config().node_faults;
+  if (sim.contact.fault.enabled() || sim.node_faults.enabled()) {
+    // Per-run fault streams: different runs crash different nodes and
+    // corrupt different copies, like the interruption stream above.
+    sim.contact.fault.seed ^= instance.fault_seed;
+    sim.node_faults.seed ^= instance.fault_seed;
+  }
   sim.obs = spec.obs;
   sim.sim_threads = spec.sim_threads;
   if (instance.make_model)

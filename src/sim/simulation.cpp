@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "fault/fault_model.h"
 #include "sim/shard_exec.h"
 #include "sim/shard_plan.h"
 #include "util/binio.h"
@@ -209,6 +210,15 @@ Simulation::Simulation(const MeetingSchedule* schedule, SimBounds bounds,
     sources_.push_back(make_schedule_source(*schedule_));
     schedule_source_ = sources_.size() - 1;
   }
+  // The fault source registers after the built-ins and before any
+  // caller-added feed, on both the fresh and the restoring side, so the
+  // source layout (and with it the tie-break order) is a pure function of
+  // the config.
+  if (config_.node_faults.enabled()) {
+    sources_.push_back(make_fault_source(config_.node_faults, num_nodes_));
+    fault_source_ = sources_.size() - 1;
+    node_up_.assign(static_cast<std::size_t>(num_nodes_), 1);
+  }
 }
 
 void Simulation::add_event_source(std::unique_ptr<EventSource> source) {
@@ -224,10 +234,59 @@ std::optional<Simulation::Next> Simulation::peek_next() {
   for (std::size_t i = 0; i < sources_.size(); ++i) {
     const SimEvent* event = sources_[i]->peek();
     if (event == nullptr) continue;
+    // The fault stream is unbounded; clip it at the horizon here instead of
+    // letting the skip loop pop crash events forever.
+    if (i == fault_source_ && event->time > duration_) continue;
     // Strict less-than keeps the earliest-registered source on ties.
     if (!best.has_value() || event->time < best->event->time) best = Next{i, event};
   }
   return best;
+}
+
+bool Simulation::admit_event(const SimEvent& event, std::size_t source) {
+  if (node_up_.empty()) return true;  // node faults disabled
+  switch (event.kind) {
+    case SimEvent::Kind::kFault:
+      node_up_[static_cast<std::size_t>(event.fault.node)] = event.fault.up ? 1 : 0;
+      return true;  // router-side effects run at dispatch
+    case SimEvent::Kind::kPacket:
+      if (node_up(event.packet->src)) return true;
+      // Generated at a dead node: the packet is lost before it ever exists
+      // in any buffer (it stays in the pool and counts as undelivered).
+      metrics_.record_fault_lost_packet();
+      RAPID_OBS_INC(kFaultPacketsLost);
+      return false;
+    case SimEvent::Kind::kMeeting: {
+      const Meeting& m = event.meeting;
+      if (node_up(m.a) && node_up(m.b)) return true;
+      // The opportunity existed; a dead endpoint just missed it. Counting
+      // it keeps streamed totals consistent with pre-counted materialized
+      // ones (which cannot know which meetings a crash will suppress).
+      if (source != schedule_source_) metrics_.record_meeting(m.capacity);
+      metrics_.record_suppressed_meeting();
+      RAPID_OBS_INC(kFaultMeetingsSuppressed);
+      return false;
+    }
+  }
+  return true;
+}
+
+void Simulation::apply_fault_effects(const FaultEvent& fault, MetricsCollector& metrics) {
+  if (fault.up) {
+    // Recovery: the node rejoins with whatever state survived the crash —
+    // meeting estimates and metadata views are stale until contacts refresh
+    // them, which is the point of the experiment.
+    metrics.record_recovery();
+    RAPID_OBS_INC(kFaultRecoveries);
+    RAPID_OBS_TRACE(kNodeRecover, fault.time, fault.node, kNoNode, kNoPacket, 0);
+    return;
+  }
+  metrics.record_crash();
+  RAPID_OBS_INC(kFaultCrashes);
+  RAPID_OBS_TRACE(kNodeCrash, fault.time, fault.node, kNoNode, kNoPacket,
+                  config_.node_faults.drop_buffers ? 1 : 0);
+  routers_[static_cast<std::size_t>(fault.node)]->on_crash(
+      config_.node_faults.drop_buffers, fault.time);
 }
 
 void Simulation::dispatch(const SimEvent& event, std::size_t source) {
@@ -238,6 +297,9 @@ void Simulation::dispatch(const SimEvent& event, std::size_t source) {
                     event.packet->id, event.packet->size);
     RAPID_OBS_PHASE(kPacketGen);
     routers_[static_cast<std::size_t>(event.packet->src)]->on_generate(*event.packet);
+  } else if (event.kind == SimEvent::Kind::kFault) {
+    RAPID_OBS_INC(kSimEventsFault);
+    apply_fault_effects(event.fault, metrics_);
   } else {
     RAPID_OBS_INC(kSimEventsMeeting);
     const Meeting& m = event.meeting;
@@ -267,6 +329,7 @@ bool Simulation::step() {
       RAPID_OBS_INC(kSimEventsSkipped);
       continue;
     }
+    if (!admit_event(event, next->source)) continue;
     dispatch(event, next->source);
     return true;
   }
@@ -290,6 +353,7 @@ void Simulation::run_until(Time t) {
         RAPID_OBS_INC(kSimEventsSkipped);
         continue;
       }
+      if (!admit_event(event, next->source)) continue;
       dispatch(event, next->source);
     }
   }
@@ -354,6 +418,12 @@ void Simulation::run_until_sharded(Time t) {
           RAPID_OBS_INC(kSimEventsSkipped);
           continue;
         }
+        // Mask updates and suppression run here, in serial pump order —
+        // the same decisions the serial loop would make, which is what
+        // keeps faulted runs bit-identical across thread counts. A fault
+        // event's router-side effects still execute in the window, ordered
+        // against the node's meetings by the executor.
+        if (!admit_event(we.event, we.source)) continue;
         if (we.event.kind == SimEvent::Kind::kMeeting) we.meeting_index = meeting_index_++;
         batch.push_back(we);
       }
@@ -375,6 +445,8 @@ void Simulation::execute_window() {
     ShardExecutor::Item item;
     if (we.event.kind == SimEvent::Kind::kPacket) {
       item.shard_a = item.shard_b = rt.plan.shard_of(we.event.packet->src);
+    } else if (we.event.kind == SimEvent::Kind::kFault) {
+      item.shard_a = item.shard_b = rt.plan.shard_of(we.event.fault.node);
     } else {
       item.shard_a = rt.plan.shard_of(we.event.meeting.a);
       item.shard_b = rt.plan.shard_of(we.event.meeting.b);
@@ -406,6 +478,9 @@ void Simulation::dispatch_shard_item(std::size_t index, int slot) {
     RAPID_OBS_INC(kSimEventsPacket);
     RAPID_OBS_PHASE(kPacketGen);
     routers_[static_cast<std::size_t>(event.packet->src)]->on_generate(*event.packet);
+  } else if (event.kind == SimEvent::Kind::kFault) {
+    RAPID_OBS_INC(kSimEventsFault);
+    apply_fault_effects(event.fault, sl.metrics);
   } else {
     RAPID_OBS_INC(kSimEventsMeeting);
     const Meeting& m = event.meeting;
@@ -442,6 +517,11 @@ void Simulation::save_state(BinWriter& out) {
   out.tag("SIMU");
   out.f64(now_);
   out.i64(meeting_index_);
+  // The up/down mask is live state: the fault source itself is deterministic
+  // and gets fast-forwarded, but the transitions it already emitted are
+  // only recorded here.
+  out.u64(node_up_.size());
+  for (std::uint8_t up : node_up_) out.u8(up);
   metrics_.save(out);
   out.u64(routers_.size());
   for (const auto& router : routers_) router->save_state(out);
@@ -451,6 +531,9 @@ void Simulation::load_state(BinReader& in) {
   in.expect_tag("SIMU");
   now_ = in.f64();
   meeting_index_ = static_cast<int>(in.i64());
+  if (in.u64() != node_up_.size())
+    BinReader::fail("fault configuration differs from the snapshot's");
+  for (std::uint8_t& up : node_up_) up = in.u8();
   metrics_.load(in);
   if (in.u64() != routers_.size())
     BinReader::fail("fleet size differs from the snapshot's");

@@ -33,6 +33,7 @@
 #include "dtn/packet.h"
 #include "dtn/router.h"
 #include "dtn/schedule.h"
+#include "fault/fault_config.h"
 #include "mobility/mobility_model.h"
 #include "obs/obs.h"
 
@@ -61,14 +62,22 @@ struct SimConfig {
   // barrier cost at typical contact rates; tests shrink it to force many
   // window boundaries.
   int shard_window = 4096;
+  // Node crash/recover fault injection (fault/fault_config.h). When enabled,
+  // the Simulation registers a fault event source itself (after the
+  // built-ins, before any caller-added feed): crashed nodes miss their
+  // contacts and generate nothing, their buffers are dropped or preserved
+  // per policy, and recovering nodes rejoin with stale routing state. The
+  // default leaves nodes immortal and adds zero hot-path cost.
+  NodeFaultConfig node_faults;
 };
 
 struct SimEvent {
-  enum class Kind { kPacket, kMeeting };
+  enum class Kind { kPacket, kMeeting, kFault };
   Kind kind = Kind::kPacket;
   Time time = 0;
   const Packet* packet = nullptr;  // kPacket
   Meeting meeting;                 // kMeeting
+  FaultEvent fault;                // kFault
 };
 
 // A time-ordered stream of events. peek() returns the next event (stable
@@ -143,6 +152,12 @@ class Simulation {
   Router& router(NodeId node) { return *routers_[static_cast<std::size_t>(node)]; }
   const MetricsCollector& metrics() const { return metrics_; }
 
+  // Fault-injection view: whether `node` is currently up (always true when
+  // node faults are disabled).
+  bool node_up(NodeId node) const {
+    return node_up_.empty() || node_up_[static_cast<std::size_t>(node)] != 0;
+  }
+
   // This run's observability context (counters, trace ring, phase profile).
   // Installed thread-locally around every step; mutable so the const
   // finish() can flush router-side probes into it.
@@ -183,6 +198,20 @@ class Simulation {
   std::optional<Next> peek_next();
   void dispatch(const SimEvent& event, std::size_t source);
 
+  // Pump-time half of fault handling, shared by the serial and sharded
+  // loops: updates the up/down mask on kFault events and decides whether an
+  // event is admitted for dispatch. Meetings with a down endpoint and
+  // packets generated at a down node are suppressed here (a suppressed
+  // meeting still counts as a transfer opportunity — the radios were
+  // scheduled to meet; the node was just dead). Runs single-threaded in
+  // serial event order on both paths, which is what keeps faulted runs
+  // bit-identical across thread counts.
+  bool admit_event(const SimEvent& event, std::size_t source);
+  // Router-side crash/recover effects (buffer drop per policy, accounting);
+  // runs where the event is dispatched, so the sharded path orders it with
+  // the node's other events.
+  void apply_fault_effects(const FaultEvent& fault, MetricsCollector& metrics);
+
   // --- sharded execution (sim/shard_plan.h, sim/shard_exec.h) ---------------
   // True when this run can use the sharded path: sim_threads > 1, a fleet
   // big enough to split, no per-event observers (taps, trace ring), and
@@ -202,6 +231,10 @@ class Simulation {
   // pre-counted at begin(); meetings from every other source accrue into the
   // metrics as they dispatch. npos when constructed without a schedule.
   std::size_t schedule_source_ = static_cast<std::size_t>(-1);
+  // Index of the fault source. Its stream is unbounded, so peek_next clips
+  // it at the current duration instead of pop-and-skipping forever. npos
+  // when node faults are disabled.
+  std::size_t fault_source_ = static_cast<std::size_t>(-1);
   const PacketPool& workload_;
   SimConfig config_;
   int num_nodes_ = 0;
@@ -226,6 +259,9 @@ class Simulation {
 
   Time now_ = 0;
   int meeting_index_ = 0;
+  // Per-node up/down mask, maintained at pump time by admit_event. Empty
+  // when node faults are disabled (node_up() then answers true for free).
+  std::vector<std::uint8_t> node_up_;
 };
 
 }  // namespace rapid

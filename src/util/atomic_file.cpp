@@ -1,0 +1,62 @@
+#include "util/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace rapid {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path, int err) {
+  throw std::runtime_error("atomic write: " + what + " " + path + ": " +
+                           std::strerror(err));
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot open", tmp, errno);
+
+  const char* p = contents.data();
+  std::size_t left = contents.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail("write to", tmp, err);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+
+  // The data must be durable before the rename makes it visible; otherwise a
+  // crash could publish a file whose blocks never reached the disk.
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail("fsync of", tmp, err);
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    fail("close of", tmp, err);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    fail("rename to", path, err);
+  }
+}
+
+}  // namespace rapid

@@ -1,0 +1,20 @@
+// Crash-safe file replacement.
+//
+// write_file_atomic writes the whole contents to a temp file next to the
+// target, fsyncs it, and renames it over the target. A reader (or a process
+// restarting after a hard kill) therefore sees either the old complete file
+// or the new complete file — never a torn half-write. This is the write side
+// of the snapshot durability contract; the read side is the CRC32 footer
+// (util/crc32.h) that the snapshot loader validates before parsing.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace rapid {
+
+// Throws std::runtime_error (message prefixed "atomic write: ") on any IO
+// failure; the temp file is unlinked on the error paths that leave one.
+void write_file_atomic(const std::string& path, std::string_view contents);
+
+}  // namespace rapid

@@ -207,8 +207,9 @@ TEST(ServiceEngine, TailedFileFeedsTheEngine) {
   expect_same_result(tailed.report(), pushed.report());
 }
 
-// Freezes snapshot format v1: any byte-level change to the serialization is
-// a format break and must bump kSnapshotVersion. Regenerate deliberately:
+// Freezes snapshot format v2 (CRC32-footed RSNP): any byte-level change to
+// the serialization is a format break and must bump kSnapshotVersion.
+// Regenerate deliberately:
 //   RAPID_REGEN_GOLDEN=1 ./rapid_tests --gtest_filter='*GoldenSnapshot*'
 TEST(ServiceEngine, GoldenSnapshotBytesAreStable) {
   ServiceEngine engine(tiny_config(), tiny_workload());
@@ -219,7 +220,7 @@ TEST(ServiceEngine, GoldenSnapshotBytesAreStable) {
   const std::string bytes = file_bytes(path);
 
   const std::string golden_path =
-      std::string(RAPID_SOURCE_DIR) + "/tests/golden/service_snapshot_v1.bin";
+      std::string(RAPID_SOURCE_DIR) + "/tests/golden/service_snapshot_v2.bin";
   if (std::getenv("RAPID_REGEN_GOLDEN") != nullptr) {
     std::ofstream out(golden_path, std::ios::binary | std::ios::trunc);
     ASSERT_TRUE(out) << "cannot write " << golden_path;
@@ -228,7 +229,7 @@ TEST(ServiceEngine, GoldenSnapshotBytesAreStable) {
   }
   ASSERT_FALSE(bytes.empty());
   EXPECT_EQ(bytes, file_bytes(golden_path))
-      << "snapshot bytes drifted from tests/golden/service_snapshot_v1.bin "
+      << "snapshot bytes drifted from tests/golden/service_snapshot_v2.bin "
          "(format change? bump kSnapshotVersion and regenerate with "
          "RAPID_REGEN_GOLDEN=1)";
 }

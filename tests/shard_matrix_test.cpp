@@ -3,9 +3,11 @@
 // restore-then-continue bit-identity.
 //
 // Every protocol in the registry runs under every sim-thread width in
-// {1, 2, 4, 8} on three mobility families — the DieselNet trace, streamed
-// power-law, and the vehicular grid — with the shard window shrunk far below
-// its default so each run crosses many window barriers. Each sharded run
+// {1, 2, 4, 8} on four scenario families — the DieselNet trace, streamed
+// power-law, the vehicular grid, and the trace under fault injection (node
+// crashes + link corruption; the fault masks and draws must land identically
+// whatever the thread count) — with the shard window shrunk far below its
+// default so each run crosses many window barriers. Each sharded run
 // must produce the byte-identical SimResult (delivery times compared
 // element-wise, every counter equal) AND the byte-identical engine snapshot
 // of the serial run: if any router's RNG stream, meeting matrix, ack table
@@ -59,6 +61,18 @@ std::vector<ScenarioCase> scenario_cases() {
   vehicular.synthetic_runs = 1;
   cases.push_back({"vehicular-grid", vehicular, 2.0});
 
+  // Crash + loss faults on the trace day: the fault masks, suppression
+  // decisions and corruption draws must be thread-count independent too.
+  ScenarioConfig faulty = make_trace_scenario();
+  faulty.days = 1;
+  faulty.node_faults.mean_uptime = 1.5 * kSecondsPerHour;
+  faulty.node_faults.mean_downtime = 0.4 * kSecondsPerHour;
+  faulty.node_faults.drop_buffers = true;
+  faulty.link_fault.loss_rate = 0.1;
+  faulty.link_fault.loss_spread = 0.5;
+  faulty.link_fault.meta_degrade_rate = 0.2;
+  cases.push_back({"trace-faulty", faulty, 2.0});
+
   return cases;
 }
 
@@ -81,6 +95,10 @@ RunOutput run_case(const Scenario& scenario, const Instance& instance, ProtocolK
   sim.contact.charge_metadata = true;
   sim.contact.link = scenario.config().link;
   sim.contact.link.seed ^= instance.link_seed;
+  sim.contact.fault = scenario.config().link_fault;
+  sim.contact.fault.seed ^= instance.fault_seed;
+  sim.node_faults = scenario.config().node_faults;
+  sim.node_faults.seed ^= instance.fault_seed;
   sim.sim_threads = sim_threads;
   sim.shard_window = 61;  // far below default: many windows, many barriers
 
@@ -127,6 +145,12 @@ void expect_bit_identical(const RunOutput& serial, const RunOutput& sharded,
   EXPECT_EQ(serial.result.meetings, sharded.result.meetings) << label;
   EXPECT_EQ(serial.result.partial_transfers, sharded.result.partial_transfers) << label;
   EXPECT_EQ(serial.result.partial_bytes, sharded.result.partial_bytes) << label;
+  EXPECT_EQ(serial.result.crashes, sharded.result.crashes) << label;
+  EXPECT_EQ(serial.result.recoveries, sharded.result.recoveries) << label;
+  EXPECT_EQ(serial.result.meetings_suppressed, sharded.result.meetings_suppressed) << label;
+  EXPECT_EQ(serial.result.fault_lost_packets, sharded.result.fault_lost_packets) << label;
+  EXPECT_EQ(serial.result.corrupted_transfers, sharded.result.corrupted_transfers) << label;
+  EXPECT_EQ(serial.result.corrupted_bytes, sharded.result.corrupted_bytes) << label;
   EXPECT_EQ(serial.result.delivery_time, sharded.result.delivery_time) << label;
   ASSERT_FALSE(serial.snapshot.empty()) << label;
   EXPECT_EQ(serial.snapshot == sharded.snapshot, true)
@@ -142,6 +166,11 @@ TEST(ShardMatrix, ShardedIsBitIdenticalToSerialForEveryProtocol) {
       // The comparison is vacuous on a silent fleet.
       EXPECT_GT(serial.result.meetings, 0u) << sc.name << "/" << to_string(kind);
       EXPECT_GT(serial.result.total_packets, 0u) << sc.name << "/" << to_string(kind);
+      // ... and on a faulted case that never faulted.
+      if (sc.config.node_faults.enabled())
+        EXPECT_GT(serial.result.crashes, 0u) << sc.name << "/" << to_string(kind);
+      if (sc.config.link_fault.loss_rate > 0.0)
+        EXPECT_GT(serial.result.corrupted_transfers, 0u) << sc.name << "/" << to_string(kind);
       for (int threads : kThreadWidths) {
         const RunOutput sharded = run_case(scenario, instance, kind, threads);
         expect_bit_identical(serial, sharded,

@@ -38,7 +38,7 @@ const std::vector<ProtocolKind>& all_protocols() {
   return kinds;
 }
 
-ServiceConfig matrix_config(ProtocolKind protocol) {
+ServiceConfig matrix_config(ProtocolKind protocol, bool faulted = false) {
   ServiceConfig config;
   config.num_nodes = 5;
   config.protocol = protocol;
@@ -46,6 +46,16 @@ ServiceConfig matrix_config(ProtocolKind protocol) {
   // state too), loose enough that traffic still flows.
   config.buffer_capacity = 8 * 1024;
   config.horizon = kHorizon;
+  if (faulted) {
+    // Crashes straddle the midpoint snapshot, so the fault heap, node-up
+    // mask and corruption RNG streams all have to survive restore.
+    config.sim.node_faults.mean_uptime = 300;
+    config.sim.node_faults.mean_downtime = 80;
+    config.sim.node_faults.drop_buffers = true;
+    config.sim.contact.fault.loss_rate = 0.15;
+    config.sim.contact.fault.loss_spread = 0.5;
+    config.sim.contact.fault.meta_degrade_rate = 0.2;
+  }
   return config;
 }
 
@@ -90,8 +100,8 @@ struct RunOutput {
 };
 
 // Straight run: ingest everything, snapshot at the midpoint, finish.
-RunOutput straight_run(ProtocolKind protocol, const std::string& tag) {
-  ServiceEngine engine(matrix_config(protocol), matrix_workload());
+RunOutput straight_run(ProtocolKind protocol, const std::string& tag, bool faulted = false) {
+  ServiceEngine engine(matrix_config(protocol, faulted), matrix_workload());
   for (const ContactEvent& c : matrix_contacts()) engine.ingest(c);
   engine.advance_to(kMidpoint);
   const std::string mid = testing::TempDir() + "/matrix_mid_" + tag + ".bin";
@@ -102,9 +112,10 @@ RunOutput straight_run(ProtocolKind protocol, const std::string& tag) {
   return {engine.report(), file_bytes(fin)};
 }
 
-RunOutput restored_run(ProtocolKind protocol, const std::string& tag) {
+RunOutput restored_run(ProtocolKind protocol, const std::string& tag, bool faulted = false) {
   const std::string mid = testing::TempDir() + "/matrix_mid_" + tag + ".bin";
-  const auto engine = ServiceEngine::restore(mid, matrix_config(protocol), matrix_workload());
+  const auto engine =
+      ServiceEngine::restore(mid, matrix_config(protocol, faulted), matrix_workload());
   EXPECT_DOUBLE_EQ(engine->advanced_to(), kMidpoint);
   engine->advance_to(kHorizon);
   const std::string fin = testing::TempDir() + "/matrix_fin_restored_" + tag + ".bin";
@@ -135,6 +146,20 @@ TEST(SnapshotMatrix, RestoreThenContinueIsBitIdenticalForEveryProtocol) {
     EXPECT_GT(straight.result.meetings, 0u) << to_string(kind);
     const RunOutput restored = restored_run(kind, tag);
     expect_bit_identical(straight, restored, to_string(kind));
+  }
+}
+
+// Same contract with fault injection live: a snapshot taken between crashes
+// must capture the pending fault events and per-meeting corruption streams
+// so the restored run replays the identical failures.
+TEST(SnapshotMatrix, FaultedRestoreThenContinueIsBitIdenticalForEveryProtocol) {
+  for (ProtocolKind kind : all_protocols()) {
+    const std::string tag = "faulted_" + std::to_string(static_cast<int>(kind));
+    const RunOutput straight = straight_run(kind, tag, /*faulted=*/true);
+    EXPECT_GT(straight.result.meetings, 0u) << to_string(kind);
+    EXPECT_GT(straight.result.crashes, 0u) << to_string(kind) << ": fault case is vacuous";
+    const RunOutput restored = restored_run(kind, tag, /*faulted=*/true);
+    expect_bit_identical(straight, restored, to_string(kind) + " (faulted)");
   }
 }
 

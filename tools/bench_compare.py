@@ -56,11 +56,25 @@ def main():
     exact = list(EXACT) + [k for k in baseline.get("exact_extra", ())
                            if k not in EXACT]
 
+    # Every failing key is collected and reported (expected vs actual) before
+    # the nonzero exit — one run of the script shows the whole damage, not
+    # just the first mismatch.
     failures = []
     for key in exact:
-        if current.get(key) != baseline.get(key):
+        if key not in current:
             failures.append(
-                f"{key}: {current.get(key)} != baseline {baseline.get(key)} "
+                f"{key}: missing from the candidate record {args.current} "
+                f"(baseline expects {baseline.get(key)!r}); truncated output or a "
+                "bench binary older than the baseline?")
+            continue
+        if key not in baseline:
+            failures.append(
+                f"{key}: missing from the baseline record {args.baseline} "
+                f"(candidate has {current[key]!r}); regenerate the committed baseline")
+            continue
+        if current[key] != baseline[key]:
+            failures.append(
+                f"{key}: expected {baseline[key]!r}, actual {current[key]!r} "
                 "(determinism guard; the workload or protocol behaviour changed)")
 
     # Wall-clock and RSS-style metrics vary with the machine; any *_ms or
@@ -69,9 +83,13 @@ def main():
         return key.endswith("_ms") or key.endswith("_kb")
 
     for key in tracked:
-        if key not in current or key not in baseline:
-            failures.append(f"{key}: missing from "
-                            f"{'current' if key not in current else 'baseline'} record")
+        if key not in current:
+            failures.append(f"{key}: missing from the candidate record "
+                            f"{args.current} (baseline has {baseline.get(key)!r})")
+            continue
+        if key not in baseline:
+            failures.append(f"{key}: missing from the baseline record "
+                            f"{args.baseline} (candidate has {current[key]!r})")
             continue
         cur = float(current[key])
         base = float(baseline[key])
@@ -87,7 +105,7 @@ def main():
             failures.append(f"{key} regressed {delta:+.1%} (> {tolerance:.0%})")
 
     if failures:
-        print("\nbench_compare: FAIL", file=sys.stderr)
+        print(f"\nbench_compare: FAIL ({len(failures)} check(s))", file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1

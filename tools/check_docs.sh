@@ -5,9 +5,10 @@
 #      repo-rooted) in tracked *.md files must resolve to an existing file
 #      or directory. External (scheme://), mailto: and pure-anchor (#...)
 #      links are ignored; a trailing #anchor is stripped before resolution.
-#   2. Every public header in src/core/, src/obs/ and src/service/ must open
-#      with a file-level doc comment (its first line is a // comment), so the
-#      core, observability and service APIs stay self-describing.
+#   2. Every public header in src/core/, src/obs/, src/service/ and
+#      src/fault/ must open with a file-level doc comment (its first line is
+#      a // comment), so the core, observability, service and fault-injection
+#      APIs stay self-describing.
 #
 # Exits non-zero listing every violation. No dependencies beyond bash +
 # coreutils + grep/sed.
@@ -52,9 +53,9 @@ for file in $md_files; do
   done < <(grep -o '\[[^]]*\]([^)]*)' "$file" 2> /dev/null | sed 's/^\[[^]]*\](\([^)]*\))$/\1/')
 done
 
-# --- 2. file-level doc comments on core/obs/service public headers ------------
+# --- 2. file-level doc comments on core/obs/service/fault public headers ------
 
-for header in src/core/*.h src/obs/*.h src/service/*.h; do
+for header in src/core/*.h src/obs/*.h src/service/*.h src/fault/*.h; do
   first_line=$(head -n 1 "$header")
   case "$first_line" in
     //*) ;;
