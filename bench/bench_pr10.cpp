@@ -1,0 +1,207 @@
+// Perf-trajectory probe for the timer-wheel event core with batched contact
+// dispatch (PR 10).
+//
+// Runs the 2000-node powerlaw-stream scenario end to end under RAPID with
+// the wheel event core and a 60-simulated-second dispatch batch — the
+// configuration this PR makes the default fast path — plus one per-event
+// (dispatch_batch = 0) run as the bit-identity guard. JSON record:
+//
+//   wall_clock_ms     — best-of-N wall with the wheel + batching on (the
+//                       headline number; BENCH_pr9.json's wall_clock_ms is
+//                       the same scenario/load on the pre-wheel engine)
+//   wall_clock_ms_unbatched
+//                     — best-of-N with batching off (wheel still on);
+//                       tracked so batching regressions surface separately
+//   batch_identical   — 1 iff the batched run reproduced the unbatched run
+//                       bit for bit (every counter, the delivery-time
+//                       vector element-wise): the exact CI guard for the
+//                       batching contract
+//   wheel_schedules / wheel_cascades / wheel_advances
+//                     — the wheel's probe counters for the batched run
+//                       (report only; they pin the wheel actually being on)
+//   packets/meetings/delivered — determinism trio, exact
+//   peak_rss_kb, allocations   — as in the other bench_pr* probes
+//
+// CI runs this in Release; tools/bench_compare.py fails the job when an
+// exact key diverges from the committed BENCH_pr10.json or a tracked metric
+// regresses past the tolerance.
+//
+// Usage: bench_pr10 [--json PATH] [--runs N] [--protocol NAME] [--load F]
+#include <sys/resource.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <optional>
+#include <string>
+
+#include "obs/obs.h"
+#include "runner/scenario_registry.h"
+#include "sim/experiment.h"
+#include "sim/protocols.h"
+
+namespace {
+
+std::atomic<unsigned long long> g_allocations{0};
+std::atomic<bool> g_counting{false};
+
+}  // namespace
+
+// Counting allocator hook: global operator new/delete for this binary only
+// (the library is untouched). Counting is gated so setup/teardown noise
+// stays out of the number.
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+bool same_result(const rapid::SimResult& a, const rapid::SimResult& b) {
+  return a.total_packets == b.total_packets && a.delivered == b.delivered &&
+         a.delivery_rate == b.delivery_rate && a.avg_delay == b.avg_delay &&
+         a.avg_delay_with_undelivered == b.avg_delay_with_undelivered &&
+         a.max_delay == b.max_delay && a.deadline_rate == b.deadline_rate &&
+         a.data_bytes == b.data_bytes && a.metadata_bytes == b.metadata_bytes &&
+         a.capacity_bytes == b.capacity_bytes && a.drops == b.drops &&
+         a.ack_purges == b.ack_purges && a.meetings == b.meetings &&
+         a.partial_transfers == b.partial_transfers && a.partial_bytes == b.partial_bytes &&
+         a.delivery_time == b.delivery_time;
+}
+
+struct Measured {
+  rapid::SimResult result;
+  double best_ms = 1e300;
+  std::size_t packets = 0;
+  unsigned long long best_allocations = ~0ULL;
+};
+
+Measured measure(const rapid::Scenario& scenario, double load, rapid::ProtocolKind protocol,
+                 rapid::Time dispatch_batch, int runs, bool count_allocs) {
+  Measured m;
+  rapid::RunSpec spec;
+  spec.protocol = protocol;
+  spec.dispatch_batch = dispatch_batch;
+  for (int r = 0; r < runs; ++r) {
+    if (count_allocs) {
+      g_allocations.store(0, std::memory_order_relaxed);
+      g_counting.store(true, std::memory_order_relaxed);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    // Instance construction stays inside the measured region: on the
+    // streaming path mobility is generated during the run.
+    const rapid::Instance inst = scenario.instance(0, load);
+    m.result = run_instance(scenario, inst, spec);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (count_allocs) {
+      g_counting.store(false, std::memory_order_relaxed);
+      const unsigned long long allocations = g_allocations.load(std::memory_order_relaxed);
+      if (allocations < m.best_allocations) m.best_allocations = allocations;
+    }
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < m.best_ms) m.best_ms = ms;
+    m.packets = inst.workload.size();
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using rapid::ProtocolKind;
+  using rapid::Scenario;
+  using rapid::ScenarioConfig;
+
+  std::string json_path;
+  int runs = 1;
+  std::string protocol_name = "rapid";
+  double load = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--runs" && i + 1 < argc) {
+      runs = std::atoi(argv[++i]);
+      if (runs < 1) runs = 1;
+    } else if (arg == "--protocol" && i + 1 < argc) {
+      protocol_name = argv[++i];
+    } else if (arg == "--load" && i + 1 < argc) {
+      load = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_pr10 [--json PATH] [--runs N] [--protocol NAME] "
+                   "[--load F]\n");
+      return 2;
+    }
+  }
+
+  const std::optional<ProtocolKind> protocol = rapid::protocol_from_string(protocol_name);
+  if (!protocol) {
+    std::fprintf(stderr, "bench_pr10: unknown --protocol %s\n", protocol_name.c_str());
+    return 2;
+  }
+
+  const ScenarioConfig config =
+      rapid::runner::ScenarioRegistry::global().make("powerlaw-stream");
+  const Scenario scenario(config);
+  const rapid::Time kBatchSpan = 60.0;  // one simulated minute per dispatch batch
+
+  const Measured batched = measure(scenario, load, *protocol, kBatchSpan, runs, true);
+  std::fprintf(stderr, "bench_pr10: wheel+batch wall=%.1f ms\n", batched.best_ms);
+  const Measured unbatched = measure(scenario, load, *protocol, 0.0, runs, false);
+  std::fprintf(stderr, "bench_pr10: wheel unbatched wall=%.1f ms\n", unbatched.best_ms);
+  const bool batch_identical = same_result(batched.result, unbatched.result);
+  if (!batch_identical)
+    std::fprintf(stderr, "bench_pr10: batched dispatch diverged from per-event dispatch\n");
+
+  // The wheel's probe counters prove the wheel core actually ran (a silent
+  // fallback to the poll path would zero them).
+  std::uint64_t wheel_schedules = 0, wheel_cascades = 0, wheel_advances = 0;
+  if (batched.result.obs != nullptr) {
+    wheel_schedules = batched.result.obs->metrics.value("wheel.schedules");
+    wheel_cascades = batched.result.obs->metrics.value("wheel.cascades");
+    wheel_advances = batched.result.obs->metrics.value("wheel.advances");
+  }
+
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);  // ru_maxrss is in kilobytes on Linux
+
+  const std::string json = std::string("{\n") +
+      "  \"scenario\": \"powerlaw-stream\",\n" +
+      "  \"protocol\": \"" + protocol_name + "\",\n" +
+      "  \"load\": " + std::to_string(load) + ",\n" +
+      "  \"dispatch_batch_s\": " + std::to_string(kBatchSpan) + ",\n" +
+      "  \"packets\": " + std::to_string(batched.packets) + ",\n" +
+      "  \"meetings\": " + std::to_string(batched.result.meetings) + ",\n" +
+      "  \"delivered\": " + std::to_string(batched.result.delivered) + ",\n" +
+      "  \"batch_identical\": " + (batch_identical ? "1" : "0") + ",\n" +
+      "  \"wheel_schedules\": " + std::to_string(wheel_schedules) + ",\n" +
+      "  \"wheel_cascades\": " + std::to_string(wheel_cascades) + ",\n" +
+      "  \"wheel_advances\": " + std::to_string(wheel_advances) + ",\n" +
+      "  \"wall_clock_ms\": " + std::to_string(batched.best_ms) + ",\n" +
+      "  \"wall_clock_ms_unbatched\": " + std::to_string(unbatched.best_ms) + ",\n" +
+      "  \"peak_rss_kb\": " + std::to_string(static_cast<long long>(usage.ru_maxrss)) + ",\n" +
+      "  \"allocations\": " + std::to_string(batched.best_allocations) + ",\n" +
+      "  \"exact_extra\": [\"batch_identical\", \"wheel_schedules\"],\n" +
+      "  \"tracked_extra\": [\"wall_clock_ms_unbatched\"]\n" +
+      "}\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (!json_path.empty()) {
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "bench_pr10: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return batch_identical ? 0 : 1;
+}

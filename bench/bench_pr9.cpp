@@ -20,10 +20,16 @@
 //                            paths, so a fault-machinery slowdown on clean
 //                            runs is caught from several directions)
 //   wall_clock_ms_faulted  — best-of-N faulted simulation time
-//   fault_overhead_pct     — faulted vs clean wall (report only: faulted
-//                            runs do real extra work — crashes, drops,
-//                            suppressed meetings — so this is not a
-//                            regression gate, just the trajectory)
+//   fault_overhead_per_meeting_pct
+//                          — per-DISPATCHED-meeting cost of the faulted run
+//                            vs the clean run (report only, not a gate). A
+//                            raw wall-clock ratio is misleading here:
+//                            crashes suppress thousands of meetings, so the
+//                            faulted run simply dispatches less work and a
+//                            naive ratio reads as a large speedup.
+//                            Normalizing by meetings actually dispatched
+//                            (meetings - meetings_suppressed) compares the
+//                            cost of the work each run really did.
 //   zero_fault_identical   — 1 iff `zeroed` == `clean` bit for bit (exact)
 //   packets/meetings/delivered            — clean-run determinism trio
 //   delivered_faulted, crashes, recoveries, meetings_suppressed,
@@ -181,7 +187,21 @@ int main(int argc, char** argv) {
   struct rusage usage{};
   getrusage(RUSAGE_SELF, &usage);  // ru_maxrss is in kilobytes on Linux
 
-  const double overhead_pct = 100.0 * (faulted.best_ms - clean.best_ms) / clean.best_ms;
+  // Overhead per dispatched meeting: the faulted run suppresses thousands of
+  // meetings (dead endpoints), so raw wall-clock vs wall-clock understates
+  // the fault machinery's cost by comparing unequal amounts of work.
+  const std::size_t clean_dispatched =
+      clean.result.meetings - clean.result.meetings_suppressed;
+  const std::size_t faulted_dispatched =
+      faulted.result.meetings - faulted.result.meetings_suppressed;
+  const double clean_ms_per_meeting =
+      clean_dispatched > 0 ? clean.best_ms / static_cast<double>(clean_dispatched) : 0.0;
+  const double faulted_ms_per_meeting =
+      faulted_dispatched > 0 ? faulted.best_ms / static_cast<double>(faulted_dispatched) : 0.0;
+  const double overhead_pct =
+      clean_ms_per_meeting > 0.0
+          ? 100.0 * (faulted_ms_per_meeting - clean_ms_per_meeting) / clean_ms_per_meeting
+          : 0.0;
   const std::string json = std::string("{\n") +
       "  \"scenario\": \"powerlaw-stream(-faulty)\",\n" +
       "  \"protocol\": \"" + protocol_name + "\",\n" +
@@ -197,14 +217,18 @@ int main(int argc, char** argv) {
       "  \"fault_lost_packets\": " + std::to_string(faulted.result.fault_lost_packets) + ",\n" +
       "  \"corrupted_transfers\": " + std::to_string(faulted.result.corrupted_transfers) + ",\n" +
       "  \"corrupted_bytes\": " + std::to_string(faulted.result.corrupted_bytes) + ",\n" +
+      "  \"meetings_dispatched_faulted\": " + std::to_string(faulted_dispatched) + ",\n" +
       "  \"wall_clock_ms\": " + std::to_string(clean.best_ms) + ",\n" +
       "  \"wall_clock_ms_faulted\": " + std::to_string(faulted.best_ms) + ",\n" +
-      "  \"fault_overhead_pct\": " + std::to_string(overhead_pct) + ",\n" +
+      "  \"fault_overhead_per_meeting_pct\": " + std::to_string(overhead_pct) + ",\n" +
+      "  \"fault_overhead_note\": \"per-dispatched-meeting cost of the faulted run vs "
+      "clean (ms / (meetings - meetings_suppressed)); raw wall ratios mislead because "
+      "crashes suppress meetings and shrink the faulted run's work\",\n" +
       "  \"peak_rss_kb\": " + std::to_string(static_cast<long long>(usage.ru_maxrss)) + ",\n" +
       "  \"allocations\": " + std::to_string(clean.best_allocations) + ",\n" +
       "  \"exact_extra\": [\"zero_fault_identical\", \"delivered_faulted\", \"crashes\", " +
-      "\"recoveries\", \"meetings_suppressed\", \"fault_lost_packets\", " +
-      "\"corrupted_transfers\", \"corrupted_bytes\"],\n" +
+      "\"recoveries\", \"meetings_suppressed\", \"meetings_dispatched_faulted\", " +
+      "\"fault_lost_packets\", \"corrupted_transfers\", \"corrupted_bytes\"],\n" +
       "  \"tracked_extra\": [\"wall_clock_ms_faulted\"]\n" +
       "}\n";
 

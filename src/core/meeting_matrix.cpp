@@ -44,11 +44,19 @@ void MeetingMatrix::observe_meeting(NodeId peer, Time now) {
   if (fresh->cells.empty())
     fresh->cells.assign(static_cast<std::size_t>(num_nodes_), kTimeInfinity);
   Time& cell = fresh->cells[static_cast<std::size_t>(peer)];
+  if (cell == kTimeInfinity) fresh->finite.emplace_back(peer, kTimeInfinity);
   if (count == 0) {
-    if (cell == kTimeInfinity) fresh->finite_cols.push_back(peer);
     cell = gap;
   } else {
     cell += (gap - cell) / static_cast<double>(count + 1);
+  }
+  // Keep the packed mirror in sync. Recently re-observed peers sit near the
+  // tail of the append-ordered list, so scan from the back.
+  for (std::size_t i = fresh->finite.size(); i-- > 0;) {
+    if (fresh->finite[i].first == peer) {
+      fresh->finite[i].second = cell;
+      break;
+    }
   }
   fresh->stamp = now;
   ++count;
@@ -66,8 +74,10 @@ bool MeetingMatrix::merge_row(NodeId node, const std::vector<Time>& row, Time st
   if (stamp <= stamps_[static_cast<std::size_t>(node)]) return false;
   auto version = std::make_shared<RowVersion>();
   version->cells = row;
-  for (NodeId v = 0; v < num_nodes_; ++v)
-    if (row[static_cast<std::size_t>(v)] != kTimeInfinity) version->finite_cols.push_back(v);
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    const Time cell = row[static_cast<std::size_t>(v)];
+    if (cell != kTimeInfinity) version->finite.emplace_back(v, cell);
+  }
   version->stamp = stamp;
   rows_[static_cast<std::size_t>(node)] = std::move(version);
   stamps_[static_cast<std::size_t>(node)] = stamp;
@@ -105,37 +115,137 @@ Time MeetingMatrix::direct_mean(NodeId from, NodeId to) const {
   return v->cells[static_cast<std::size_t>(to)];
 }
 
+namespace {
+
+// Flat scratch for the frontier relaxation in hop_row(). One instance per
+// thread serves every matrix on that thread (the relaxation never nests),
+// so a 2000-node fleet carries one set of buffers per shard thread instead
+// of per node. `mark`/`best` are epoch-stamped: bumping `epoch` resets them
+// in O(1) between rounds.
+struct RelaxScratch {
+  std::vector<NodeId> frontier;       // rows whose dist improved last round
+  std::vector<NodeId> next_frontier;  // rows improving this round, discovery order
+  std::vector<Time> best;             // best candidate this round, keyed by mark
+  std::vector<std::uint32_t> mark;    // mark[v] == epoch → best[v] is live
+  std::uint32_t epoch = 0;
+
+  void ensure(std::size_t n) {
+    if (mark.size() < n) {
+      mark.assign(n, 0);
+      best.resize(n);
+      epoch = 0;
+    }
+  }
+};
+
+RelaxScratch& relax_scratch() {
+  thread_local RelaxScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+#ifdef RAPID_HOPSTAT
+#include <cstdio>
+namespace {
+struct HopStat {
+  unsigned long long calls = 0, recomputes = 0, edges = 0, frontier = 0, improved = 0;
+  ~HopStat() {
+    std::fprintf(stderr,
+                 "[hopstat] calls=%llu recomputes=%llu edges=%llu frontier=%llu improved=%llu\n",
+                 calls, recomputes, edges, frontier, improved);
+  }
+};
+HopStat g_hopstat;
+}  // namespace
+#define HOPSTAT(field, amount) (g_hopstat.field += (amount))
+#else
+#define HOPSTAT(field, amount) ((void)0)
+#endif
+
 const std::vector<Time>& MeetingMatrix::hop_row(NodeId from) const {
   HopRow& cached = hop_rows_[static_cast<std::size_t>(from)];
+  HOPSTAT(calls, 1);
   if (!cached.dist.empty() && cached.generation == generation_) return cached.dist;
+  HOPSTAT(recomputes, 1);
 
   // Single-source relaxation: after round r, dist[v] is the cheapest sum of
   // expected pairwise meeting times along a path of at most r+1 rows (never
   // more, matching the paper's h = 3 bound).
+  //
+  // Frontier form of the classic Jacobi sweep: a round scans only the rows
+  // whose distance improved in the previous round (any candidate through an
+  // unchanged row was already ≥ dist when it was last scanned, so the min is
+  // unaffected), collects improvements against the frozen pre-round dist
+  // into an epoch-marked flat buffer, and applies them after the scan. Path
+  // sums associate left to right exactly as in the full sweep and min is
+  // order-independent, so the resulting doubles are bit-identical — only the
+  // memory traffic changes (no per-round n-cell copy, no n-row scan).
   const auto n = static_cast<std::size_t>(num_nodes_);
   std::vector<Time>& dist = cached.dist;
   dist = row(from);  // 1-hop paths
   dist[static_cast<std::size_t>(from)] = 0;
-  std::vector<Time> next;
-  for (int round = 1; round < max_hops_; ++round) {
-    next = dist;
-    bool changed = false;
-    for (std::size_t mid = 0; mid < n; ++mid) {
-      const Time head = dist[mid];
+
+  RelaxScratch& scratch = relax_scratch();
+  scratch.ensure(n);
+  scratch.frontier.clear();
+  scratch.frontier.push_back(from);
+  if (const RowPtr& own = rows_[static_cast<std::size_t>(from)]) {
+    for (const auto& [v, val] : own->finite)
+      if (v != from) scratch.frontier.push_back(v);
+  }
+
+  for (int round = 1; round < max_hops_ && !scratch.frontier.empty(); ++round) {
+    ++scratch.epoch;
+    if (scratch.epoch == 0) {  // wrapped: stale marks could alias, reset
+      std::fill(scratch.mark.begin(), scratch.mark.end(), 0);
+      scratch.epoch = 1;
+    }
+    scratch.next_frontier.clear();
+    HOPSTAT(frontier, scratch.frontier.size());
+    const NodeId* fr = scratch.frontier.data();
+    const std::size_t fn = scratch.frontier.size();
+    // RowVersions are scattered heap objects shared across the fleet, so a
+    // cold row costs a dependent-load chain (slot → object → pair data).
+    // The frontier is known ahead of time: prefetch the object a few rows
+    // out and its pair data one row out to overlap those chains.
+    constexpr std::size_t kObjAhead = 4;
+    for (std::size_t f = 0; f < fn; ++f) {
+      if (f + kObjAhead < fn)
+        __builtin_prefetch(rows_[static_cast<std::size_t>(fr[f + kObjAhead])].get());
+      if (f + 1 < fn) {
+        if (const RowVersion* ahead =
+                rows_[static_cast<std::size_t>(fr[f + 1])].get())
+          __builtin_prefetch(ahead->finite.data());
+      }
+      const NodeId mid = fr[f];
+      const Time head = dist[static_cast<std::size_t>(mid)];
       if (head == kTimeInfinity) continue;
-      const RowPtr& mid_version = rows_[mid];
+      const RowVersion* mid_version = rows_[static_cast<std::size_t>(mid)].get();
       if (mid_version == nullptr) continue;
-      // Walk only the finite columns (rows are sparse in large fleets).
-      for (const NodeId v : mid_version->finite_cols) {
-        const Time candidate = head + mid_version->cells[static_cast<std::size_t>(v)];
-        if (candidate < next[static_cast<std::size_t>(v)]) {
-          next[static_cast<std::size_t>(v)] = candidate;
-          changed = true;
+      HOPSTAT(edges, mid_version->finite.size());
+      // Stream the packed (col, value) pairs — rows are sparse in large
+      // fleets, and the mirror avoids gathering scattered cells lines.
+      const auto* pairs = mid_version->finite.data();
+      const std::size_t k = mid_version->finite.size();
+      for (std::size_t i = 0; i < k; ++i) {
+        const Time candidate = head + pairs[i].second;
+        const auto vi = static_cast<std::size_t>(pairs[i].first);
+        if (candidate < dist[vi]) {
+          if (scratch.mark[vi] != scratch.epoch) {
+            scratch.mark[vi] = scratch.epoch;
+            scratch.best[vi] = candidate;
+            scratch.next_frontier.push_back(pairs[i].first);
+          } else if (candidate < scratch.best[vi]) {
+            scratch.best[vi] = candidate;
+          }
         }
       }
     }
-    dist.swap(next);
-    if (!changed) break;
+    HOPSTAT(improved, scratch.next_frontier.size());
+    for (const NodeId v : scratch.next_frontier)
+      dist[static_cast<std::size_t>(v)] = scratch.best[static_cast<std::size_t>(v)];
+    scratch.frontier.swap(scratch.next_frontier);
   }
   cached.generation = generation_;
   return dist;
@@ -200,7 +310,7 @@ void MeetingMatrix::load(BinReader& in) {
     for (std::size_t c = 0; c < n; ++c) {
       version->cells[c] = in.f64();
       if (version->cells[c] != kTimeInfinity)
-        version->finite_cols.push_back(static_cast<NodeId>(c));
+        version->finite.emplace_back(static_cast<NodeId>(c), version->cells[c]);
     }
     in.register_interned(id, version);
     rows_[u] = std::move(version);

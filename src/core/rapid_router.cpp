@@ -67,7 +67,11 @@ double RapidRouter::direct_delay(const Packet& p) const {
   // Algorithm 2: position the packet holds (or would take) in this node's
   // destination queue — insertion by age keeps the delivered-oldest-first
   // order, so the computation is identical whether or not p is stored here.
-  const UtilityCache::DelayInputs inputs = delay_inputs(p);
+  return direct_delay_at(p, delay_inputs(p));
+}
+
+double RapidRouter::direct_delay_at(const Packet& p,
+                                    const UtilityCache::DelayInputs& inputs) const {
   const auto compute = [&] {
     const std::size_t n = meetings_needed(inputs.bytes_ahead, p.size, inputs.opportunity);
     return direct_delivery_delay(n, inputs.meeting_time);
@@ -231,6 +235,24 @@ void RapidRouter::observe_opportunity(Bytes capacity, NodeId peer, Time now) {
   grow_slot(per_peer_opportunity_, peer).add(static_cast<double>(capacity));
 }
 
+void RapidRouter::on_contact_batch(const ContactBatch& batch) {
+  // Count how many contacts in the span involve this node; if any do, size
+  // the plan scratch to the full buffer once so the per-contact plan builds
+  // inside the span append without reallocating. Reservation only — the
+  // orderings themselves are still built per contact, so batched dispatch
+  // stays bit-identical to per-event dispatch.
+  std::size_t mine = 0;
+  for (std::size_t i = 0; i < batch.count; ++i) {
+    const Meeting& m = batch.meetings[i];
+    if (m.a == self() || m.b == self()) ++mine;
+  }
+  if (mine == 0) return;
+  const std::size_t held = buffer().count();
+  direct_order_.reserve(held);
+  replication_order_.reserve(held);
+  fallback_scratch_.reserve(held);
+}
+
 void RapidRouter::broadcast_own_row(Time /*now*/) {
   const RouterOracle& oracle = *ctx().oracle;
   const MeetingMatrix::RowPtr& own = matrix_.share_row(self());
@@ -309,7 +331,15 @@ Bytes RapidRouter::exchange_metadata(RapidRouter& peer, Time now, Bytes budget) 
   // table iterates in ascending destination order — deterministic, unlike
   // the hash map it replaced.
   bool exhausted = false;
-  cache_.for_each_queue([&](NodeId /*dst*/, const std::vector<UtilityCache::QueueEntry>& q) {
+  cache_.for_each_queue([&](NodeId dst, const std::vector<UtilityCache::QueueEntry>& q) {
+    // One SoA-style pass per destination queue: the opportunity and h-hop
+    // meeting-time terms are hoisted (they cannot move while the queue is
+    // walked) and the Algorithm-2 byte prefix accumulates along the
+    // age-sorted entries — the same values the per-packet O(log n) reads
+    // would produce, derived once per queue instead of once per packet.
+    const Bytes opportunity = expected_opportunity(dst);
+    const Time meeting = effective_meeting_time(dst);
+    Bytes prefix = 0;
     for (const UtilityCache::QueueEntry& entry : q) {
       const Packet& p = ctx().packet(entry.id);
       const Bytes cost = kPacketRecordHeaderBytes + kReplicaEntryBytes;
@@ -318,8 +348,10 @@ Bytes RapidRouter::exchange_metadata(RapidRouter& peer, Time now, Bytes budget) 
         return false;  // budget spent: stop walking the remaining queues
       }
       used += cost;
+      const UtilityCache::DelayInputs inputs{prefix, opportunity, meeting};
       peer.meta_.update_replica(p.id,
-                                ReplicaEstimate{self(), self_direct_delay(p), now});
+                                ReplicaEstimate{self(), direct_delay_at(p, inputs), now});
+      prefix += entry.size;
     }
     return true;
   });

@@ -90,6 +90,12 @@ class RapidRouter : public Router {
   // --- Router interface -----------------------------------------------------
   bool on_generate(const Packet& p) override;
   void observe_opportunity(Bytes capacity, NodeId peer, Time now) override;
+  // Batched-dispatch pre-pass: sizes the per-contact plan scratch (direct,
+  // replication and fallback orderings) for the whole span once, so the
+  // batch's contacts never grow them mid-plan. Pure reservation — the SoA
+  // queue walks and utility evaluations are unchanged, keeping batched runs
+  // bit-identical to per-event ones.
+  void on_contact_batch(const ContactBatch& batch) override;
   Bytes contact_begin(const PeerView& peer, Time now, Bytes meta_budget) override;
   std::optional<PacketId> next_transfer(const ContactContext& contact,
                                         const PeerView& peer) override;
@@ -178,6 +184,10 @@ class RapidRouter : public Router {
   // d_j for the queue position p holds (or would take) here, memoized per
   // packet when the utility cache is enabled.
   double direct_delay(const Packet& p) const;
+  // Same estimate with the inputs already in hand — the bulk own-buffer pass
+  // hoists the per-destination terms and accumulates the byte prefix while
+  // walking a queue, instead of re-deriving all three per packet.
+  double direct_delay_at(const Packet& p, const UtilityCache::DelayInputs& inputs) const;
   UtilityCache::DelayInputs delay_inputs(const Packet& p) const;
 
   Bytes exchange_metadata(RapidRouter& peer, Time now, Bytes budget);

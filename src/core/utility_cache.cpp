@@ -49,6 +49,8 @@ UtilityCache::~UtilityCache() {
 
 void UtilityCache::queue_insert(NodeId dst, const QueueEntry& e) {
   DestQueue& q = queues_[static_cast<std::size_t>(dst)];
+  if (q.entries.empty())
+    nonempty_.insert(std::lower_bound(nonempty_.begin(), nonempty_.end(), dst), dst);
   q.entries.insert(std::upper_bound(q.entries.begin(), q.entries.end(), e), e);
   q.total_bytes += e.size;
   ++q.generation;
@@ -67,6 +69,8 @@ void UtilityCache::queue_erase(NodeId dst, const QueueEntry& e) {
   if (pos == q.entries.end() || pos->id != e.id) return;
   const Bytes size = pos->size;
   q.entries.erase(pos);
+  if (q.entries.empty())
+    nonempty_.erase(std::lower_bound(nonempty_.begin(), nonempty_.end(), dst));
   q.total_bytes -= size;
   ++q.generation;
   for (std::size_t i = 0; i < q.size_counts.size(); ++i) {

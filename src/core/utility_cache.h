@@ -143,12 +143,13 @@ class UtilityCache {
   }
   // Non-empty queues in ascending destination order (deterministic, unlike
   // the node-keyed hash map this storage replaced). fn returns false to stop
-  // early (e.g. when a metadata budget is exhausted).
+  // early (e.g. when a metadata budget is exhausted). Iterates the maintained
+  // non-empty index, not all n slots — a contact pays for the destinations it
+  // actually buffers, not the fleet size.
   template <typename Fn>
   void for_each_queue(Fn&& fn) const {
-    for (std::size_t dst = 0; dst < queues_.size(); ++dst)
-      if (!queues_[dst].entries.empty())
-        if (!fn(static_cast<NodeId>(dst), queues_[dst].entries)) return;
+    for (const NodeId dst : nonempty_)
+      if (!fn(dst, queues_[static_cast<std::size_t>(dst)].entries)) return;
   }
 
   // --- memoized per-packet estimates ----------------------------------------
@@ -249,6 +250,7 @@ class UtilityCache {
   Entry& entry_for(PacketId id);  // find-or-insert; may grow entries_
 
   std::vector<DestQueue> queues_;
+  std::vector<NodeId> nonempty_;     // dsts with entries, sorted ascending
   std::vector<Entry> entries_;       // packed; order is unspecified
   std::vector<std::int32_t> index_;  // PacketId -> entry slot, -1 = absent
   UtilityCacheStats stats_;

@@ -57,6 +57,9 @@ enum class Counter : std::uint16_t {
   kUtilityForgets,
   kUtilityRateHits,
   kUtilityRateRecomputes,
+  kWheelAdvances,
+  kWheelCascades,
+  kWheelSchedules,
   kCount
 };
 

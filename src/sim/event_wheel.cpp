@@ -1,0 +1,222 @@
+#include "sim/event_wheel.h"
+
+#include <stdexcept>
+
+namespace rapid {
+
+namespace {
+
+inline unsigned ctz64(std::uint64_t v) {
+  return static_cast<unsigned>(__builtin_ctzll(v));
+}
+
+}  // namespace
+
+EventWheel::EventWheel(Time slot_width)
+    : width_(slot_width), inv_width_(1.0 / slot_width) {
+  if (!(slot_width > 0))
+    throw std::invalid_argument("EventWheel: slot_width must be > 0");
+}
+
+void EventWheel::clear() {
+  for (auto& level : slots_)
+    for (auto& slot : level) slot.clear();
+  bits_.fill(0);
+  overflow_.clear();
+  locs_.clear();
+  base_ = 0;
+  live_ = 0;
+}
+
+std::uint64_t EventWheel::slot_of(Time t) const {
+  if (!(t > 0)) return 0;
+  const double s = t * inv_width_;
+  // Saturate far-future (and infinite) times instead of overflowing the
+  // cast; saturated entries share one slot and still order by exact time.
+  if (s >= 9.0e18) return ~std::uint64_t{0};
+  return static_cast<std::uint64_t>(s);
+}
+
+void EventWheel::schedule(std::size_t id, Time time) {
+  if (locs_.size() <= id) locs_.resize(id + 1);
+  if (locs_[id].where != kNone) detach(id);
+  attach(id, time, true);
+}
+
+void EventWheel::remove(std::size_t id) {
+  if (id >= locs_.size() || locs_[id].where == kNone) return;
+  detach(id);
+}
+
+void EventWheel::attach(std::size_t id, Time time, bool count_as_schedule) {
+  Loc& loc = locs_[id];
+  loc.time = time;
+  std::uint64_t s = slot_of(time);
+  if (s < base_) s = base_;  // late entries serve from the cursor's slot
+  const std::uint64_t delta = s - base_;
+  if (delta >= (std::uint64_t{1} << (kSlotBits * kLevels))) {
+    loc.where = kOverflow;
+    loc.pos = static_cast<std::uint32_t>(overflow_.size());
+    overflow_.push_back({id, time});
+    ++live_;
+    if (count_as_schedule) ++schedules_;
+    return;
+  }
+  // Level from the delta's bit width: deltas below 64 sit in level 0, each
+  // further 6 bits of distance climbs one level.
+  const int level = delta < 64 ? 0 : (64 - __builtin_clzll(delta) - 1) / kSlotBits;
+  const auto idx = static_cast<std::uint8_t>((s >> (kSlotBits * level)) & kSlotMask);
+  auto& vec = slots_[static_cast<std::size_t>(level)][idx];
+  loc.where = static_cast<std::int8_t>(level);
+  loc.slot = idx;
+  loc.pos = static_cast<std::uint32_t>(vec.size());
+  vec.push_back({id, time});
+  bits_[static_cast<std::size_t>(level)] |= std::uint64_t{1} << idx;
+  ++live_;
+  if (count_as_schedule) ++schedules_;
+}
+
+void EventWheel::detach(std::size_t id) {
+  Loc& loc = locs_[id];
+  auto swap_remove = [&](std::vector<Entry>& vec) {
+    const std::size_t pos = loc.pos;
+    const std::size_t last = vec.size() - 1;
+    if (pos != last) {
+      vec[pos] = vec[last];
+      locs_[vec[pos].id].pos = static_cast<std::uint32_t>(pos);
+    }
+    vec.pop_back();
+  };
+  if (loc.where == kOverflow) {
+    swap_remove(overflow_);
+  } else {
+    auto& vec = slots_[static_cast<std::size_t>(loc.where)][loc.slot];
+    swap_remove(vec);
+    if (vec.empty())
+      bits_[static_cast<std::size_t>(loc.where)] &= ~(std::uint64_t{1} << loc.slot);
+  }
+  loc.where = kNone;
+  --live_;
+}
+
+EventWheel::Entry EventWheel::slot_min(const std::vector<Entry>& entries) {
+  Entry best = entries.front();
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    if (e.time < best.time || (e.time == best.time && e.id < best.id)) best = e;
+  }
+  return best;
+}
+
+void EventWheel::cascade_current() {
+  // High to low so entries falling out of level L can keep falling through
+  // level L-1's current slot in the same pass. An entry whose slot number
+  // wrapped (it is exactly 64 units ahead at this level, a misalignment
+  // artifact of bucketing by delta) re-attaches to the same slot; it is far
+  // future, advance_window() knows to treat that bit as wrapped.
+  for (int level = kLevels - 1; level >= 1; --level) {
+    const auto idx =
+        static_cast<unsigned>((base_ >> (kSlotBits * level)) & kSlotMask);
+    if ((bits_[static_cast<std::size_t>(level)] & (std::uint64_t{1} << idx)) == 0)
+      continue;
+    auto& vec = slots_[static_cast<std::size_t>(level)][idx];
+    scratch_.assign(vec.begin(), vec.end());
+    // The Loc table is indexed by source id — a random-access miss per
+    // cascaded entry. Prefetch a short distance ahead of the detach walk;
+    // the attach pass below then finds every Loc hot.
+    constexpr std::size_t kAhead = 8;
+    for (std::size_t i = 0; i < scratch_.size(); ++i) {
+      if (i + kAhead < scratch_.size())
+        __builtin_prefetch(&locs_[scratch_[i + kAhead].id], 1);
+      locs_[scratch_[i].id].where = kNone;
+    }
+    live_ -= vec.size();
+    vec.clear();
+    bits_[static_cast<std::size_t>(level)] &= ~(std::uint64_t{1} << idx);
+    cascades_ += scratch_.size();
+    for (const Entry& e : scratch_) attach(e.id, e.time, false);
+  }
+}
+
+bool EventWheel::advance_window() {
+  // Level 0 cannot wrap (insertion requires delta < 64), so any remaining
+  // level-0 bit is in the next 64-slot window.
+  if (bits_[0] != 0) {
+    base_ = (base_ & ~kSlotMask) + 64;
+    return true;
+  }
+  for (int level = 1; level < kLevels; ++level) {
+    const std::uint64_t bits = bits_[static_cast<std::size_t>(level)];
+    if (bits == 0) continue;
+    const std::uint64_t unit = base_ >> (kSlotBits * level);
+    const auto pos = static_cast<unsigned>(unit & kSlotMask);
+    // The bit at `pos` is the slot cascade_current() just emptied of
+    // current-unit entries; anything left there wrapped a full window
+    // ahead, so only strictly-later bits are reachable this window.
+    const std::uint64_t ahead =
+        pos >= 63 ? 0 : (bits & (~std::uint64_t{0} << (pos + 1)));
+    std::uint64_t target_unit;
+    if (ahead != 0) {
+      target_unit = (unit & ~kSlotMask) | ctz64(ahead);
+    } else {
+      target_unit = (unit & ~kSlotMask) + 64 + ctz64(bits);
+    }
+    const std::uint64_t target = target_unit << (kSlotBits * level);
+    if (target > base_) base_ = target;
+    return true;
+  }
+  return false;
+}
+
+void EventWheel::drain_overflow() {
+  scratch_.swap(overflow_);
+  overflow_.clear();
+  for (const Entry& e : scratch_) locs_[e.id].where = kNone;
+  live_ -= scratch_.size();
+  for (const Entry& e : scratch_) attach(e.id, e.time, false);
+}
+
+std::optional<EventWheel::Entry> EventWheel::peek() {
+  if (live_ == 0) return std::nullopt;
+  while (true) {
+    cascade_current();
+    const auto pos = static_cast<unsigned>(base_ & kSlotMask);
+    const std::uint64_t ahead = bits_[0] & (~std::uint64_t{0} << pos);
+    if (ahead != 0) {
+      const unsigned idx = ctz64(ahead);
+      const std::uint64_t slot = (base_ & ~kSlotMask) | idx;
+      if (slot != base_) {
+        base_ = slot;
+        ++advances_;
+      }
+      const Entry best = slot_min(slots_[0][idx]);
+      // The caller's next move is almost always schedule(best.id, ...) or
+      // remove(best.id); start the Loc line toward the cache now.
+      __builtin_prefetch(&locs_[best.id], 1);
+      if (!overflow_.empty()) {
+        // An overflow entry scheduled long ago can undercut a wheel entry
+        // scheduled later; if so it must (by slot arithmetic) land in the
+        // current window once re-bucketed, so drain and rescan.
+        const Entry omin = slot_min(overflow_);
+        if (omin.time < best.time || (omin.time == best.time && omin.id < best.id)) {
+          drain_overflow();
+          continue;
+        }
+      }
+      return best;
+    }
+    if (advance_window()) {
+      ++advances_;
+      continue;
+    }
+    // Only the overflow list is populated: jump the cursor to its earliest
+    // entry and re-bucket everything against the new base.
+    const Entry omin = slot_min(overflow_);
+    std::uint64_t s = slot_of(omin.time);
+    if (s > base_) base_ = s;
+    ++advances_;
+    drain_overflow();
+  }
+}
+
+}  // namespace rapid

@@ -1,0 +1,123 @@
+// Hierarchical timer wheel over event-source head events.
+//
+// The serial engine merges its EventSources by "earliest head event wins,
+// ties to the earliest-registered source". The straightforward merge polls
+// every source per event — O(sources) peeks per dispatch, each a virtual
+// call that may touch cold source state. The wheel replaces the poll: each
+// source keeps exactly one entry — its current head-event time — bucketed
+// into time slots, and finding the next event is an O(1)-amortized cursor
+// advance over per-level occupancy bitmaps.
+//
+// Layout: 4 levels x 64 slots. Level L buckets absolute slot numbers
+// (floor(time / slot_width)) at granularity 64^L; an entry lands at the
+// lowest level whose window (64^(L+1) slots past the cursor) contains it,
+// and entries further than 64^4 slots out wait in an overflow list. As the
+// cursor passes a higher-level slot its entries cascade down, each paying
+// at most (levels - 1) re-bucketings over its lifetime.
+//
+// Determinism contract (same as the poll it replaces): peek() returns the
+// exact minimum by (time, id) — slot membership only bounds the search, the
+// comparison inside a slot is on exact times, so ties between sources in
+// the same slot resolve to the lowest id (= earliest registered). peek()
+// advances the cursor but never removes; the caller pops the source and
+// re-schedules its next head.
+//
+// Times must be finite and, per source, non-decreasing (the EventSource
+// contract). A time earlier than the cursor clamps into the cursor's slot:
+// it is served next and still in exact-time order, since every other live
+// entry sits in the same or a later slot with a later time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/types.h"
+
+namespace rapid {
+
+class EventWheel {
+ public:
+  struct Entry {
+    std::size_t id = 0;
+    Time time = 0;
+  };
+
+  // slot_width is the level-0 bucket granularity in sim-time units; callers
+  // pick it so typical head gaps span a few slots (Simulation derives it
+  // from the experiment horizon). Must be > 0.
+  explicit EventWheel(Time slot_width);
+
+  void clear();
+  // Insert `id` at `time`, replacing any previous entry for `id`.
+  void schedule(std::size_t id, Time time);
+  // Drop `id`'s entry; no-op when not scheduled.
+  void remove(std::size_t id);
+  bool scheduled(std::size_t id) const {
+    return id < locs_.size() && locs_[id].where != kNone;
+  }
+  Time scheduled_time(std::size_t id) const { return locs_[id].time; }
+
+  std::size_t size() const { return live_; }
+  bool empty() const { return live_ == 0; }
+  Time slot_width() const { return width_; }
+
+  // The earliest live entry in (time, id) order, or nullopt when empty.
+  // Advances the cursor over empty slots and cascades passed higher-level
+  // slots; repeated calls without an intervening schedule/remove return the
+  // same entry.
+  std::optional<Entry> peek();
+
+  // Lifetime probe counters (flushed into wheel.* by the owning engine).
+  std::uint64_t schedules() const { return schedules_; }
+  std::uint64_t cascades() const { return cascades_; }
+  std::uint64_t advances() const { return advances_; }
+
+ private:
+  static constexpr int kLevels = 4;
+  static constexpr unsigned kSlotBits = 6;  // 64 slots per level
+  static constexpr std::uint64_t kSlotMask = 63;
+  static constexpr std::int8_t kNone = -1;
+  static constexpr std::int8_t kOverflow = kLevels;
+
+  struct Loc {
+    Time time = 0;
+    std::uint32_t pos = 0;     // index within its slot (or overflow) vector
+    std::int8_t where = kNone;  // kNone, level 0..3, or kOverflow
+    std::uint8_t slot = 0;
+  };
+
+  std::uint64_t slot_of(Time t) const;
+  void attach(std::size_t id, Time time, bool count_as_schedule);
+  void detach(std::size_t id);
+  // Pull the slot covering the cursor at every level >= 1 down a level.
+  void cascade_current();
+  // Move the cursor to the next window that can hold an entry; false when
+  // every wheel level is empty (overflow may still hold entries).
+  bool advance_window();
+  // Re-bucket every overflow entry against the current cursor.
+  void drain_overflow();
+  static Entry slot_min(const std::vector<Entry>& entries);
+
+  Time width_;
+  // 1 / width_, so the hot-path bucketing is a multiply. Correctness needs
+  // only a monotone time -> slot map (later slots hold strictly later
+  // times); IEEE multiplication by a positive constant is monotone, so the
+  // rounding difference vs division just shifts the odd boundary time into
+  // the neighboring bucket, where exact-time comparison still orders it.
+  double inv_width_;
+  std::uint64_t base_ = 0;  // cursor: absolute slot number
+  std::size_t live_ = 0;
+  std::array<std::uint64_t, kLevels> bits_{};  // per-level slot occupancy
+  std::array<std::array<std::vector<Entry>, 64>, kLevels> slots_;
+  std::vector<Entry> overflow_;
+  std::vector<Loc> locs_;
+  std::vector<Entry> scratch_;  // cascade/drain staging
+
+  std::uint64_t schedules_ = 0;
+  std::uint64_t cascades_ = 0;
+  std::uint64_t advances_ = 0;
+};
+
+}  // namespace rapid
